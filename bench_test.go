@@ -1,0 +1,265 @@
+package reds_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 9). Each benchmark executes the same
+// driver as `redsbench -exp <id>` at a small fixed configuration, so
+// `go test -bench=.` regenerates every experimental artifact's code path
+// quickly; `cmd/redsbench -paper` scales the identical code to the
+// paper's full setup. Component micro-benchmarks for the substrates
+// follow below.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	reds "github.com/reds-go/reds"
+	"github.com/reds-go/reds/internal/experiment"
+)
+
+// benchConfig keeps every driver in the sub-minute range.
+func benchConfig() experiment.Config {
+	return experiment.Config{
+		Funcs: []string{"f2", "hart3", "morris"},
+		Reps:  3,
+		Ns:    []int{200, 400},
+		TestN: 2000,
+		LPrim: 4000,
+		LBI:   2000,
+		Seed:  1,
+	}
+}
+
+func BenchmarkFig6Demonstration(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkTable3PRIMMethods(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Funcs = []string{"f2", "hart3"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig7RelativeChange(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Funcs = []string{"f2", "hart3"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.RenderFig7(io.Discard)
+	}
+}
+
+func BenchmarkTable4BIMethods(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Funcs = []string{"f2", "hart3"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig8RelativeChange(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Funcs = []string{"f2", "hart3"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.RenderFig8(io.Discard)
+	}
+}
+
+func BenchmarkFig9Runtimes(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Funcs = []string{"f2"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig10MixedInputs(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Funcs = []string{"f2", "hart3"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig11Trajectories(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig12LearningCurves(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Reps = 2
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig13Table5ThirdParty(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Reps = 2
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig14SemiSupervised(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Funcs = []string{"f2", "hart3"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+func benchTrain(n, m int, seed int64) *reds.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0] < 0.5 && row[1] > 0.3 {
+			y[i] = 1
+		}
+	}
+	d, _ := reds.NewDataset(x, y)
+	return d
+}
+
+func BenchmarkPRIMPeel(b *testing.B) {
+	d := benchTrain(10000, 20, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&reds.PRIM{}).Discover(d, d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBIBeamSearch(b *testing.B) {
+	d := benchTrain(4000, 10, 3)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&reds.BI{}).Discover(d, d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestTrain(b *testing.B) {
+	d := benchTrain(400, 10, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(6))
+		if _, err := (&reds.RandomForest{NTrees: 100}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGradientBoostingTrain(b *testing.B) {
+	d := benchTrain(400, 10, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(8))
+		if _, err := (&reds.GradientBoosting{}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVMTrain(b *testing.B) {
+	d := benchTrain(400, 10, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(10))
+		if _, err := (&reds.SVM{}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkREDSPipeline(b *testing.B) {
+	d := benchTrain(400, 10, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(12))
+		r := &reds.REDS{
+			Metamodel: &reds.GradientBoosting{Rounds: 50},
+			L:         10000,
+			SD:        &reds.PRIM{},
+		}
+		if _, err := r.Discover(d, d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDSGCSimulation(b *testing.B) {
+	grid := reds.DSGC()
+	rng := rand.New(rand.NewSource(13))
+	x := make([]float64, grid.Dim())
+	for j := range x {
+		x[j] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid.Eval(x)
+	}
+}

@@ -1,0 +1,100 @@
+// Command redsdata exports the datasets of the paper's data sources as
+// CSV, for inspection or use with other tools.
+//
+// Usage:
+//
+//	redsdata -list
+//	redsdata -func morris -n 800 -sampler lhs -seed 1 > morris.csv
+//	redsdata -func dsgc -n 400 -sampler halton > dsgc.csv
+//	redsdata -func tgl > tgl.csv
+//	redsdata -func lake -n 1000 > lake.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/dsgc"
+	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/lake"
+	"github.com/reds-go/reds/internal/sample"
+	"github.com/reds-go/reds/internal/tgl"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available data sources")
+		name    = flag.String("func", "", "data source name (Table 1 function, dsgc, tgl, lake)")
+		n       = flag.Int("n", 400, "number of examples")
+		smpName = flag.String("sampler", "lhs", "sampler: lhs, uniform, halton, logitnormal, mixed")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, fn := range funcs.Names() {
+			fmt.Println(fn)
+		}
+		fmt.Println("dsgc")
+		fmt.Println("tgl")
+		fmt.Println("lake")
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "redsdata: -func is required (see -list)")
+		os.Exit(2)
+	}
+
+	d, err := build(*name, *n, *smpName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redsdata:", err)
+		os.Exit(1)
+	}
+	if err := d.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "redsdata:", err)
+		os.Exit(1)
+	}
+}
+
+func build(name string, n int, smpName string, seed int64) (*dataset.Dataset, error) {
+	switch name {
+	case "tgl":
+		return tgl.Dataset(seed), nil
+	case "lake":
+		return lake.Dataset(n, seed), nil
+	}
+	var f funcs.Function
+	if name == "dsgc" {
+		f = dsgc.New()
+	} else {
+		var err error
+		if f, err = funcs.Get(name); err != nil {
+			return nil, err
+		}
+	}
+	smp, err := sampler(smpName)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return funcs.Generate(f, n, smp, rng), nil
+}
+
+func sampler(name string) (sample.Sampler, error) {
+	switch name {
+	case "lhs":
+		return sample.LatinHypercube{}, nil
+	case "uniform":
+		return sample.Uniform{}, nil
+	case "halton":
+		return sample.Halton{}, nil
+	case "logitnormal":
+		return sample.LogitNormal{Sigma: 1}, nil
+	case "mixed":
+		return sample.Mixed{}, nil
+	}
+	return nil, fmt.Errorf("unknown sampler %q", name)
+}

@@ -1,0 +1,241 @@
+package bi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+func boxData(n, m int, rng *rand.Rand) *dataset.Dataset {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0] < 0.5 && row[1] > 0.3 {
+			y[i] = 1
+		}
+	}
+	return dataset.MustNew(x, y)
+}
+
+func TestWRAcc(t *testing.T) {
+	d := dataset.MustNew(
+		[][]float64{{0.1}, {0.2}, {0.8}, {0.9}},
+		[]float64{1, 1, 0, 0},
+	)
+	full := box.Full(1)
+	if w := WRAcc(full, d); math.Abs(w) > 1e-12 {
+		t.Errorf("WRAcc(full) = %g, want 0", w)
+	}
+	left := box.New([]float64{math.Inf(-1)}, []float64{0.5})
+	// n/N = 0.5, precision 1, p0 = 0.5 -> WRAcc = 0.25.
+	if w := WRAcc(left, d); math.Abs(w-0.25) > 1e-12 {
+		t.Errorf("WRAcc(left) = %g, want 0.25", w)
+	}
+	if w := WRAcc(box.New([]float64{5}, []float64{6}), d); w != 0 {
+		t.Errorf("WRAcc(empty subgroup) = %g, want 0", w)
+	}
+}
+
+func TestBIFindsTheBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := boxData(500, 4, rng)
+	res, err := (&BI{}).Discover(d, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Final()
+	w := WRAcc(final, d)
+	// The true box has WRAcc = P(box)(1 - p0) with P(box) = 0.35,
+	// p0 = 0.35 -> 0.2275. Finite-sample optimum should be close.
+	if w < 0.15 {
+		t.Errorf("final WRAcc = %.4f, want >= 0.15", w)
+	}
+	if !final.RestrictedDim(0) || !final.RestrictedDim(1) {
+		t.Errorf("final box %v misses the relevant inputs", final)
+	}
+	// The final WRAcc must be at least the full box's (0).
+	if w < 0 {
+		t.Error("BI must never return a box worse than unrestricted")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := boxData(400, 5, rng)
+	res, err := (&BI{Depth: 1}).Discover(d, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Final().Restricted(); r > 1 {
+		t.Errorf("depth-1 box restricts %d inputs", r)
+	}
+}
+
+func TestBeamSizeImprovesOrMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// An XOR-ish problem where greedy 1-beam can get stuck.
+	n := 600
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		in1 := x[i][0] < 0.5
+		in2 := x[i][1] < 0.5
+		if in1 != in2 {
+			y[i] = 1
+		}
+	}
+	d := dataset.MustNew(x, y)
+	r1, err := (&BI{BeamSize: 1}).Discover(d, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := (&BI{BeamSize: 5}).Discover(d, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WRAcc(r5.Final(), d)+1e-9 < WRAcc(r1.Final(), d) {
+		t.Errorf("beam 5 (%.4f) worse than beam 1 (%.4f)",
+			WRAcc(r5.Final(), d), WRAcc(r1.Final(), d))
+	}
+}
+
+// bruteBestInterval finds the optimal closed interval over observed
+// values by exhaustive search, for cross-checking Kadane.
+func bruteBestInterval(d *dataset.Dataset, j int, p0 float64) float64 {
+	var vals []float64
+	seen := map[float64]bool{}
+	for _, x := range d.X {
+		if !seen[x[j]] {
+			seen[x[j]] = true
+			vals = append(vals, x[j])
+		}
+	}
+	best := math.Inf(-1)
+	for _, lo := range vals {
+		for _, hi := range vals {
+			if hi < lo {
+				continue
+			}
+			s := 0.0
+			for i, x := range d.X {
+				if x[j] >= lo && x[j] <= hi {
+					s += d.Y[i] - p0
+				}
+			}
+			if s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+func TestBestIntervalMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			// Quantized values to exercise tie handling.
+			x[i] = []float64{math.Floor(rng.Float64()*8) / 8, rng.Float64()}
+			if rng.Float64() < 0.4 {
+				y[i] = 1
+			}
+		}
+		d := dataset.MustNew(x, y)
+		p0 := d.PositiveShare()
+
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for a := 1; a < n; a++ { // insertion sort by x[0]
+			for b := a; b > 0 && d.X[order[b]][0] < d.X[order[b-1]][0]; b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+		nb, ok := bestInterval(d, order, box.Full(2), 0, p0)
+		if !ok {
+			return false
+		}
+		got := 0.0
+		for i, xi := range d.X {
+			if nb.Contains(xi) {
+				got += d.Y[i] - p0
+			}
+		}
+		want := bruteBestInterval(d, 0, p0)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestIntervalUnrestrictsWhenAllPositive(t *testing.T) {
+	// With all weights positive the best run spans everything and the
+	// dimension must become unrestricted.
+	d := dataset.MustNew([][]float64{{0.1}, {0.5}, {0.9}}, []float64{1, 1, 1})
+	// p0 = 0 keeps every weight positive (pretend the dataset mean is 0).
+	order := []int{0, 1, 2}
+	nb, ok := bestInterval(d, order, box.Full(1), 0, 0)
+	if !ok {
+		t.Fatal("no interval found")
+	}
+	if nb.Restricted() != 0 {
+		t.Errorf("expected unrestricted dimension, got %v", nb)
+	}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := boxData(60, 2, rng)
+	if _, err := (&BI{}).Discover(dataset.MustNew(nil, nil), d, rng); err == nil {
+		t.Error("empty train must error")
+	}
+	if _, err := (&BI{}).Discover(d, boxData(20, 3, rng), rng); err == nil {
+		t.Error("dim mismatch must error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := boxData(200, 3, rand.New(rand.NewSource(5)))
+	r1, _ := (&BI{BeamSize: 3}).Discover(d, d, nil)
+	r2, _ := (&BI{BeamSize: 3}).Discover(d, d, nil)
+	if !r1.Final().Equal(r2.Final()) {
+		t.Error("BI must be deterministic")
+	}
+}
+
+func TestResultShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := boxData(300, 3, rng)
+	res, err := (&BI{}).Discover(d, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final() == nil {
+		t.Fatal("nil final box")
+	}
+	if res.FinalIndex != len(res.Steps)-1 {
+		t.Error("final must be the last step")
+	}
+	// Train stats recorded correctly.
+	last := res.Steps[res.FinalIndex]
+	want := sd.Compute(last.Box, d)
+	if last.Train != want {
+		t.Errorf("recorded train stats %+v != computed %+v", last.Train, want)
+	}
+}

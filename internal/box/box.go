@@ -1,0 +1,244 @@
+// Package box implements the hyperbox algebra used throughout scenario
+// discovery: axis-aligned boxes with possibly unbounded sides, containment
+// tests, restriction counting, clipped volumes, overlap/union volumes and
+// Pareto domination of quality-measure vectors (Definition 1 in the paper).
+package box
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Box is a conjunction of closed intervals, one per input dimension.
+// Lo[j] = -Inf or Hi[j] = +Inf mark an unrestricted side. A box with
+// Lo[j] = -Inf and Hi[j] = +Inf for all j covers the whole input space.
+type Box struct {
+	Lo []float64
+	Hi []float64
+}
+
+// Full returns the unrestricted box over dim dimensions.
+func Full(dim int) *Box {
+	b := &Box{Lo: make([]float64, dim), Hi: make([]float64, dim)}
+	for j := 0; j < dim; j++ {
+		b.Lo[j] = math.Inf(-1)
+		b.Hi[j] = math.Inf(1)
+	}
+	return b
+}
+
+// New returns a box with the given bounds. It panics if the slice lengths
+// differ, since that is always a programming error.
+func New(lo, hi []float64) *Box {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("box: bound length mismatch %d != %d", len(lo), len(hi)))
+	}
+	return &Box{Lo: lo, Hi: hi}
+}
+
+// Dim returns the number of dimensions of the box.
+func (b *Box) Dim() int { return len(b.Lo) }
+
+// Clone returns a deep copy of the box.
+func (b *Box) Clone() *Box {
+	lo := make([]float64, len(b.Lo))
+	hi := make([]float64, len(b.Hi))
+	copy(lo, b.Lo)
+	copy(hi, b.Hi)
+	return &Box{Lo: lo, Hi: hi}
+}
+
+// Contains reports whether the point x lies inside the box (closed bounds).
+func (b *Box) Contains(x []float64) bool {
+	for j, v := range x {
+		if v < b.Lo[j] || v > b.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// RestrictedDim reports whether dimension j is restricted on either side.
+func (b *Box) RestrictedDim(j int) bool {
+	return !math.IsInf(b.Lo[j], -1) || !math.IsInf(b.Hi[j], 1)
+}
+
+// Restricted returns the number of restricted dimensions (the
+// interpretability measure "#restricted" from Section 4 of the paper).
+func (b *Box) Restricted() int {
+	n := 0
+	for j := range b.Lo {
+		if b.RestrictedDim(j) {
+			n++
+		}
+	}
+	return n
+}
+
+// RestrictedDims returns the indices of all restricted dimensions.
+func (b *Box) RestrictedDims() []int {
+	var dims []int
+	for j := range b.Lo {
+		if b.RestrictedDim(j) {
+			dims = append(dims, j)
+		}
+	}
+	return dims
+}
+
+// Equal reports whether two boxes have identical bounds. Infinities
+// compare equal to infinities of the same sign.
+func (b *Box) Equal(o *Box) bool {
+	if b.Dim() != o.Dim() {
+		return false
+	}
+	for j := range b.Lo {
+		if b.Lo[j] != o.Lo[j] || b.Hi[j] != o.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// clip returns the bounds of dimension j clipped to [lo, hi].
+func (b *Box) clip(j int, lo, hi float64) (float64, float64) {
+	l, h := b.Lo[j], b.Hi[j]
+	if l < lo {
+		l = lo
+	}
+	if h > hi {
+		h = hi
+	}
+	return l, h
+}
+
+// Volume returns the volume of the box clipped to the domain given by
+// domLo/domHi per dimension (Section 4: infinities are replaced with the
+// minimal and maximal values of the respective input). An empty clipped
+// interval yields volume 0.
+func (b *Box) Volume(domLo, domHi []float64) float64 {
+	v := 1.0
+	for j := range b.Lo {
+		l, h := b.clip(j, domLo[j], domHi[j])
+		if h <= l {
+			return 0
+		}
+		v *= h - l
+	}
+	return v
+}
+
+// OverlapVolume returns the volume of the intersection of b and o, both
+// clipped to the domain.
+func (b *Box) OverlapVolume(o *Box, domLo, domHi []float64) float64 {
+	v := 1.0
+	for j := range b.Lo {
+		l1, h1 := b.clip(j, domLo[j], domHi[j])
+		l2, h2 := o.clip(j, domLo[j], domHi[j])
+		l := math.Max(l1, l2)
+		h := math.Min(h1, h2)
+		if h <= l {
+			return 0
+		}
+		v *= h - l
+	}
+	return v
+}
+
+// UnionVolume returns the volume of the union of b and o clipped to the
+// domain, via inclusion-exclusion.
+func (b *Box) UnionVolume(o *Box, domLo, domHi []float64) float64 {
+	return b.Volume(domLo, domHi) + o.Volume(domLo, domHi) - b.OverlapVolume(o, domLo, domHi)
+}
+
+// Intersect returns the intersection box of b and o, or nil when the
+// intersection is empty in some dimension.
+func (b *Box) Intersect(o *Box) *Box {
+	r := Full(b.Dim())
+	for j := range b.Lo {
+		r.Lo[j] = math.Max(b.Lo[j], o.Lo[j])
+		r.Hi[j] = math.Min(b.Hi[j], o.Hi[j])
+		if r.Hi[j] < r.Lo[j] {
+			return nil
+		}
+	}
+	return r
+}
+
+// CoversBox reports whether every point of o lies inside b.
+func (b *Box) CoversBox(o *Box) bool {
+	for j := range b.Lo {
+		if o.Lo[j] < b.Lo[j] || o.Hi[j] > b.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the box as a conjunction rule over inputs a0..a(M-1),
+// omitting unrestricted dimensions.
+func (b *Box) String() string {
+	var sb strings.Builder
+	first := true
+	for j := range b.Lo {
+		if !b.RestrictedDim(j) {
+			continue
+		}
+		if !first {
+			sb.WriteString(" AND ")
+		}
+		first = false
+		switch {
+		case math.IsInf(b.Lo[j], -1):
+			fmt.Fprintf(&sb, "a%d <= %.4g", j, b.Hi[j])
+		case math.IsInf(b.Hi[j], 1):
+			fmt.Fprintf(&sb, "a%d >= %.4g", j, b.Lo[j])
+		default:
+			fmt.Fprintf(&sb, "%.4g <= a%d <= %.4g", b.Lo[j], j, b.Hi[j])
+		}
+	}
+	if first {
+		return "TRUE"
+	}
+	return sb.String()
+}
+
+// Dominates implements Definition 1 of the paper: b dominates o for the
+// given quality vectors qb (of b) and qo (of o) if qb >= qo component-wise
+// with at least one strict inequality. The two vectors must have the same
+// length.
+func Dominates(qb, qo []float64) bool {
+	if len(qb) != len(qo) {
+		panic("box: quality vector length mismatch")
+	}
+	strict := false
+	for k := range qb {
+		if qb[k] < qo[k] {
+			return false
+		}
+		if qb[k] > qo[k] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFront returns the indices of the non-dominated quality vectors.
+// Ties (identical vectors) are all kept.
+func ParetoFront(qualities [][]float64) []int {
+	var front []int
+	for i, qi := range qualities {
+		dominated := false
+		for k, qk := range qualities {
+			if k != i && Dominates(qk, qi) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}

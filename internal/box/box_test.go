@@ -1,0 +1,288 @@
+package box
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullBox(t *testing.T) {
+	b := Full(3)
+	if b.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", b.Dim())
+	}
+	if b.Restricted() != 0 {
+		t.Errorf("Restricted = %d, want 0", b.Restricted())
+	}
+	if !b.Contains([]float64{1e300, -1e300, 0}) {
+		t.Error("full box must contain any point")
+	}
+	if b.String() != "TRUE" {
+		t.Errorf("String = %q, want TRUE", b.String())
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := New([]float64{0, math.Inf(-1)}, []float64{1, 0.5})
+	tests := []struct {
+		x    []float64
+		want bool
+	}{
+		{[]float64{0.5, 0}, true},
+		{[]float64{0, 0.5}, true},   // closed bounds
+		{[]float64{1, -100}, true},  // unbounded low side
+		{[]float64{1.01, 0}, false}, // above hi
+		{[]float64{-0.01, 0}, false},
+		{[]float64{0.5, 0.51}, false},
+	}
+	for _, tc := range tests {
+		if got := b.Contains(tc.x); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestRestricted(t *testing.T) {
+	b := Full(4)
+	b.Lo[1] = 0.2
+	b.Hi[3] = 0.9
+	if got := b.Restricted(); got != 2 {
+		t.Errorf("Restricted = %d, want 2", got)
+	}
+	dims := b.RestrictedDims()
+	if len(dims) != 2 || dims[0] != 1 || dims[1] != 3 {
+		t.Errorf("RestrictedDims = %v, want [1 3]", dims)
+	}
+}
+
+func TestVolumeClipping(t *testing.T) {
+	dom0 := []float64{0, 0}
+	dom1 := []float64{1, 1}
+	b := Full(2)
+	if v := b.Volume(dom0, dom1); math.Abs(v-1) > 1e-12 {
+		t.Errorf("full box clipped volume = %g, want 1", v)
+	}
+	b = New([]float64{0.25, math.Inf(-1)}, []float64{0.75, 0.5})
+	if v := b.Volume(dom0, dom1); math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("volume = %g, want 0.25", v)
+	}
+	// Bound entirely outside the domain: empty.
+	b = New([]float64{2, 0}, []float64{3, 1})
+	if v := b.Volume(dom0, dom1); v != 0 {
+		t.Errorf("out-of-domain volume = %g, want 0", v)
+	}
+}
+
+func TestOverlapAndUnion(t *testing.T) {
+	dom0 := []float64{0, 0}
+	dom1 := []float64{1, 1}
+	a := New([]float64{0, 0}, []float64{0.6, 0.6})
+	b := New([]float64{0.4, 0.4}, []float64{1, 1})
+	ov := a.OverlapVolume(b, dom0, dom1)
+	if math.Abs(ov-0.04) > 1e-12 {
+		t.Errorf("overlap = %g, want 0.04", ov)
+	}
+	un := a.UnionVolume(b, dom0, dom1)
+	if math.Abs(un-(0.36+0.36-0.04)) > 1e-12 {
+		t.Errorf("union = %g, want 0.68", un)
+	}
+	// Disjoint boxes.
+	c := New([]float64{0.8, 0.8}, []float64{1, 1})
+	if ov := a.OverlapVolume(c, dom0, dom1); ov != 0 {
+		t.Errorf("disjoint overlap = %g, want 0", ov)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New([]float64{0, 0}, []float64{0.6, 0.6})
+	b := New([]float64{0.4, 0.4}, []float64{1, 1})
+	got := a.Intersect(b)
+	want := New([]float64{0.4, 0.4}, []float64{0.6, 0.6})
+	if got == nil || !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	c := New([]float64{0.7, 0}, []float64{1, 1})
+	if a.Intersect(c) != nil {
+		t.Error("disjoint intersect should be nil")
+	}
+}
+
+func TestCoversBox(t *testing.T) {
+	outer := New([]float64{0, 0}, []float64{1, 1})
+	inner := New([]float64{0.1, 0.2}, []float64{0.9, 0.8})
+	if !outer.CoversBox(inner) {
+		t.Error("outer should cover inner")
+	}
+	if inner.CoversBox(outer) {
+		t.Error("inner should not cover outer")
+	}
+	if !Full(2).CoversBox(outer) {
+		t.Error("full box covers everything")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := Full(3)
+	b.Lo[0] = 0.1
+	b.Hi[0] = 0.9
+	b.Hi[2] = 0.5
+	s := b.String()
+	want := "0.1 <= a0 <= 0.9 AND a2 <= 0.5"
+	if s != want {
+		t.Errorf("String = %q, want %q", s, want)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0.5, 0.5}, true},
+		{[]float64{1, 0.5}, []float64{1, 0.4}, true},
+		{[]float64{1, 1}, []float64{1, 1}, false},       // equal: no strict part
+		{[]float64{1, 0.3}, []float64{0.5, 0.5}, false}, // trade-off
+		{[]float64{0.2, 0.2}, []float64{0.5, 0.5}, false},
+	}
+	for _, tc := range tests {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	qs := [][]float64{
+		{0.9, 0.1}, // kept: best precision
+		{0.5, 0.5}, // kept
+		{0.4, 0.4}, // dominated by {0.5,0.5}
+		{0.1, 0.9}, // kept: best recall
+		{0.5, 0.5}, // duplicate of kept vector: also kept
+	}
+	front := ParetoFront(qs)
+	want := map[int]bool{0: true, 1: true, 3: true, 4: true}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want indices %v", front, want)
+	}
+	for _, i := range front {
+		if !want[i] {
+			t.Errorf("unexpected front index %d", i)
+		}
+	}
+}
+
+// randomBoxPair builds two random boxes inside [0,1]^dim for property tests.
+func randomBoxPair(rng *rand.Rand, dim int) (*Box, *Box) {
+	mk := func() *Box {
+		b := Full(dim)
+		for j := 0; j < dim; j++ {
+			if rng.Float64() < 0.7 {
+				l, h := rng.Float64(), rng.Float64()
+				if l > h {
+					l, h = h, l
+				}
+				b.Lo[j], b.Hi[j] = l, h
+			}
+		}
+		return b
+	}
+	return mk(), mk()
+}
+
+func TestPropertyOverlapWithinUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dom0 := []float64{0, 0, 0}
+	dom1 := []float64{1, 1, 1}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed + rng.Int63()))
+		a, b := randomBoxPair(r, 3)
+		ov := a.OverlapVolume(b, dom0, dom1)
+		un := a.UnionVolume(b, dom0, dom1)
+		va := a.Volume(dom0, dom1)
+		vb := b.Volume(dom0, dom1)
+		const eps = 1e-12
+		return ov >= -eps && ov <= math.Min(va, vb)+eps &&
+			un >= math.Max(va, vb)-eps && un <= va+vb+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOverlapSymmetric(t *testing.T) {
+	dom0 := []float64{0, 0, 0, 0}
+	dom1 := []float64{1, 1, 1, 1}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBoxPair(r, 4)
+		d1 := a.OverlapVolume(b, dom0, dom1)
+		d2 := b.OverlapVolume(a, dom0, dom1)
+		return math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIntersectVolumeMatchesOverlap(t *testing.T) {
+	dom0 := []float64{0, 0, 0}
+	dom1 := []float64{1, 1, 1}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBoxPair(r, 3)
+		inter := a.Intersect(b)
+		ov := a.OverlapVolume(b, dom0, dom1)
+		if inter == nil {
+			return ov == 0
+		}
+		return math.Abs(inter.Volume(dom0, dom1)-ov) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDominationIrreflexiveAntisymmetric(t *testing.T) {
+	f := func(a0, a1, b0, b1 float64) bool {
+		a := []float64{a0, a1}
+		b := []float64{b0, b1}
+		if Dominates(a, a) || Dominates(b, b) {
+			return false // irreflexive
+		}
+		// antisymmetric: both directions cannot hold
+		return !(Dominates(a, b) && Dominates(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyContainsImpliesInsideIntersectionOfBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBoxPair(r, 3)
+		inter := a.Intersect(b)
+		x := []float64{r.Float64(), r.Float64(), r.Float64()}
+		inBoth := a.Contains(x) && b.Contains(x)
+		if inter == nil {
+			return !inBoth
+		}
+		return inBoth == inter.Contains(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := Full(2)
+	c := b.Clone()
+	c.Lo[0] = 0.5
+	if b.Lo[0] == 0.5 {
+		t.Error("Clone must not share bound slices")
+	}
+	if !b.Clone().Equal(b) {
+		t.Error("Clone must equal the original")
+	}
+}

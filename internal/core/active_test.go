@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/metrics"
+	"github.com/reds-go/reds/internal/prim"
+	"github.com/reds-go/reds/internal/rf"
+	"github.com/reds-go/reds/internal/sample"
+)
+
+func TestActiveREDSValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := &ActiveREDS{}
+	if _, _, err := a.DiscoverBudget(funcs.Hart3, 100, rng); err == nil {
+		t.Error("missing components must error")
+	}
+	a = &ActiveREDS{REDS: REDS{Metamodel: &rf.Trainer{NTrees: 5}, SD: &prim.Peeler{}}}
+	if _, _, err := a.DiscoverBudget(funcs.Hart3, 5, rng); err == nil {
+		t.Error("tiny budget must error")
+	}
+}
+
+func TestActiveREDSSpendsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := &ActiveREDS{
+		REDS:     REDS{Metamodel: &rf.Trainer{NTrees: 20}, L: 1500, SD: &prim.Peeler{}},
+		Rounds:   3,
+		PoolSize: 500,
+	}
+	res, data, err := a.DiscoverBudget(funcs.F2, 150, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.N() != 150 {
+		t.Errorf("labeled %d points, want exactly the budget 150", data.N())
+	}
+	if res.Final() == nil {
+		t.Fatal("no scenario")
+	}
+}
+
+func TestActiveREDSConcentratesNearBoundary(t *testing.T) {
+	// With a sharp boundary at a0+a1 = 1 (function f1), actively chosen
+	// points should cluster near it much more than uniform ones.
+	rng := rand.New(rand.NewSource(3))
+	a := &ActiveREDS{
+		REDS:        REDS{Metamodel: &rf.Trainer{NTrees: 30}, L: 1500, SD: &prim.Peeler{}},
+		InitialFrac: 0.4,
+		Rounds:      3,
+		PoolSize:    1500,
+	}
+	_, data, err := a.DiscoverBudget(funcs.F1, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearBoundary := func(pts [][]float64) float64 {
+		cnt := 0
+		for _, x := range pts {
+			d := x[0] + x[1] - 1
+			if d < 0 {
+				d = -d
+			}
+			if d < 0.15 {
+				cnt++
+			}
+		}
+		return float64(cnt) / float64(len(pts))
+	}
+	activeShare := nearBoundary(data.X[80:]) // the actively chosen tail
+	baseShare := nearBoundary(data.X[:80])   // the space-filling head
+	t.Logf("near-boundary share: initial %.2f, active %.2f", baseShare, activeShare)
+	if activeShare < baseShare {
+		t.Errorf("active points (%.2f) not concentrated vs initial design (%.2f)",
+			activeShare, baseShare)
+	}
+}
+
+func TestActiveREDSBeatsOrMatchesPlainOnBudget(t *testing.T) {
+	// Not a strict dominance claim — just sanity that the AL loop does
+	// not wreck quality at equal budget (averaged over a few seeds).
+	var aucPlain, aucActive float64
+	reps := 3
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(int64(10 + rep)))
+		f := funcs.F1
+		test := funcs.Generate(f, 3000, sample.Uniform{}, rng)
+
+		plainTrain := funcs.Generate(f, 200, sample.LatinHypercube{}, rng)
+		plain := &REDS{Metamodel: &rf.Trainer{NTrees: 30}, L: 2000, SD: &prim.Peeler{}}
+		pres, err := plain.Discover(plainTrain, plainTrain, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aucPlain += metrics.ResultPRAUC(pres, test)
+
+		active := &ActiveREDS{
+			REDS:   REDS{Metamodel: &rf.Trainer{NTrees: 30}, L: 2000, SD: &prim.Peeler{}},
+			Rounds: 3, PoolSize: 1000,
+		}
+		ares, _, err := active.DiscoverBudget(f, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aucActive += metrics.ResultPRAUC(ares, test)
+	}
+	aucPlain /= float64(reps)
+	aucActive /= float64(reps)
+	t.Logf("PR AUC on f1: plain REDS %.3f, active REDS %.3f", aucPlain, aucActive)
+	if aucActive < 0.8*aucPlain {
+		t.Errorf("active REDS (%.3f) collapsed vs plain (%.3f)", aucActive, aucPlain)
+	}
+}

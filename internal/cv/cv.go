@@ -1,0 +1,136 @@
+// Package cv implements the hyperparameter optimization of Section 8.4 of
+// the paper: 5-fold cross-validated selection of PRIM's peeling fraction
+// α from the grid {0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2} and of the
+// input-subset size m from {M − k⌈M/6⌉} for PRIM-with-bumping and BI.
+package cv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/bi"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/metrics"
+	"github.com/reds-go/reds/internal/prim"
+)
+
+// AlphaGrid is the paper's candidate set for the peeling fraction.
+var AlphaGrid = []float64{0.03, 0.05, 0.07, 0.1, 0.13, 0.16, 0.2}
+
+// MGrid returns the paper's candidate set for the number of restricted
+// inputs: {M - k⌈M/6⌉ : k = 0, 1, ... , k⌈M/6⌉ < M}.
+func MGrid(m int) []int {
+	step := (m + 5) / 6 // ⌈M/6⌉
+	var grid []int
+	for k := 0; ; k++ {
+		v := m - k*step
+		if v <= 0 {
+			break
+		}
+		grid = append(grid, v)
+	}
+	return grid
+}
+
+// Folds is the number of cross-validation folds used throughout (5 in
+// the paper).
+const Folds = 5
+
+// SelectAlpha chooses the peeling fraction maximizing the mean held-out
+// PR AUC of a plain PRIM peel, the "Pc" procedure.
+func SelectAlpha(d *dataset.Dataset, minPoints int, rng *rand.Rand) (float64, error) {
+	folds, err := dataset.KFold(d, folds(d), rng)
+	if err != nil {
+		return AlphaGrid[1], nil // too little data: default α = 0.05
+	}
+	bestAlpha, bestScore := AlphaGrid[0], -1.0
+	for _, alpha := range AlphaGrid {
+		score := 0.0
+		for _, f := range folds {
+			p := &prim.Peeler{Alpha: alpha, MinPoints: minPoints}
+			res, err := p.Discover(f.Train, f.Train, rng)
+			if err != nil {
+				return 0, fmt.Errorf("cv: alpha %g: %w", alpha, err)
+			}
+			score += metrics.ResultPRAUC(res, f.Test)
+		}
+		score /= float64(len(folds))
+		if score > bestScore {
+			bestScore, bestAlpha = score, alpha
+		}
+	}
+	return bestAlpha, nil
+}
+
+// SelectMBumping chooses the input-subset size for PRIM with bumping
+// ("PBc"): α is selected first with plain PRIM (per Section 8.4.1), then
+// m maximizes the held-out PR AUC of the bumping ensemble with a reduced
+// repetition count to keep the search affordable.
+func SelectMBumping(d *dataset.Dataset, alpha float64, minPoints, q int, rng *rand.Rand) (int, error) {
+	grid := MGrid(d.M())
+	if len(grid) == 1 {
+		return grid[0], nil
+	}
+	folds, err := dataset.KFold(d, folds(d), rng)
+	if err != nil {
+		return grid[0], nil
+	}
+	if q > 10 {
+		q = 10 // cheaper inner search; the final fit uses the full Q
+	}
+	bestM, bestScore := grid[0], -1.0
+	for _, m := range grid {
+		score := 0.0
+		for _, f := range folds {
+			b := &prim.Bumping{Alpha: alpha, MinPoints: minPoints, Q: q, SubsetSize: m}
+			res, err := b.Discover(f.Train, f.Train, rng)
+			if err != nil {
+				return 0, fmt.Errorf("cv: bumping m=%d: %w", m, err)
+			}
+			score += metrics.ResultPRAUC(res, f.Test)
+		}
+		score /= float64(len(folds))
+		if score > bestScore {
+			bestScore, bestM = score, m
+		}
+	}
+	return bestM, nil
+}
+
+// SelectMBI chooses the depth limit m for BI ("BIc") by held-out WRAcc.
+func SelectMBI(d *dataset.Dataset, beamSize int, rng *rand.Rand) (int, error) {
+	grid := MGrid(d.M())
+	if len(grid) == 1 {
+		return grid[0], nil
+	}
+	folds, err := dataset.KFold(d, folds(d), rng)
+	if err != nil {
+		return grid[0], nil
+	}
+	bestM, bestScore := grid[0], -1.0
+	for _, m := range grid {
+		score := 0.0
+		for _, f := range folds {
+			a := &bi.BI{BeamSize: beamSize, Depth: m}
+			res, err := a.Discover(f.Train, f.Train, rng)
+			if err != nil {
+				return 0, fmt.Errorf("cv: bi m=%d: %w", m, err)
+			}
+			score += metrics.WRAcc(res.Final(), f.Test)
+		}
+		score /= float64(len(folds))
+		if score > bestScore {
+			bestScore, bestM = score, m
+		}
+	}
+	return bestM, nil
+}
+
+// folds returns the fold count, degrading gracefully for tiny datasets.
+func folds(d *dataset.Dataset) int {
+	k := Folds
+	if d.N() < 2*k {
+		k = 2
+	}
+	return k
+}

@@ -1,0 +1,101 @@
+package cv
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/sample"
+)
+
+func TestMGrid(t *testing.T) {
+	cases := []struct {
+		m    int
+		want []int
+	}{
+		{20, []int{20, 16, 12, 8, 4}}, // ⌈20/6⌉ = 4
+		{5, []int{5, 4, 3, 2, 1}},     // ⌈5/6⌉ = 1
+		{12, []int{12, 10, 8, 6, 4, 2}},
+		{3, []int{3, 2, 1}},
+	}
+	for _, c := range cases {
+		got := MGrid(c.m)
+		if len(got) != len(c.want) {
+			t.Errorf("MGrid(%d) = %v, want %v", c.m, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("MGrid(%d) = %v, want %v", c.m, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSelectAlphaReturnsGridValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := funcs.Generate(funcs.F2, 150, sample.LatinHypercube{}, rng)
+	alpha, err := SelectAlpha(d, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range AlphaGrid {
+		if a == alpha {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("alpha %g not in grid", alpha)
+	}
+}
+
+func TestSelectAlphaTinyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := funcs.Generate(funcs.Hart3, 3, sample.LatinHypercube{}, rng)
+	alpha, err := SelectAlpha(d, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range AlphaGrid {
+		if a == alpha {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tiny-data alpha %g not in grid", alpha)
+	}
+}
+
+func TestSelectMBumping(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := funcs.Generate(funcs.F2, 120, sample.LatinHypercube{}, rng)
+	m, err := SelectMBumping(d, 0.05, 20, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := MGrid(d.M())
+	found := false
+	for _, g := range grid {
+		if g == m {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("m=%d not in grid %v", m, grid)
+	}
+}
+
+func TestSelectMBI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := funcs.Generate(funcs.F2, 120, sample.LatinHypercube{}, rng)
+	m, err := SelectMBI(d, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 1 || m > d.M() {
+		t.Errorf("m=%d out of range", m)
+	}
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row a0..a(M-1),y.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	m := d.M()
+	header := make([]string, m+1)
+	for j := 0; j < m; j++ {
+		header[j] = fmt.Sprintf("a%d", j)
+	}
+	header[m] = "y"
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, m+1)
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[m] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any CSV whose last
+// column is the label). A first row that fails to parse as numbers is
+// treated as a header and skipped.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv")
+	}
+	start := 0
+	if _, err := strconv.ParseFloat(records[0][0], 64); err != nil {
+		start = 1 // header row
+	}
+	if start >= len(records) {
+		return nil, fmt.Errorf("dataset: csv has only a header")
+	}
+	cols := len(records[start])
+	if cols < 2 {
+		return nil, fmt.Errorf("dataset: csv needs at least one input and one label column")
+	}
+	var x [][]float64
+	var y []float64
+	for line := start; line < len(records); line++ {
+		rec := records[line]
+		if len(rec) != cols {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", line+1, len(rec), cols)
+		}
+		row := make([]float64, cols-1)
+		for j := 0; j < cols-1; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", line+1, j+1, err)
+			}
+			row[j] = v
+		}
+		label, err := strconv.ParseFloat(rec[cols-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d label: %w", line+1, err)
+		}
+		x = append(x, row)
+		y = append(y, label)
+	}
+	return New(x, y)
+}

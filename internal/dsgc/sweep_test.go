@@ -1,0 +1,40 @@
+package dsgc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/sample"
+)
+
+// TestSweepGamma is a development aid: it reports the unstable share for
+// several feedback-gain ranges so the default can be calibrated to the
+// paper's 53.7%. It only logs; assertions live in TestShareRoughlyBalanced.
+func TestSweepGamma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	rng := rand.New(rand.NewSource(5))
+	pts := sample.Halton{}.Sample(400, 12, rng)
+	for _, gmax := range []float64{0.2, 0.3, 0.45, 0.6, 0.95} {
+		unstable := 0
+		for _, x := range pts {
+			var pr params
+			for j := 0; j < nodes; j++ {
+				pr.tau[j] = 0.5 + x[j]*9.5
+				pr.g[j] = 0.05 + x[4+j]*(gmax-0.05)
+			}
+			sum := 0.0
+			for j := 1; j < nodes; j++ {
+				pr.p[j] = -0.3 - x[7+j]*1.2
+				sum += pr.p[j]
+			}
+			pr.p[0] = -sum
+			pr.k = 6 + x[11]*6
+			if simulate(pr) < 0 {
+				unstable++
+			}
+		}
+		t.Logf("gmax=%.2f unstable share %.3f", gmax, float64(unstable)/400)
+	}
+}

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/sample"
+)
+
+// Fig14Result holds the semi-supervised experiment of Section 9.4: all
+// inputs drawn i.i.d. from a logit-normal distribution instead of the
+// uniform one.
+type Fig14Result struct {
+	Suite *Suite
+	N     int
+	Kept  []string
+}
+
+// Fig14 re-runs the headline comparison with logit-normal(0, 1) inputs,
+// keeping only functions whose positive share stays above 5% under the
+// new p(x), as the paper does.
+func Fig14(cfg Config) (*Fig14Result, error) {
+	smp := sample.LogitNormal{Mu: 0, Sigma: 1}
+	var kept []string
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, name := range cfg.Funcs {
+		if name == "dsgc" {
+			continue // dsgc uses its own Halton design in the paper
+		}
+		f, err := Function(name)
+		if err != nil {
+			return nil, err
+		}
+		share := shareUnder(f, smp, 3000, rng)
+		if share > 0.05 {
+			kept = append(kept, name)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("experiment: no functions keep share > 5%% under logit-normal inputs")
+	}
+	sub := cfg
+	sub.Funcs = kept
+	n := midN(cfg.Ns)
+	suite, err := runSuite(sub, []string{"Pc", "PBc", "RPx", "BI", "BIc", "RBIcxp"},
+		[]int{n}, smp, false, smp)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig14Result{Suite: suite, N: n, Kept: kept}, nil
+}
+
+// shareUnder Monte-Carlo-estimates E[y] under the sampler's p(x).
+func shareUnder(f funcs.Function, smp sample.Sampler, n int, rng *rand.Rand) float64 {
+	pts := smp.Sample(n, f.Dim(), rng)
+	s := 0.0
+	for _, x := range pts {
+		s += funcs.Label(f, x, rng)
+	}
+	return s / float64(n)
+}
+
+// Render prints the Figure 14 quartile summaries.
+func (r *Fig14Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 14: semi-supervised setting (logit-normal inputs) — change in %% vs \"Pc\"/\"BIc\", N=%d\n", r.N)
+	fmt.Fprintf(w, "functions kept (share > 5%%): %v\n", r.Kept)
+	fmt.Fprintln(w, "\n  PR AUC (vs Pc):")
+	for _, m := range []string{"PBc", "RPx"} {
+		fmt.Fprintf(w, "    %-6s %s\n", m, quartileRow(r.Suite.pctChanges(r.N, m, "Pc", cellMean(MetricPRAUC))))
+	}
+	fmt.Fprintln(w, "\n  precision (vs Pc):")
+	for _, m := range []string{"PBc", "RPx"} {
+		fmt.Fprintf(w, "    %-6s %s\n", m, quartileRow(r.Suite.pctChanges(r.N, m, "Pc", cellMean(MetricPrecision))))
+	}
+	fmt.Fprintln(w, "\n  WRAcc (vs BIc):")
+	for _, m := range []string{"BI", "RBIcxp"} {
+		fmt.Fprintf(w, "    %-6s %s\n", m, quartileRow(r.Suite.pctChanges(r.N, m, "BIc", cellMean(MetricWRAcc))))
+	}
+}

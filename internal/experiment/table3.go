@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/reds-go/reds/internal/stats"
+)
+
+// Table3Methods are the PRIM-based procedures compared in Table 3 and
+// Figure 7 of the paper.
+var Table3Methods = []string{"P", "Pc", "PB", "PBc", "RPf", "RPx", "RPs"}
+
+// Table3Result holds the suite behind Table 3 (a)-(e) and Figure 7.
+type Table3Result struct {
+	Suite   *Suite
+	Methods []string
+}
+
+// Table3 runs the PRIM-based comparison across all configured functions
+// and training sizes.
+func Table3(cfg Config) (*Table3Result, error) {
+	suite, err := runSuite(cfg, Table3Methods, cfg.Ns, nil, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{Suite: suite, Methods: Table3Methods}, nil
+}
+
+// panel describes one sub-table of Table 3/4: a caption plus a per-cell
+// aggregate.
+type panel struct {
+	caption string
+	agg     func(*CellResult, string) float64
+}
+
+func primPanels() []panel {
+	return []panel{
+		{"(a) Average PR AUC (x100)", scaled(cellMean(MetricPRAUC), 100)},
+		{"(b) Average precision (x100)", scaled(cellMean(MetricPrecision), 100)},
+		{"(c) Average consistency (x100)", scaled(cellConsistency(), 100)},
+		{"(d) Average number of restricted inputs", cellMean(MetricRestricted)},
+		{"(e) Average number of irrelevantly restricted inputs", cellMean(MetricIrrel)},
+	}
+}
+
+func scaled(agg func(*CellResult, string) float64, k float64) func(*CellResult, string) float64 {
+	return func(c *CellResult, m string) float64 { return k * agg(c, m) }
+}
+
+// Render writes the five panels, the morris N=800 row when available,
+// and the significance analysis of Section 9.1.1.
+func (t *Table3Result) Render(w io.Writer) {
+	renderPanels(w, "Table 3: Quality of PRIM-based methods, all functions", t.Suite, t.Methods, primPanels())
+
+	// Headline significance test: RPx vs Pc on PR AUC at the middle N.
+	n := midN(t.Suite.Ns)
+	matrix := t.Suite.perRunMatrix(n, []string{"RPx", "Pc"}, cellMean(MetricPRAUC))
+	if len(matrix) >= 2 {
+		p := stats.FriedmanPostHoc(matrix, 0, 1)
+		fmt.Fprintf(w, "\nPost-hoc RPx vs Pc on PR AUC (N=%d): p = %.4g (paper: <= 1e-3)\n", n, p)
+	}
+	rho := t.Suite.spearmanDimVsImprovement(n, "RPx", "Pc", cellMean(MetricPRAUC))
+	fmt.Fprintf(w, "Spearman(M, PR AUC gain of RPx over Pc) at N=%d: %.2f (paper: 0.74)\n", n, rho)
+}
+
+// RenderFig7 writes the Figure 7 quartile summaries: per-function
+// percentage change relative to Pc at N = 400 (or the middle configured
+// N).
+func (t *Table3Result) RenderFig7(w io.Writer) {
+	n := midN(t.Suite.Ns)
+	fmt.Fprintf(w, "Figure 7: quality change in %% relative to \"Pc\", N=%d\n", n)
+	fmt.Fprintf(w, "(median [Q1, Q3] across functions)\n")
+	metricsList := []struct {
+		name string
+		agg  func(*CellResult, string) float64
+	}{
+		{"PR AUC", cellMean(MetricPRAUC)},
+		{"precision", cellMean(MetricPrecision)},
+		{"consistency", cellConsistency()},
+		{"# restricted", cellMean(MetricRestricted)},
+	}
+	for _, m := range metricsList {
+		fmt.Fprintf(w, "\n  %s:\n", m.name)
+		for _, method := range []string{"P", "PB", "PBc", "RPf", "RPx", "RPs"} {
+			changes := t.Suite.pctChanges(n, method, "Pc", m.agg)
+			fmt.Fprintf(w, "    %-5s %s\n", method, quartileRow(changes))
+		}
+	}
+}
+
+// renderPanels renders the shared (a)-(e) layout of Tables 3 and 4.
+func renderPanels(w io.Writer, title string, suite *Suite, methodNames []string, panels []panel) {
+	fmt.Fprintln(w, title)
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n%s\n", p.caption)
+		fmt.Fprintf(w, "%-8s", "N")
+		for _, m := range methodNames {
+			fmt.Fprintf(w, "  %8s", m)
+		}
+		fmt.Fprintln(w)
+		for _, n := range suite.Ns {
+			fmt.Fprintf(w, "%-8d", n)
+			for _, m := range methodNames {
+				v := suite.avgOver(n, func(c *CellResult) float64 { return p.agg(c, m) })
+				fmt.Fprintf(w, "  %8.2f", v)
+			}
+			fmt.Fprintln(w)
+		}
+		// The paper's extra "mor800" row: morris alone at N = 800.
+		if cell, ok := suite.Cells["morris"]; ok {
+			if c800, ok := cell[800]; ok {
+				fmt.Fprintf(w, "%-8s", "mor800")
+				for _, m := range methodNames {
+					fmt.Fprintf(w, "  %8.2f", p.agg(c800, m))
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+}
+
+// midN picks N = 400 when configured, otherwise the middle entry.
+func midN(ns []int) int {
+	for _, n := range ns {
+		if n == 400 {
+			return 400
+		}
+	}
+	return ns[len(ns)/2]
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/reds-go/reds/internal/stats"
+)
+
+// Table4Methods are the BI-based procedures compared in Table 4 and
+// Figure 8 of the paper.
+var Table4Methods = []string{"BI", "BIc", "BI5", "RBIcfp", "RBIcxp"}
+
+// Table4Result holds the suite behind Table 4 (a)-(d) and Figure 8.
+type Table4Result struct {
+	Suite   *Suite
+	Methods []string
+}
+
+// Table4 runs the BI-based comparison.
+func Table4(cfg Config) (*Table4Result, error) {
+	suite, err := runSuite(cfg, Table4Methods, cfg.Ns, nil, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{Suite: suite, Methods: Table4Methods}, nil
+}
+
+func biPanels() []panel {
+	return []panel{
+		{"(a) Average WRAcc (x100)", scaled(cellMean(MetricWRAcc), 100)},
+		{"(b) Average consistency (x100)", scaled(cellConsistency(), 100)},
+		{"(c) Average number of restricted inputs", cellMean(MetricRestricted)},
+		{"(d) Average number of irrelevantly restricted inputs", cellMean(MetricIrrel)},
+	}
+}
+
+// Render writes the four panels plus the significance analysis.
+func (t *Table4Result) Render(w io.Writer) {
+	renderPanels(w, "Table 4: Quality of BI-based methods, all functions", t.Suite, t.Methods, biPanels())
+
+	n := midN(t.Suite.Ns)
+	matrix := t.Suite.perRunMatrix(n, []string{"RBIcxp", "BIc"}, cellMean(MetricWRAcc))
+	if len(matrix) >= 2 {
+		p := stats.FriedmanPostHoc(matrix, 0, 1)
+		fmt.Fprintf(w, "\nPost-hoc RBIcxp vs BIc on WRAcc (N=%d): p = %.4g (paper: 1e-3)\n", n, p)
+	}
+	rho := t.Suite.spearmanDimVsImprovement(n, "RBIcxp", "BIc", cellMean(MetricWRAcc))
+	fmt.Fprintf(w, "Spearman(M, WRAcc gain of RBIcxp over BIc) at N=%d: %.2f (paper: 0.77)\n", n, rho)
+}
+
+// RenderFig8 writes the Figure 8 quartile summaries: percentage change
+// relative to BIc.
+func (t *Table4Result) RenderFig8(w io.Writer) {
+	n := midN(t.Suite.Ns)
+	fmt.Fprintf(w, "Figure 8: quality change in %% relative to \"BIc\", N=%d\n", n)
+	fmt.Fprintf(w, "(median [Q1, Q3] across functions)\n")
+	metricsList := []struct {
+		name string
+		agg  func(*CellResult, string) float64
+	}{
+		{"WRAcc", cellMean(MetricWRAcc)},
+		{"consistency", cellConsistency()},
+		{"# restricted", cellMean(MetricRestricted)},
+	}
+	for _, m := range metricsList {
+		fmt.Fprintf(w, "\n  %s:\n", m.name)
+		for _, method := range []string{"BI", "RBIcxp"} {
+			changes := t.Suite.pctChanges(n, method, "BIc", m.agg)
+			fmt.Fprintf(w, "    %-7s %s\n", method, quartileRow(changes))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package funcs
+
+// This file provides the stochastic classification functions standing in
+// for functions 1-8 and 102 of Dalal et al. 2013 (Table 1 rows 1-9). The
+// originals are "noisy functions representing stochastic simulations" with
+// five inputs, two of which matter (nine of fifteen for #102). Each
+// stand-in defines P(y=1|x) directly: a geometric region over the relevant
+// inputs with high inside-probability and a small outside-probability, so
+// labels are noisy on both sides of the boundary. Region shapes are
+// deliberately diverse (half-plane, band, disk, triangle, ellipse,
+// L-shape, diagonal band, two boxes, high-dimensional box complement) and
+// inside/outside probabilities are calibrated to the Table 1 share column.
+
+// dalal builds a 5-input stochastic function with two relevant inputs.
+func dalal(name string, prob func(a, b float64) float64) Function {
+	return register(&fn{
+		name: name, dim: 5, relevant: relevantFirst(2, 5),
+		stochastic: true, thr: nan(),
+		eval: func(x []float64) float64 { return prob(x[0], x[1]) },
+	})
+}
+
+func nan() float64 { return nanValue }
+
+var nanValue = func() float64 {
+	var z float64
+	return z / z
+}()
+
+// F1: soft half-plane a+b < 1 with a linear transition zone. Share ~47.6%.
+var F1 = dalal("f1", func(a, b float64) float64 {
+	s := a + b
+	switch {
+	case s < 0.95:
+		return 0.95
+	case s > 1.05:
+		return 0.05
+	default:
+		return 0.95 - 9*(s-0.95) // ramps 0.95 -> 0.05 over [0.95, 1.05]
+	}
+})
+
+// F2: vertical band with a ceiling. Share ~25.7%.
+var F2 = dalal("f2", func(a, b float64) float64 {
+	if a > 0.3 && a < 0.7 && b < 0.6 {
+		return 0.9
+	}
+	return 0.05
+})
+
+// F3: small disk. Share ~8.2%.
+var F3 = dalal("f3", func(a, b float64) float64 {
+	d := (a-0.5)*(a-0.5) + (b-0.5)*(b-0.5)
+	if d < 0.18*0.18 {
+		return 0.8
+	}
+	return 0.005
+})
+
+// F4: lower-left triangle. Share ~18%.
+var F4 = dalal("f4", func(a, b float64) float64 {
+	if a+b < 0.62 {
+		return 0.9
+	}
+	return 0.005
+})
+
+// F5: flat ellipse. Share ~8%.
+var F5 = dalal("f5", func(a, b float64) float64 {
+	da := (a - 0.5) / 0.3
+	db := (b - 0.5) / 0.12
+	if da*da+db*db < 1 {
+		return 0.7
+	}
+	return 0.001
+})
+
+// F6: L-shaped region with low purity. Share ~8.1%.
+var F6 = dalal("f6", func(a, b float64) float64 {
+	if (a < 0.2 && b < 0.5) || (a < 0.5 && b < 0.2) {
+		return 0.5
+	}
+	return 0.001
+})
+
+// F7: diagonal band. Share ~35%.
+var F7 = dalal("f7", func(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d < 0.28 {
+		return 0.7
+	}
+	return 0.02
+})
+
+// F8: two disjoint boxes. Share ~10.9%.
+var F8 = dalal("f8", func(a, b float64) float64 {
+	in1 := a >= 0.05 && a <= 0.3 && b >= 0.6 && b <= 0.95
+	in2 := a >= 0.55 && a <= 0.9 && b >= 0.1 && b <= 0.35
+	if in1 || in2 {
+		return 0.65
+	}
+	return 0.005
+})
+
+// F102: fifteen inputs, nine relevant; the interesting region is the
+// complement of a nine-dimensional box, so most of the space is
+// interesting (share ~67.2%).
+var F102 = register(&fn{
+	name: "f102", dim: 15, relevant: relevantFirst(9, 15),
+	stochastic: true, thr: nanValue,
+	eval: func(x []float64) float64 {
+		inside := true
+		for j := 0; j < 9; j++ {
+			if x[j] <= 0.25 {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return 0.03
+		}
+		return 0.72
+	},
+})

@@ -1,0 +1,276 @@
+package funcs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/sample"
+)
+
+func TestRegistryCoversTable1(t *testing.T) {
+	for _, m := range Table1 {
+		f, err := Get(m.Name)
+		if err != nil {
+			t.Errorf("missing function %q", m.Name)
+			continue
+		}
+		if f.Dim() != m.M {
+			t.Errorf("%s: Dim = %d, want %d", m.Name, f.Dim(), m.M)
+		}
+		rel := 0
+		for _, r := range f.Relevant() {
+			if r {
+				rel++
+			}
+		}
+		if rel != m.I {
+			t.Errorf("%s: relevant inputs = %d, want %d", m.Name, rel, m.I)
+		}
+		if len(f.Relevant()) != f.Dim() {
+			t.Errorf("%s: relevance mask length %d != dim %d", m.Name, len(f.Relevant()), f.Dim())
+		}
+	}
+	if len(Table1) != 32 {
+		t.Errorf("Table1 has %d analytic rows, want 32", len(Table1))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-function"); err == nil {
+		t.Error("Get must fail for unknown names")
+	}
+}
+
+// TestSharesMatchTable1 Monte-Carlo-estimates the positive share of every
+// function and compares it with the paper's share column. Verified
+// formulas must land close; stand-ins get a wider band (they were
+// calibrated, not copied).
+func TestSharesMatchTable1(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range Table1 {
+		f, err := Get(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 100 * Share(f, 20000, rng)
+		tol := 6.0
+		if !m.Exact {
+			tol = 9.0
+		}
+		if math.Abs(got-m.SharePct) > tol {
+			t.Errorf("%s: share = %.1f%%, want %.1f%% (±%.0f)", m.Name, got, m.SharePct, tol)
+		}
+	}
+}
+
+func TestDeterministicFunctionsAreDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range All() {
+		if f.Stochastic() {
+			continue
+		}
+		x := make([]float64, f.Dim())
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		if f.Eval(x) != f.Eval(x) {
+			t.Errorf("%s: Eval not deterministic", f.Name())
+		}
+		// Deterministic labels must not depend on the RNG.
+		l1 := Label(f, x, rand.New(rand.NewSource(1)))
+		l2 := Label(f, x, rand.New(rand.NewSource(99)))
+		if l1 != l2 {
+			t.Errorf("%s: deterministic label depends on RNG", f.Name())
+		}
+	}
+}
+
+func TestStochasticEvalIsProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, f := range All() {
+		if !f.Stochastic() {
+			continue
+		}
+		if !math.IsNaN(f.Threshold()) {
+			t.Errorf("%s: stochastic function should have NaN threshold", f.Name())
+		}
+		for i := 0; i < 200; i++ {
+			x := make([]float64, f.Dim())
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			p := f.Eval(x)
+			if p < 0 || p > 1 {
+				t.Fatalf("%s: Eval(%v) = %g not a probability", f.Name(), x, p)
+			}
+			if got := Prob(f, x); got != p {
+				t.Fatalf("%s: Prob != Eval for stochastic function", f.Name())
+			}
+		}
+	}
+}
+
+func TestProbMatchesLabelForDeterministic(t *testing.T) {
+	f := Borehole
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		x := make([]float64, f.Dim())
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		p := Prob(f, x)
+		l := Label(f, x, rng)
+		if p != l {
+			t.Fatalf("Prob = %g but Label = %g at %v", p, l, x)
+		}
+	}
+}
+
+func TestIrrelevantInputsHaveNoEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, f := range All() {
+		rel := f.Relevant()
+		x := make([]float64, f.Dim())
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		base := f.Eval(x)
+		for j, r := range rel {
+			if r {
+				continue
+			}
+			old := x[j]
+			x[j] = rng.Float64()
+			if got := f.Eval(x); got != base {
+				t.Errorf("%s: irrelevant input %d changed output %g -> %g", f.Name(), j, base, got)
+			}
+			x[j] = old
+		}
+	}
+}
+
+func TestRelevantInputsHaveEffect(t *testing.T) {
+	// Probing at several base points: a relevant input must change the
+	// output somewhere.
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range All() {
+		rel := f.Relevant()
+		for j, r := range rel {
+			if !r {
+				continue
+			}
+			changed := false
+			// Structured probes catch box-shaped regions where random
+			// probing rarely crosses the boundary.
+			for _, base := range []float64{0.5, 0.15, 0.85} {
+				x := make([]float64, f.Dim())
+				for k := range x {
+					x[k] = base
+				}
+				v0 := f.Eval(x)
+				for _, alt := range []float64{0.02, 0.98} {
+					x[j] = alt
+					if f.Eval(x) != v0 {
+						changed = true
+					}
+				}
+				if changed {
+					break
+				}
+			}
+			for trial := 0; trial < 100 && !changed; trial++ {
+				x := make([]float64, f.Dim())
+				for k := range x {
+					x[k] = rng.Float64()
+				}
+				base := f.Eval(x)
+				x[j] = rng.Float64()
+				if f.Eval(x) != base {
+					changed = true
+				}
+			}
+			if !changed {
+				t.Errorf("%s: input %d marked relevant but no effect found", f.Name(), j)
+			}
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := Generate(Borehole, 128, sample.LatinHypercube{}, rng)
+	if d.N() != 128 || d.M() != 8 {
+		t.Fatalf("shape %dx%d", d.N(), d.M())
+	}
+	for _, y := range d.Y {
+		if y != 0 && y != 1 {
+			t.Fatalf("label %g not binary", y)
+		}
+	}
+	if s := d.PositiveShare(); s == 0 || s == 1 {
+		t.Errorf("degenerate share %g", s)
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// Sobol g-function at the center: |4*0.5-2| = 0 so every factor is
+	// a/(1+a); for a=0 the factor is 0, hence f = 0.
+	x := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	if v := Sobol.Eval(x); v != 0 {
+		t.Errorf("sobol center = %g, want 0", v)
+	}
+	// Ishigami at the center (all native inputs 0): f = 0.
+	if v := Ishigami.Eval([]float64{0.5, 0.5, 0.5}); math.Abs(v) > 1e-12 {
+		t.Errorf("ishigami center = %g, want 0", v)
+	}
+	// Morris at the all-0.5 point: w = 0 for the linear dims, small for
+	// dims 3,5,7 (w = 2(1.1*0.5/0.6 - 0.5) = 5/6).
+	v := Morris.Eval(func() []float64 {
+		x := make([]float64, 20)
+		for i := range x {
+			x[i] = 0.5
+		}
+		return x
+	}())
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("morris center not finite: %g", v)
+	}
+	// Hartmann-3 is negative everywhere (negated sum of positives).
+	if v := Hart3.Eval([]float64{0.1, 0.2, 0.3}); v >= 0 {
+		t.Errorf("hart3 = %g, want negative", v)
+	}
+	// Borehole output is positive.
+	xb := make([]float64, 8)
+	for i := range xb {
+		xb[i] = 0.5
+	}
+	if v := Borehole.Eval(xb); v <= 0 {
+		t.Errorf("borehole = %g, want positive", v)
+	}
+}
+
+func TestGaussInvClipping(t *testing.T) {
+	if v := gaussInv(0); v != -3.5 {
+		t.Errorf("gaussInv(0) = %g", v)
+	}
+	if v := gaussInv(1); v != 3.5 {
+		t.Errorf("gaussInv(1) = %g", v)
+	}
+	if v := gaussInv(0.5); math.Abs(v) > 1e-12 {
+		t.Errorf("gaussInv(0.5) = %g, want 0", v)
+	}
+	// Monotone.
+	if !(gaussInv(0.2) < gaussInv(0.4) && gaussInv(0.4) < gaussInv(0.8)) {
+		t.Error("gaussInv not monotone")
+	}
+}
+
+func TestEvalPanicsOnWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval with wrong dim must panic")
+		}
+	}()
+	Borehole.Eval([]float64{0.5})
+}

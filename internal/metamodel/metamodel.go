@@ -1,0 +1,149 @@
+// Package metamodel defines the interface between REDS and its
+// intermediate machine-learning models ("AM" in Algorithm 4 of the paper),
+// plus a grid-search cross-validation tuner standing in for the caret
+// hyperparameter-optimization the paper uses.
+package metamodel
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/reds-go/reds/internal/dataset"
+)
+
+// Model is a trained metamodel f_am.
+type Model interface {
+	// PredictProb returns the estimated P(y=1|x), in [0,1].
+	PredictProb(x []float64) float64
+	// PredictLabel returns the hard 0/1 label, i.e. I(f_am(x) > bnd) with
+	// the model's native decision boundary.
+	PredictLabel(x []float64) float64
+}
+
+// Trainer fits a Model to a dataset. Implementations must be deterministic
+// given the RNG.
+type Trainer interface {
+	// Name identifies the metamodel family ("rf", "xgb", "svm").
+	Name() string
+	// Train fits the model.
+	Train(d *dataset.Dataset, rng *rand.Rand) (Model, error)
+}
+
+// PredictProbBatch evaluates PredictProb on every point, parallelized
+// across GOMAXPROCS workers. REDS labels 10^4-10^5 points per run, which
+// makes this the hot path of the whole pipeline.
+func PredictProbBatch(m Model, pts [][]float64) []float64 {
+	return batch(pts, m.PredictProb)
+}
+
+// PredictLabelBatch evaluates PredictLabel on every point in parallel.
+func PredictLabelBatch(m Model, pts [][]float64) []float64 {
+	return batch(pts, m.PredictLabel)
+}
+
+func batch(pts [][]float64, f func([]float64) float64) []float64 {
+	out := make([]float64, len(pts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers <= 1 {
+		for i, x := range pts {
+			out[i] = f(x)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = f(pts[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Accuracy returns the share of points whose hard prediction matches the
+// binary label.
+func Accuracy(m Model, d *dataset.Dataset) float64 {
+	if d.N() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range d.X {
+		pred := m.PredictLabel(x)
+		want := 0.0
+		if d.Y[i] >= 0.5 {
+			want = 1
+		}
+		if pred == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.N())
+}
+
+// Tuned wraps a parameterized trainer family with k-fold cross-validated
+// grid search, standing in for the default caret tuning of Section 8.4.3.
+type Tuned struct {
+	// Family names the underlying metamodel.
+	Family string
+	// Grid enumerates candidate trainers.
+	Grid []Trainer
+	// Folds is the number of CV folds (default 3).
+	Folds int
+}
+
+// Name implements Trainer.
+func (t *Tuned) Name() string { return t.Family }
+
+// Train implements Trainer: it picks the grid entry with the best CV
+// accuracy and refits it on the full data.
+func (t *Tuned) Train(d *dataset.Dataset, rng *rand.Rand) (Model, error) {
+	if len(t.Grid) == 0 {
+		return nil, fmt.Errorf("metamodel: empty tuning grid for %s", t.Family)
+	}
+	if len(t.Grid) == 1 {
+		return t.Grid[0].Train(d, rng)
+	}
+	folds := t.Folds
+	if folds == 0 {
+		folds = 3
+	}
+	kf, err := dataset.KFold(d, folds, rng)
+	if err != nil {
+		// Too little data to cross-validate: fall back to the first entry.
+		return t.Grid[0].Train(d, rng)
+	}
+	best, bestAcc := 0, -1.0
+	for gi, tr := range t.Grid {
+		acc := 0.0
+		for _, f := range kf {
+			m, err := tr.Train(f.Train, rng)
+			if err != nil {
+				return nil, fmt.Errorf("metamodel: tuning %s: %w", t.Family, err)
+			}
+			acc += Accuracy(m, f.Test)
+		}
+		acc /= float64(len(kf))
+		if acc > bestAcc {
+			bestAcc, best = acc, gi
+		}
+	}
+	return t.Grid[best].Train(d, rng)
+}

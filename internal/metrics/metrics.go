@@ -1,0 +1,200 @@
+// Package metrics implements the scenario quality measures of Section 4
+// of the paper: precision and recall of a box, the PR AUC of a peeling
+// trajectory, WRAcc, the interpretability counts #restricted and #irrel,
+// and the consistency of repeated discoveries.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+// PrecisionRecall evaluates a box on a dataset: precision = n+/n,
+// recall = n+/N+.
+func PrecisionRecall(b *box.Box, d *dataset.Dataset) (precision, recall float64) {
+	st := sd.Compute(b, d)
+	totalPos := 0.0
+	for _, y := range d.Y {
+		totalPos += y
+	}
+	precision = st.Precision()
+	if totalPos > 0 {
+		recall = st.NPos / totalPos
+	}
+	return precision, recall
+}
+
+// WRAcc evaluates the weighted relative accuracy of a box on a dataset.
+func WRAcc(b *box.Box, d *dataset.Dataset) float64 {
+	st := sd.Compute(b, d)
+	n := float64(d.N())
+	if n == 0 || st.N == 0 {
+		return 0
+	}
+	return float64(st.N) / n * (st.Precision() - d.PositiveShare())
+}
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+}
+
+// Trajectory evaluates every box of a result on the given dataset,
+// producing the peeling trajectory in PR coordinates.
+func Trajectory(res *sd.Result, d *dataset.Dataset) []PRPoint {
+	pts := make([]PRPoint, 0, len(res.Steps))
+	for _, s := range res.Steps {
+		p, r := PrecisionRecall(s.Box, d)
+		pts = append(pts, PRPoint{Recall: r, Precision: p})
+	}
+	return pts
+}
+
+// PRAUC returns the area under the piecewise-linear precision-recall
+// curve, integrated over the curve's own recall range (the comparison of
+// figures ABEF vs ACDF in Figure 5 of the paper). Points are sorted by
+// recall first; single-point curves have zero area.
+func PRAUC(pts []PRPoint) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	sorted := append([]PRPoint(nil), pts...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Recall != sorted[b].Recall {
+			return sorted[a].Recall < sorted[b].Recall
+		}
+		return sorted[a].Precision < sorted[b].Precision
+	})
+	auc := 0.0
+	for i := 1; i < len(sorted); i++ {
+		dr := sorted[i].Recall - sorted[i-1].Recall
+		auc += dr * (sorted[i].Precision + sorted[i-1].Precision) / 2
+	}
+	return auc
+}
+
+// ResultPRAUC is shorthand for PRAUC(Trajectory(res, d)).
+func ResultPRAUC(res *sd.Result, d *dataset.Dataset) float64 {
+	return PRAUC(Trajectory(res, d))
+}
+
+// Restricted returns the number of restricted inputs of the box
+// (#restricted in the paper; low is more interpretable).
+func Restricted(b *box.Box) int { return b.Restricted() }
+
+// Irrelevant counts restricted inputs that the ground truth marks as
+// having no influence on the output (#irrel in the paper).
+func Irrelevant(b *box.Box, relevant []bool) int {
+	n := 0
+	for j := range relevant {
+		if b.RestrictedDim(j) && !relevant[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// Domain describes the input space for volume computations: the clip
+// range per dimension (replacing infinite bounds, per Section 4) and,
+// for discrete inputs, the admissible levels.
+type Domain struct {
+	Lo, Hi []float64
+	// Levels[j] is non-nil for discrete inputs; volume factors become
+	// level counts instead of interval lengths.
+	Levels [][]float64
+}
+
+// UnitDomain is the [0,1]^m all-continuous domain.
+func UnitDomain(m int) Domain {
+	lo := make([]float64, m)
+	hi := make([]float64, m)
+	for j := range hi {
+		hi[j] = 1
+	}
+	return Domain{Lo: lo, Hi: hi}
+}
+
+// factor returns the per-dimension volume contribution of [lo, hi].
+func (dom Domain) factor(j int, lo, hi float64) float64 {
+	if lo < dom.Lo[j] {
+		lo = dom.Lo[j]
+	}
+	if hi > dom.Hi[j] {
+		hi = dom.Hi[j]
+	}
+	if dom.Levels != nil && dom.Levels[j] != nil {
+		cnt := 0
+		for _, v := range dom.Levels[j] {
+			if v >= lo && v <= hi {
+				cnt++
+			}
+		}
+		return float64(cnt)
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Volume returns the box volume under the domain.
+func (dom Domain) Volume(b *box.Box) float64 {
+	v := 1.0
+	for j := range b.Lo {
+		v *= dom.factor(j, b.Lo[j], b.Hi[j])
+		if v == 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+// OverlapVolume returns the volume of the intersection of two boxes.
+func (dom Domain) OverlapVolume(a, b *box.Box) float64 {
+	v := 1.0
+	for j := range a.Lo {
+		lo := math.Max(a.Lo[j], b.Lo[j])
+		hi := math.Min(a.Hi[j], b.Hi[j])
+		v *= dom.factor(j, lo, hi)
+		if v == 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+// PairConsistency returns Vo/Vu for two boxes (Definition 2). Two
+// zero-volume boxes count as fully consistent when equal.
+func PairConsistency(a, b *box.Box, dom Domain) float64 {
+	vo := dom.OverlapVolume(a, b)
+	vu := dom.Volume(a) + dom.Volume(b) - vo
+	if vu <= 0 {
+		if a.Equal(b) {
+			return 1
+		}
+		return 0
+	}
+	return vo / vu
+}
+
+// Consistency averages PairConsistency over all unordered pairs of the
+// given boxes, the estimator used in Section 8.5 of the paper. It
+// returns 1 for fewer than two boxes.
+func Consistency(boxes []*box.Box, dom Domain) float64 {
+	if len(boxes) < 2 {
+		return 1
+	}
+	sum, pairs := 0.0, 0
+	for i := 0; i < len(boxes); i++ {
+		for k := i + 1; k < len(boxes); k++ {
+			sum += PairConsistency(boxes[i], boxes[k], dom)
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

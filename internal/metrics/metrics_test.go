@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+func TestPrecisionRecall(t *testing.T) {
+	d := dataset.MustNew(
+		[][]float64{{0.1}, {0.2}, {0.6}, {0.9}},
+		[]float64{1, 1, 1, 0},
+	)
+	b := box.New([]float64{math.Inf(-1)}, []float64{0.3})
+	p, r := PrecisionRecall(b, d)
+	if p != 1 || math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("p=%g r=%g, want 1, 2/3", p, r)
+	}
+	// No positives at all: recall 0 by convention.
+	d0 := dataset.MustNew([][]float64{{0.1}}, []float64{0})
+	if _, r := PrecisionRecall(b, d0); r != 0 {
+		t.Errorf("recall without positives = %g", r)
+	}
+}
+
+func TestWRAccSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, 400)
+	y := make([]float64, 400)
+	for i := range x {
+		x[i] = []float64{rng.Float64()}
+		if x[i][0] < 0.4 {
+			y[i] = 1
+		}
+	}
+	d := dataset.MustNew(x, y)
+	good := box.New([]float64{math.Inf(-1)}, []float64{0.4})
+	bad := box.New([]float64{0.6}, []float64{math.Inf(1)})
+	if WRAcc(good, d) <= 0 {
+		t.Error("pure subgroup must have positive WRAcc")
+	}
+	if WRAcc(bad, d) >= 0 {
+		t.Error("anti-subgroup must have negative WRAcc")
+	}
+	if w := WRAcc(box.Full(1), d); math.Abs(w) > 1e-12 {
+		t.Errorf("full box WRAcc = %g", w)
+	}
+}
+
+func TestPRAUCKnownCurve(t *testing.T) {
+	// Rectangle: precision 1 from recall 0.2 to 1 -> area 0.8.
+	pts := []PRPoint{{0.2, 1}, {1, 1}}
+	if a := PRAUC(pts); math.Abs(a-0.8) > 1e-12 {
+		t.Errorf("AUC = %g, want 0.8", a)
+	}
+	// Triangle: precision rises 0 -> 1 over recall 0 -> 1: area 0.5.
+	pts = []PRPoint{{0, 0}, {1, 1}}
+	if a := PRAUC(pts); math.Abs(a-0.5) > 1e-12 {
+		t.Errorf("AUC = %g, want 0.5", a)
+	}
+	// Order independence.
+	shuffled := []PRPoint{{1, 1}, {0.2, 1}}
+	if PRAUC(shuffled) != 0.8 {
+		t.Error("PRAUC must sort by recall")
+	}
+	if PRAUC(nil) != 0 || PRAUC([]PRPoint{{0.5, 0.5}}) != 0 {
+		t.Error("degenerate curves must have zero area")
+	}
+}
+
+func TestTrajectoryAndResultPRAUC(t *testing.T) {
+	d := dataset.MustNew(
+		[][]float64{{0.1}, {0.3}, {0.6}, {0.9}},
+		[]float64{1, 1, 0, 0},
+	)
+	full := box.Full(1)
+	half := box.New([]float64{math.Inf(-1)}, []float64{0.4})
+	res := &sd.Result{Steps: []sd.Step{{Box: full}, {Box: half}}}
+	pts := Trajectory(res, d)
+	if len(pts) != 2 {
+		t.Fatalf("trajectory has %d points", len(pts))
+	}
+	// Full box: recall 1, precision 0.5. Half box: recall 1, precision 1.
+	auc := ResultPRAUC(res, d)
+	if auc != 0 { // both at recall 1: zero-width area
+		t.Errorf("AUC = %g, want 0 for vertical curve", auc)
+	}
+}
+
+func TestIrrelevant(t *testing.T) {
+	b := box.Full(4)
+	b.Lo[0] = 0.2 // relevant
+	b.Hi[2] = 0.8 // irrelevant
+	b.Lo[3] = 0.1 // irrelevant
+	rel := []bool{true, true, false, false}
+	if got := Irrelevant(b, rel); got != 2 {
+		t.Errorf("Irrelevant = %d, want 2", got)
+	}
+	if got := Irrelevant(box.Full(4), rel); got != 0 {
+		t.Errorf("full box Irrelevant = %d, want 0", got)
+	}
+}
+
+func TestDomainVolumeContinuous(t *testing.T) {
+	dom := UnitDomain(2)
+	b := box.New([]float64{0.25, math.Inf(-1)}, []float64{0.75, 0.5})
+	if v := dom.Volume(b); math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("volume = %g, want 0.25", v)
+	}
+	if v := dom.Volume(box.Full(2)); math.Abs(v-1) > 1e-12 {
+		t.Errorf("full volume = %g, want 1", v)
+	}
+}
+
+func TestDomainVolumeDiscrete(t *testing.T) {
+	levels := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	dom := UnitDomain(2)
+	dom.Levels = [][]float64{nil, levels}
+	b := box.New([]float64{0, 0.25}, []float64{0.5, 0.75})
+	// dim0: length 0.5; dim1: levels {0.3, 0.5, 0.7} -> count 3.
+	if v := dom.Volume(b); math.Abs(v-1.5) > 1e-12 {
+		t.Errorf("mixed volume = %g, want 1.5", v)
+	}
+}
+
+func TestPairConsistency(t *testing.T) {
+	dom := UnitDomain(2)
+	a := box.New([]float64{0, 0}, []float64{0.5, 0.5})
+	if c := PairConsistency(a, a.Clone(), dom); math.Abs(c-1) > 1e-12 {
+		t.Errorf("identical boxes consistency = %g, want 1", c)
+	}
+	b := box.New([]float64{0.5, 0.5}, []float64{1, 1})
+	if c := PairConsistency(a, b, dom); c != 0 {
+		t.Errorf("disjoint consistency = %g, want 0", c)
+	}
+	// Zero-volume unequal boxes.
+	z1 := box.New([]float64{0.5, 0}, []float64{0.5, 1})
+	z2 := box.New([]float64{0.7, 0}, []float64{0.7, 1})
+	if c := PairConsistency(z1, z2, dom); c != 0 {
+		t.Errorf("zero-volume unequal consistency = %g", c)
+	}
+	if c := PairConsistency(z1, z1.Clone(), dom); c != 1 {
+		t.Errorf("zero-volume equal consistency = %g", c)
+	}
+}
+
+func TestConsistencyAggregate(t *testing.T) {
+	dom := UnitDomain(1)
+	a := box.New([]float64{0}, []float64{0.5})
+	if c := Consistency([]*box.Box{a}, dom); c != 1 {
+		t.Errorf("single box consistency = %g, want 1", c)
+	}
+	b := box.New([]float64{0.25}, []float64{0.75})
+	// Vo = 0.25, Vu = 0.75 -> 1/3.
+	if c := Consistency([]*box.Box{a, b}, dom); math.Abs(c-1.0/3) > 1e-12 {
+		t.Errorf("pair consistency = %g, want 1/3", c)
+	}
+}
+
+func TestPropertyConsistencyBounds(t *testing.T) {
+	dom := UnitDomain(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *box.Box {
+			b := box.Full(3)
+			for j := 0; j < 3; j++ {
+				if rng.Float64() < 0.8 {
+					l, h := rng.Float64(), rng.Float64()
+					if l > h {
+						l, h = h, l
+					}
+					b.Lo[j], b.Hi[j] = l, h
+				}
+			}
+			return b
+		}
+		boxes := []*box.Box{mk(), mk(), mk()}
+		c := Consistency(boxes, dom)
+		if c < 0 || c > 1 {
+			return false
+		}
+		// Symmetry of pairs.
+		p1 := PairConsistency(boxes[0], boxes[1], dom)
+		p2 := PairConsistency(boxes[1], boxes[0], dom)
+		return math.Abs(p1-p2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPRAUCBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		pts := make([]PRPoint, n)
+		for i := range pts {
+			pts[i] = PRPoint{Recall: rng.Float64(), Precision: rng.Float64()}
+		}
+		a := PRAUC(pts)
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package pca implements the PCA-PRIM preprocessing of Dalal et al. 2013,
+// which Section 2.1 of the REDS paper lists as compatible with and
+// orthogonal to REDS: rotating the input space along the principal
+// components of the interesting examples lets axis-aligned boxes capture
+// oblique boundaries. The eigen decomposition uses the cyclic Jacobi
+// method (standard library only).
+package pca
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+// Rotation is a fitted orthonormal change of basis x -> C·(x - mean).
+type Rotation struct {
+	Mean       []float64
+	Components [][]float64 // row k = k-th principal axis
+}
+
+// Fit computes the principal axes of the given points. With fewer than
+// two points it returns the identity rotation.
+func Fit(pts [][]float64) (*Rotation, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("pca: no points")
+	}
+	m := len(pts[0])
+	mean := make([]float64, m)
+	for _, x := range pts {
+		for j, v := range x {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(pts))
+	}
+	if len(pts) < 2 {
+		return identity(mean, m), nil
+	}
+	cov := make([][]float64, m)
+	for i := range cov {
+		cov[i] = make([]float64, m)
+	}
+	for _, x := range pts {
+		for i := 0; i < m; i++ {
+			di := x[i] - mean[i]
+			for j := i; j < m; j++ {
+				cov[i][j] += di * (x[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			cov[i][j] /= float64(len(pts) - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vecs := jacobiEigenvectors(cov)
+	return &Rotation{Mean: mean, Components: vecs}, nil
+}
+
+func identity(mean []float64, m int) *Rotation {
+	comp := make([][]float64, m)
+	for i := range comp {
+		comp[i] = make([]float64, m)
+		comp[i][i] = 1
+	}
+	return &Rotation{Mean: mean, Components: comp}
+}
+
+// Transform maps a point into the rotated coordinates.
+func (r *Rotation) Transform(x []float64) []float64 {
+	out := make([]float64, len(r.Components))
+	for k, axis := range r.Components {
+		s := 0.0
+		for j, v := range x {
+			s += axis[j] * (v - r.Mean[j])
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Apply transforms every point of a dataset, keeping the labels.
+func (r *Rotation) Apply(d *dataset.Dataset) *dataset.Dataset {
+	x := make([][]float64, d.N())
+	for i, row := range d.X {
+		x[i] = r.Transform(row)
+	}
+	return &dataset.Dataset{X: x, Y: append([]float64(nil), d.Y...)}
+}
+
+// Result pairs a subgroup-discovery result in rotated coordinates with
+// the rotation needed to interpret or apply it.
+type Result struct {
+	*sd.Result
+	Rotation *Rotation
+}
+
+// Contains reports whether an original-space point falls inside the
+// final rotated box.
+func (r *Result) Contains(x []float64) bool {
+	return r.Final().Contains(r.Rotation.Transform(x))
+}
+
+// Discover runs PCA-PRIM: fit the rotation on the interesting examples
+// (falling back to all examples when fewer than two are interesting),
+// rotate train and validation data, and run the inner algorithm there.
+func Discover(inner sd.Discoverer, train, val *dataset.Dataset, rng *rand.Rand) (*Result, error) {
+	var pos [][]float64
+	for i, y := range train.Y {
+		if y >= 0.5 {
+			pos = append(pos, train.X[i])
+		}
+	}
+	if len(pos) < 2 {
+		pos = train.X
+	}
+	rot, err := Fit(pos)
+	if err != nil {
+		return nil, err
+	}
+	res, err := inner.Discover(rot.Apply(train), rot.Apply(val), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, Rotation: rot}, nil
+}
+
+// jacobiEigenvectors diagonalizes a symmetric matrix with the cyclic
+// Jacobi method and returns the eigenvectors as rows, sorted by
+// decreasing eigenvalue.
+func jacobiEigenvectors(a [][]float64) [][]float64 {
+	m := len(a)
+	// Work on a copy.
+	w := make([][]float64, m)
+	for i := range w {
+		w[i] = append([]float64(nil), a[i]...)
+	}
+	v := make([][]float64, m)
+	for i := range v {
+		v[i] = make([]float64, m)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				off += w[i][j] * w[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < m; p++ {
+			for q := p + 1; q < m; q++ {
+				if math.Abs(w[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (w[q][q] - w[p][p]) / (2 * w[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < m; k++ {
+					wkp, wkq := w[k][p], w[k][q]
+					w[k][p] = c*wkp - s*wkq
+					w[k][q] = s*wkp + c*wkq
+				}
+				for k := 0; k < m; k++ {
+					wpk, wqk := w[p][k], w[q][k]
+					w[p][k] = c*wpk - s*wqk
+					w[q][k] = s*wpk + c*wqk
+				}
+				for k := 0; k < m; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// Column k of v is the k-th eigenvector with eigenvalue w[k][k].
+	type pair struct {
+		val float64
+		vec []float64
+	}
+	pairs := make([]pair, m)
+	for k := 0; k < m; k++ {
+		vec := make([]float64, m)
+		for i := 0; i < m; i++ {
+			vec[i] = v[i][k]
+		}
+		pairs[k] = pair{w[k][k], vec}
+	}
+	for i := 0; i < m; i++ { // selection sort by decreasing eigenvalue
+		best := i
+		for j := i + 1; j < m; j++ {
+			if pairs[j].val > pairs[best].val {
+				best = j
+			}
+		}
+		pairs[i], pairs[best] = pairs[best], pairs[i]
+	}
+	out := make([][]float64, m)
+	for k := range out {
+		out[k] = pairs[k].vec
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/prim"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+func TestFitIdentityForAxisAlignedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 500)
+	for i := range pts {
+		// Dominant variance along x0.
+		pts[i] = []float64{5 * rng.NormFloat64(), rng.NormFloat64()}
+	}
+	rot, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First component should align with x0 (up to sign).
+	if math.Abs(rot.Components[0][0]) < 0.99 {
+		t.Errorf("first axis = %v, want ~(±1, 0)", rot.Components[0])
+	}
+}
+
+func TestRotationOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 300)
+	for i := range pts {
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		pts[i] = []float64{a + b, a - b + 0.5*c, c + 0.2*a}
+	}
+	rot, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(rot.Components)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			dot := 0.0
+			for k := 0; k < m; k++ {
+				dot += rot.Components[i][k] * rot.Components[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("components not orthonormal: <%d,%d> = %g", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestTransformPreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	rot, _ := Fit(pts)
+	for trial := 0; trial < 50; trial++ {
+		a := pts[rng.Intn(len(pts))]
+		b := pts[rng.Intn(len(pts))]
+		da := dist(a, b)
+		db := dist(rot.Transform(a), rot.Transform(b))
+		if math.Abs(da-db) > 1e-9 {
+			t.Fatalf("rotation changed distance %g -> %g", da, db)
+		}
+	}
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestFitErrorsAndDegenerate(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("empty input must error")
+	}
+	rot, err := Fit([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single point: identity rotation about the point.
+	out := rot.Transform([]float64{1, 2})
+	if math.Abs(out[0]) > 1e-12 || math.Abs(out[1]) > 1e-12 {
+		t.Errorf("single-point transform = %v, want origin", out)
+	}
+}
+
+// obliqueData labels y=1 inside a band that is diagonal in the original
+// coordinates — the worst case for axis-aligned PRIM and the motivating
+// case for PCA-PRIM.
+func obliqueData(n int, rng *rand.Rand) *dataset.Dataset {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		s := x[i][0] + x[i][1]
+		if s > 0.8 && s < 1.2 {
+			y[i] = 1
+		}
+	}
+	return dataset.MustNew(x, y)
+}
+
+func TestPCAPRIMBeatsPlainPRIMOnObliqueBand(t *testing.T) {
+	var plainF1, pcaF1 float64
+	reps := 3
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(int64(rep + 10)))
+		train := obliqueData(600, rng)
+		test := obliqueData(4000, rng)
+
+		plain, err := (&prim.Peeler{}).Discover(train, train, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainF1 += f1OnTest(test, func(x []float64) bool { return plain.Final().Contains(x) })
+
+		rotated, err := Discover(&prim.Peeler{}, train, train, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcaF1 += f1OnTest(test, rotated.Contains)
+	}
+	plainF1 /= float64(reps)
+	pcaF1 /= float64(reps)
+	t.Logf("oblique band F1: plain %.3f, PCA-PRIM %.3f", plainF1, pcaF1)
+	if pcaF1 <= plainF1 {
+		t.Errorf("PCA-PRIM (%.3f) should beat plain PRIM (%.3f) on an oblique band", pcaF1, plainF1)
+	}
+}
+
+func f1OnTest(d *dataset.Dataset, contains func([]float64) bool) float64 {
+	var tp, fp, fn float64
+	for i, x := range d.X {
+		in := contains(x)
+		pos := d.Y[i] >= 0.5
+		switch {
+		case in && pos:
+			tp++
+		case in && !pos:
+			fp++
+		case !in && pos:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	return 2 * tp / (2*tp + fp + fn)
+}
+
+func TestDiscoverReturnsRotatedResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := obliqueData(300, rng)
+	res, err := Discover(&prim.Peeler{}, train, train, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *sd.Result = res.Result
+	if res.Rotation == nil || res.Final() == nil {
+		t.Fatal("incomplete PCA result")
+	}
+	// Contains must agree with manual transform+contains.
+	x := []float64{0.5, 0.55}
+	if res.Contains(x) != res.Final().Contains(res.Rotation.Transform(x)) {
+		t.Error("Contains mismatch")
+	}
+}

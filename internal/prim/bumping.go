@@ -1,0 +1,136 @@
+package prim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+// Bumping is PRIM with bumping (Algorithm 2 of the paper, after Kwakkel &
+// Cunningham 2016): Q peeling runs on bootstrap resamples restricted to
+// random input subsets of size SubsetSize, followed by a Pareto filter on
+// validation precision and recall (Definition 1).
+type Bumping struct {
+	// Alpha and MinPoints configure the inner peeler (defaults 0.05, 20).
+	Alpha     float64
+	MinPoints int
+	// Q is the number of bootstrap repetitions (default 50).
+	Q int
+	// SubsetSize is m, the number of inputs per repetition
+	// (default: all inputs).
+	SubsetSize int
+}
+
+// Discover implements sd.Discoverer.
+func (b *Bumping) Discover(train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("prim: bumping requires an RNG for bootstrapping")
+	}
+	if train.N() == 0 || val.N() == 0 {
+		return nil, fmt.Errorf("prim: empty train or validation data")
+	}
+	q := b.Q
+	if q == 0 {
+		q = 50
+	}
+	m := train.M()
+	subset := b.SubsetSize
+	if subset <= 0 || subset > m {
+		subset = m
+	}
+	peeler := &Peeler{Alpha: b.Alpha, MinPoints: b.MinPoints}
+
+	var boxes []*box.Box
+	for rep := 0; rep < q; rep++ {
+		bs := train.Bootstrap(rng)
+		cols := rng.Perm(m)[:subset]
+		sort.Ints(cols)
+		sub := bs.SelectColumns(cols)
+		res, err := peeler.Discover(sub, sub, rng)
+		if err != nil {
+			return nil, fmt.Errorf("prim: bumping repetition %d: %w", rep, err)
+		}
+		for _, step := range res.Steps {
+			boxes = append(boxes, liftBox(step.Box, cols, m))
+		}
+	}
+
+	// Pareto filter on validation precision and recall.
+	totalPos := 0.0
+	for _, y := range val.Y {
+		totalPos += y
+	}
+	valStats := make([]sd.Stats, len(boxes))
+	qualities := make([][]float64, len(boxes))
+	for i, bx := range boxes {
+		valStats[i] = sd.Compute(bx, val)
+		recall := 0.0
+		if totalPos > 0 {
+			recall = valStats[i].NPos / totalPos
+		}
+		qualities[i] = []float64{valStats[i].Precision(), recall}
+	}
+	front := box.ParetoFront(qualities)
+
+	// Assemble the non-dominated set into a recall-sorted trajectory,
+	// deduplicating identical boxes, so downstream metrics treat it like
+	// a peeling trajectory.
+	sort.Slice(front, func(a, b int) bool {
+		qa, qb := qualities[front[a]], qualities[front[b]]
+		if qa[1] != qb[1] {
+			return qa[1] > qb[1] // recall descending
+		}
+		return qa[0] > qb[0]
+	})
+	res := &sd.Result{}
+	for _, i := range front {
+		bx := boxes[i]
+		dup := false
+		for _, s := range res.Steps {
+			if s.Box.Equal(bx) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		res.Steps = append(res.Steps, sd.Step{
+			Box:   bx,
+			Train: sd.Compute(bx, train),
+			Val:   valStats[i],
+		})
+	}
+	if len(res.Steps) == 0 {
+		full := box.Full(m)
+		res.Steps = append(res.Steps, sd.Step{
+			Box:   full,
+			Train: sd.Compute(full, train),
+			Val:   sd.Compute(full, val),
+		})
+	}
+	res.FinalIndex = selectFinal(res.Steps)
+	return res, nil
+}
+
+// liftBox maps a box over the column subset cols back to the full
+// m-dimensional space, leaving unselected inputs unrestricted.
+func liftBox(sub *box.Box, cols []int, m int) *box.Box {
+	full := box.Full(m)
+	for k, c := range cols {
+		full.Lo[c] = sub.Lo[k]
+		full.Hi[c] = sub.Hi[k]
+	}
+	// Normalize any -0/+0 or NaN-free guarantees: bounds are copied as-is.
+	for j := 0; j < m; j++ {
+		if math.IsNaN(full.Lo[j]) || math.IsNaN(full.Hi[j]) {
+			panic("prim: NaN bound after lift")
+		}
+	}
+	return full
+}

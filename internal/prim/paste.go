@@ -1,0 +1,127 @@
+package prim
+
+import (
+	"math"
+	"sort"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+// pasteLoop implements the pasting phase: starting from the smallest box
+// of the trajectory, it repeatedly re-attaches the α-slab of adjacent
+// points that most increases the train mean, as long as the mean strictly
+// improves. Pasted boxes are appended to the trajectory so the final-box
+// selection considers them too. Section 3.2.1 of the paper notes pasting
+// had negligible effect; it is provided for completeness and off by
+// default.
+func pasteLoop(res *sd.Result, train, val *dataset.Dataset, alpha float64) {
+	cur := res.Steps[len(res.Steps)-1].Box.Clone()
+	for {
+		inIdx := insideIdx(train, cur)
+		if len(inIdx) == 0 {
+			return
+		}
+		curMean := statsOf(train, inIdx).Precision()
+		cand, ok := bestPaste(train, cur, inIdx, alpha)
+		if !ok || cand.mean <= curMean+1e-12 {
+			return
+		}
+		if cand.low {
+			cur.Lo[cand.dim] = cand.bound
+		} else {
+			cur.Hi[cand.dim] = cand.bound
+		}
+		res.Steps = append(res.Steps, sd.Step{
+			Box:   cur.Clone(),
+			Train: sd.Compute(cur, train),
+			Val:   sd.Compute(cur, val),
+		})
+	}
+}
+
+func insideIdx(d *dataset.Dataset, b *box.Box) []int {
+	var idx []int
+	for i, x := range d.X {
+		if b.Contains(x) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+type pasteCand struct {
+	dim   int
+	low   bool
+	bound float64
+	mean  float64
+}
+
+// bestPaste evaluates, per dimension and side, re-adding the k nearest
+// points just outside the box (satisfying all other bounds) and returns
+// the candidate with the highest resulting mean.
+func bestPaste(d *dataset.Dataset, cur *box.Box, inIdx []int, alpha float64) (pasteCand, bool) {
+	n := len(inIdx)
+	k := int(alpha * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	inStats := statsOf(d, inIdx)
+
+	best := pasteCand{mean: math.Inf(-1)}
+	found := false
+	for j := 0; j < d.M(); j++ {
+		for _, low := range []bool{true, false} {
+			var cand []int // points outside only on this side of dim j
+			for i, x := range d.X {
+				v := x[j]
+				outside := (low && v < cur.Lo[j]) || (!low && v > cur.Hi[j])
+				if !outside {
+					continue
+				}
+				if othersContain(cur, x, j) {
+					cand = append(cand, i)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			// Nearest first: descending below Lo, ascending above Hi.
+			if low {
+				sort.Slice(cand, func(a, b int) bool { return d.X[cand[a]][j] > d.X[cand[b]][j] })
+			} else {
+				sort.Slice(cand, func(a, b int) bool { return d.X[cand[a]][j] < d.X[cand[b]][j] })
+			}
+			take := k
+			if take > len(cand) {
+				take = len(cand)
+			}
+			var addSum float64
+			for _, i := range cand[:take] {
+				addSum += d.Y[i]
+			}
+			mean := (inStats.NPos + addSum) / float64(inStats.N+take)
+			if mean > best.mean {
+				edge := d.X[cand[take-1]][j]
+				best = pasteCand{dim: j, low: low, bound: edge, mean: mean}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// othersContain reports whether x satisfies all bounds of b except
+// dimension skip.
+func othersContain(b *box.Box, x []float64, skip int) bool {
+	for j, v := range x {
+		if j == skip {
+			continue
+		}
+		if v < b.Lo[j] || v > b.Hi[j] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,331 @@
+// Package prim implements the Patient Rule Induction Method of Friedman &
+// Fisher 1999 (Algorithm 1 of the paper): iterative peeling of the
+// α-quantile slab with the lowest output mean, optional pasting, and the
+// bumping ensemble variant of Kwakkel & Cunningham 2016 (Algorithm 2).
+package prim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sd"
+)
+
+// Objective selects the target function guiding the peel — Section 2.1
+// of the paper cites alternative objectives (Kwakkel & Jaxa-Rozen 2016)
+// as a REDS-compatible PRIM improvement.
+type Objective int
+
+const (
+	// ObjectiveMean maximizes the mean label of the remaining box, the
+	// original Friedman & Fisher criterion (default).
+	ObjectiveMean Objective = iota
+	// ObjectiveLift maximizes mean·sqrt(n) of the remaining box, a
+	// support-weighted criterion that resists premature drilling into
+	// tiny pure pockets.
+	ObjectiveLift
+)
+
+// Peeler is the peeling phase of PRIM. The zero value uses the paper's
+// defaults: α = 0.05, mp = 20, mean objective.
+type Peeler struct {
+	// Alpha is the peeling fraction (default 0.05).
+	Alpha float64
+	// MinPoints is the support floor mp: peeling stops before the box
+	// would hold fewer than MinPoints train or validation examples
+	// (default 20).
+	MinPoints int
+	// Paste enables the pasting phase after peeling (off by default,
+	// matching Section 3.2.1).
+	Paste bool
+	// Objective selects the peel target function (default ObjectiveMean).
+	Objective Objective
+}
+
+// Discover implements sd.Discoverer. The RNG is unused; peeling is
+// deterministic.
+func (p *Peeler) Discover(train, val *dataset.Dataset, _ *rand.Rand) (*sd.Result, error) {
+	if train.N() == 0 || val.N() == 0 {
+		return nil, fmt.Errorf("prim: empty train or validation data")
+	}
+	if train.M() != val.M() {
+		return nil, fmt.Errorf("prim: train has %d inputs, val has %d", train.M(), val.M())
+	}
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("prim: alpha must be in (0,1), got %g", alpha)
+	}
+	mp := p.MinPoints
+	if mp == 0 {
+		mp = 20
+	}
+
+	m := train.M()
+	cur := box.Full(m)
+	trainIdx := allIndices(train.N())
+	valIdx := allIndices(val.N())
+
+	res := &sd.Result{}
+	res.Steps = append(res.Steps, sd.Step{
+		Box:   cur.Clone(),
+		Train: statsOf(train, trainIdx),
+		Val:   statsOf(val, valIdx),
+	})
+
+	scratch := make([]float64, train.N())
+	for {
+		cand, ok := bestPeel(train, trainIdx, alpha, scratch, p.Objective)
+		if !ok {
+			break
+		}
+		// Apply tentatively to measure the support floor on both sets.
+		newTrainIdx := filterIdx(train, trainIdx, cand.dim, cand.lo, cand.hi)
+		newValIdx := filterIdx(val, valIdx, cand.dim, cand.lo, cand.hi)
+		if len(newTrainIdx) < mp || len(newValIdx) < mp {
+			break
+		}
+		cur.Lo[cand.dim] = math.Max(cur.Lo[cand.dim], cand.lo)
+		cur.Hi[cand.dim] = math.Min(cur.Hi[cand.dim], cand.hi)
+		trainIdx, valIdx = newTrainIdx, newValIdx
+		res.Steps = append(res.Steps, sd.Step{
+			Box:   cur.Clone(),
+			Train: statsOf(train, trainIdx),
+			Val:   statsOf(val, valIdx),
+		})
+	}
+
+	if p.Paste {
+		pasteLoop(res, train, val, alpha)
+	}
+
+	res.FinalIndex = selectFinal(res.Steps)
+	return res, nil
+}
+
+// allIndices returns [0, 1, ..., n-1].
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func statsOf(d *dataset.Dataset, idx []int) sd.Stats {
+	st := sd.Stats{N: len(idx)}
+	for _, i := range idx {
+		st.NPos += d.Y[i]
+	}
+	return st
+}
+
+// filterIdx keeps the indices whose value in dim lies within [lo, hi].
+func filterIdx(d *dataset.Dataset, idx []int, dim int, lo, hi float64) []int {
+	out := idx[:0:0]
+	for _, i := range idx {
+		v := d.X[i][dim]
+		if v >= lo && v <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// peelCand describes a candidate peel: restrict dim to [lo, hi].
+type peelCand struct {
+	dim    int
+	lo, hi float64
+	mean   float64 // objective value of the points remaining after the peel
+	remain int
+}
+
+// bestPeel evaluates the 2M candidate peels (Step 3 of Algorithm 1) and
+// returns the one maximizing the objective. ok is false when no
+// candidate removes at least one but not all points.
+func bestPeel(d *dataset.Dataset, idx []int, alpha float64, scratch []float64, obj Objective) (peelCand, bool) {
+	n := len(idx)
+	if n < 2 {
+		return peelCand{}, false
+	}
+	k := int(alpha * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	var total float64
+	for _, i := range idx {
+		total += d.Y[i]
+	}
+
+	best := peelCand{mean: math.Inf(-1)}
+	found := false
+	for j := 0; j < d.M(); j++ {
+		vals := scratch[:n]
+		for t, i := range idx {
+			vals[t] = d.X[i][j]
+		}
+		// Low-side peel: remove all points with value <= the k-th
+		// smallest (ties removed together so the peel always makes
+		// progress).
+		tLow := kthSmallest(vals, k)
+		if lowCand, ok := evalPeel(d, idx, j, tLow, true, total, n, obj); ok {
+			lowCand.lo, lowCand.hi = boundAfterPeel(d, idx, j, tLow, true), math.Inf(1)
+			if better(lowCand, best) {
+				best, found = lowCand, true
+			}
+		}
+		// High-side peel: remove all points with value >= the k-th
+		// largest.
+		for t, i := range idx {
+			vals[t] = d.X[i][j]
+		}
+		tHigh := kthLargest(vals, k)
+		if highCand, ok := evalPeel(d, idx, j, tHigh, false, total, n, obj); ok {
+			highCand.lo, highCand.hi = math.Inf(-1), boundAfterPeel(d, idx, j, tHigh, false)
+			if better(highCand, best) {
+				best, found = highCand, true
+			}
+		}
+	}
+	return best, found
+}
+
+// better orders candidates by remaining mean, breaking ties in favor of
+// the larger remaining subgroup, then the lower dimension for
+// determinism.
+func better(a, b peelCand) bool {
+	const eps = 1e-12
+	if a.mean > b.mean+eps {
+		return true
+	}
+	if a.mean < b.mean-eps {
+		return false
+	}
+	if a.remain != b.remain {
+		return a.remain > b.remain
+	}
+	return a.dim < b.dim
+}
+
+// evalPeel computes the post-peel objective when removing values <= t
+// (low) or >= t (high) in dim j.
+func evalPeel(d *dataset.Dataset, idx []int, j int, t float64, low bool, total float64, n int, obj Objective) (peelCand, bool) {
+	removed := 0
+	var removedSum float64
+	for _, i := range idx {
+		v := d.X[i][j]
+		if (low && v <= t) || (!low && v >= t) {
+			removed++
+			removedSum += d.Y[i]
+		}
+	}
+	if removed == 0 || removed >= n {
+		return peelCand{}, false
+	}
+	remain := n - removed
+	score := (total - removedSum) / float64(remain)
+	if obj == ObjectiveLift {
+		score *= math.Sqrt(float64(remain))
+	}
+	return peelCand{
+		dim:    j,
+		mean:   score,
+		remain: remain,
+	}, true
+}
+
+// boundAfterPeel places the new bound at the midpoint between the last
+// removed and the first remaining value — the least-biased cut for
+// evaluating the box on fresh data.
+func boundAfterPeel(d *dataset.Dataset, idx []int, j int, t float64, low bool) float64 {
+	if low {
+		remainMin := math.Inf(1)
+		for _, i := range idx {
+			v := d.X[i][j]
+			if v > t && v < remainMin {
+				remainMin = v
+			}
+		}
+		return (t + remainMin) / 2
+	}
+	remainMax := math.Inf(-1)
+	for _, i := range idx {
+		v := d.X[i][j]
+		if v < t && v > remainMax {
+			remainMax = v
+		}
+	}
+	return (t + remainMax) / 2
+}
+
+// selectFinal returns the index of the step with the highest validation
+// precision, preferring the earlier (larger) box on ties — Algorithm 1,
+// line 5.
+func selectFinal(steps []sd.Step) int {
+	best, bestPrec := 0, -1.0
+	for i, s := range steps {
+		p := s.Val.Precision()
+		if p > bestPrec+1e-12 {
+			best, bestPrec = i, p
+		}
+	}
+	return best
+}
+
+// kthSmallest returns the k-th smallest value (1-based) of vals,
+// reordering vals in place via quickselect.
+func kthSmallest(vals []float64, k int) float64 {
+	return quickselect(vals, k-1)
+}
+
+// kthLargest returns the k-th largest value (1-based) of vals.
+func kthLargest(vals []float64, k int) float64 {
+	return quickselect(vals, len(vals)-k)
+}
+
+// quickselect returns the element that would be at position pos in sorted
+// order, using median-of-three partitioning.
+func quickselect(vals []float64, pos int) float64 {
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		// Median-of-three pivot for resilience to sorted inputs.
+		mid := lo + (hi-lo)/2
+		if vals[mid] < vals[lo] {
+			vals[mid], vals[lo] = vals[lo], vals[mid]
+		}
+		if vals[hi] < vals[lo] {
+			vals[hi], vals[lo] = vals[lo], vals[hi]
+		}
+		if vals[hi] < vals[mid] {
+			vals[hi], vals[mid] = vals[mid], vals[hi]
+		}
+		pivot := vals[mid]
+		i, j := lo, hi
+		for i <= j {
+			for vals[i] < pivot {
+				i++
+			}
+			for vals[j] > pivot {
+				j--
+			}
+			if i <= j {
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		if pos <= j {
+			hi = j
+		} else if pos >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return vals[pos]
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value", "note"},
+	}
+	tbl.Add("alpha", 0.12345, "first")
+	tbl.Add("beta", 123.456, "second")
+	tbl.Add("gamma", 12345.6, "third")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "name", "alpha", "0.123", "123.5", "12346", "third"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title + header + rule + 3 rows
+		t.Errorf("expected 6 lines, got %d", len(lines))
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0.000",
+		0.005:   "0.0050",
+		1.5:     "1.500",
+		42.42:   "42.4",
+		1234:    "1234",
+		-0.3333: "-0.333",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(math.NaN()); got != "nan" {
+		t.Errorf("NaN = %q", got)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "curve",
+		XLabel: "recall",
+		YLabel: "precision",
+		Width:  30,
+		Height: 8,
+		Series: []Series{
+			{Name: "a", X: []float64{0, 0.5, 1}, Y: []float64{0.2, 0.5, 0.9}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{0.9, 0.3}},
+		},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"curve", "*", "o", "a", "b", "recall", "precision"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	(&Chart{Title: "empty"}).Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart must say so")
+	}
+	// Single point (zero ranges) must not panic or divide by zero.
+	buf.Reset()
+	(&Chart{Series: []Series{{Name: "pt", X: []float64{1}, Y: []float64{2}}}}).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("single-point chart rendered nothing")
+	}
+	// NaN values are skipped.
+	buf.Reset()
+	(&Chart{Series: []Series{{Name: "nan", X: []float64{0, math.NaN(), 1}, Y: []float64{1, 2, 3}}}}).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("NaN chart rendered nothing")
+	}
+}
+
+func TestQuartileSummary(t *testing.T) {
+	s := QuartileSummary(1, 2, 3)
+	if !strings.Contains(s, "2.000") || !strings.Contains(s, "[1.000, 3.000]") {
+		t.Errorf("summary = %q", s)
+	}
+}

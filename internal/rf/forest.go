@@ -1,0 +1,178 @@
+package rf
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/metamodel"
+)
+
+// Trainer configures random-forest training. The zero value uses the
+// defaults of the R randomForest package that the paper relies on
+// (ntree=100 here for speed, mtry=max(1, M/3) for regression-style
+// probability trees, nodesize=5).
+type Trainer struct {
+	// NTrees is the number of trees (default 100).
+	NTrees int
+	// MTry is the number of features tried per split (default max(1, M/3)).
+	MTry int
+	// MinLeaf is the minimum number of examples per leaf (default 5).
+	MinLeaf int
+	// MaxDepth caps tree depth; 0 means unlimited.
+	MaxDepth int
+}
+
+// Name implements metamodel.Trainer.
+func (t *Trainer) Name() string { return "rf" }
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees []*tree
+}
+
+// Train implements metamodel.Trainer. Trees are grown in parallel on
+// bootstrap resamples; the RNG seeds per-tree generators so the result is
+// deterministic regardless of scheduling.
+func (t *Trainer) Train(d *dataset.Dataset, rng *rand.Rand) (metamodel.Model, error) {
+	if d.N() < 2 {
+		return nil, fmt.Errorf("rf: need at least 2 examples, got %d", d.N())
+	}
+	nTrees := t.NTrees
+	if nTrees == 0 {
+		nTrees = 100
+	}
+	mtry := t.MTry
+	if mtry == 0 {
+		mtry = d.M() / 3
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf == 0 {
+		minLeaf = 5
+	}
+	cfg := treeConfig{mtry: mtry, minLeaf: minLeaf, maxDepth: t.MaxDepth}
+
+	seeds := make([]int64, nTrees)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	forest := &Forest{trees: make([]*tree, nTrees)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nTrees {
+		workers = nTrees
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				local := rand.New(rand.NewSource(seeds[ti]))
+				idx := make([]int, d.N())
+				for k := range idx {
+					idx[k] = local.Intn(d.N())
+				}
+				forest.trees[ti] = buildTree(d.X, d.Y, idx, cfg, local)
+			}
+		}()
+	}
+	for ti := 0; ti < nTrees; ti++ {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+	return forest, nil
+}
+
+// PredictProb implements metamodel.Model: mean leaf value across trees,
+// an estimate of P(y=1|x).
+func (f *Forest) PredictProb(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// PredictLabel implements metamodel.Model with the majority-vote boundary
+// bnd = 0.5.
+func (f *Forest) PredictLabel(x []float64) float64 {
+	if f.PredictProb(x) > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// NumTrees returns the number of trees in the forest.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Importance returns the gain-based feature importance: per-feature
+// variance-reduction gains summed across all trees, normalized to sum
+// to 1 (all zeros for a stump-only forest). Useful for checking which
+// inputs the metamodel deems relevant before trusting a scenario.
+func (f *Forest) Importance() []float64 {
+	if len(f.trees) == 0 {
+		return nil
+	}
+	imp := make([]float64, len(f.trees[0].gains))
+	total := 0.0
+	for _, t := range f.trees {
+		for j, g := range t.gains {
+			imp[j] += g
+			total += g
+		}
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+// TunedTrainer returns the caret-style grid-search trainer for random
+// forests: mtry over {sqrt(M), M/3, 2M/3} (deduplicated), matching the
+// default caret tuning dimension.
+func TunedTrainer(m int) metamodel.Trainer {
+	candidates := []int{intSqrt(m), max1(m / 3), max1(2 * m / 3)}
+	seen := map[int]bool{}
+	var grid []metamodel.Trainer
+	for _, c := range candidates {
+		if c > m {
+			c = m
+		}
+		if c < 1 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		grid = append(grid, &Trainer{MTry: c})
+	}
+	return &metamodel.Tuned{Family: "rf", Grid: grid}
+}
+
+func intSqrt(m int) int {
+	r := 1
+	for r*r < m {
+		r++
+	}
+	if r*r > m {
+		r--
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,160 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/metamodel"
+	"github.com/reds-go/reds/internal/sample"
+)
+
+func boxData(n int, rng *rand.Rand) *dataset.Dataset {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if x[i][0] < 0.5 && x[i][1] > 0.3 {
+			y[i] = 1
+		}
+	}
+	return dataset.MustNew(x, y)
+}
+
+func TestForestLearnsBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := boxData(400, rng)
+	test := boxData(1000, rng)
+	m, err := (&Trainer{NTrees: 60}).Train(train, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := metamodel.Accuracy(m, test)
+	if acc < 0.9 {
+		t.Errorf("box accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestForestProbabilitiesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := boxData(200, rng)
+	m, err := (&Trainer{NTrees: 30}).Train(train, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		p := m.PredictProb(x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("prob %g out of range", p)
+		}
+		l := m.PredictLabel(x)
+		if (p > 0.5) != (l == 1) {
+			t.Fatalf("label %g inconsistent with prob %g", l, p)
+		}
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	d := boxData(150, rand.New(rand.NewSource(3)))
+	m1, _ := (&Trainer{NTrees: 20}).Train(d, rand.New(rand.NewSource(7)))
+	m2, _ := (&Trainer{NTrees: 20}).Train(d, rand.New(rand.NewSource(7)))
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i) / 50, 0.4, 0.6}
+		if m1.PredictProb(x) != m2.PredictProb(x) {
+			t.Fatal("forest must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestForestImprovesWithData(t *testing.T) {
+	// Learning-curve sanity: accuracy at N=400 should be no worse than
+	// at N=50 on the smooth borehole response (allowing small noise).
+	rng := rand.New(rand.NewSource(4))
+	f := funcs.Borehole
+	small := funcs.Generate(f, 50, sample.LatinHypercube{}, rng)
+	large := funcs.Generate(f, 400, sample.LatinHypercube{}, rng)
+	test := funcs.Generate(f, 2000, sample.Uniform{}, rng)
+	ms, _ := (&Trainer{NTrees: 60}).Train(small, rng)
+	ml, _ := (&Trainer{NTrees: 60}).Train(large, rng)
+	accS := metamodel.Accuracy(ms, test)
+	accL := metamodel.Accuracy(ml, test)
+	if accL+0.02 < accS {
+		t.Errorf("accuracy shrank with more data: %0.3f -> %0.3f", accS, accL)
+	}
+	if accL < 0.85 {
+		t.Errorf("N=400 borehole accuracy = %.3f, want >= 0.85", accL)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, err := (&Trainer{}).Train(dataset.MustNew([][]float64{{1}}, []float64{1}), rng)
+	if err == nil {
+		t.Error("single-example training must error")
+	}
+}
+
+func TestPureNodeIsLeaf(t *testing.T) {
+	// All labels equal: the tree must be a single leaf predicting the
+	// constant.
+	x := [][]float64{{0.1}, {0.5}, {0.9}, {0.3}, {0.8}, {0.2}, {0.4}, {0.6}, {0.7}, {0.55}}
+	y := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	d := dataset.MustNew(x, y)
+	m, err := (&Trainer{NTrees: 5}).Train(d, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.PredictProb([]float64{0.42}); p != 1 {
+		t.Errorf("constant forest predicts %g, want 1", p)
+	}
+}
+
+func TestTunedTrainerGrid(t *testing.T) {
+	tr := TunedTrainer(9)
+	tuned, ok := tr.(*metamodel.Tuned)
+	if !ok {
+		t.Fatal("TunedTrainer must return *metamodel.Tuned")
+	}
+	// For M=9: sqrt=3, M/3=3, 2M/3=6 -> {3, 6} deduplicated.
+	if len(tuned.Grid) != 2 {
+		t.Errorf("grid size = %d, want 2", len(tuned.Grid))
+	}
+	rng := rand.New(rand.NewSource(7))
+	d := boxData(120, rng)
+	// Works end to end even when M of data (3) < candidate mtry values.
+	if _, err := TunedTrainer(3).Train(d, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 1, 4: 2, 8: 2, 9: 3, 10: 3, 20: 4, 25: 5}
+	for in, want := range cases {
+		if got := intSqrt(in); got != want {
+			t.Errorf("intSqrt(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestImportanceFindsRelevantFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d := boxData(500, rng) // features 0 and 1 relevant, 2 inert
+	m, err := (&Trainer{NTrees: 40}).Train(d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.(*Forest).Importance()
+	if len(imp) != 3 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sums to %g, want 1", sum)
+	}
+	if imp[0] < 5*imp[2] || imp[1] < 5*imp[2] {
+		t.Errorf("relevant features not dominant: %v", imp)
+	}
+}

@@ -1,0 +1,123 @@
+// Package sd defines the common types shared by all subgroup-discovery
+// algorithms (PRIM, PRIM with bumping, BI): the trajectory of candidate
+// boxes a single run produces, per-box subgroup statistics, and the
+// covering approach for finding several subgroups.
+package sd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+)
+
+// Stats are subgroup statistics of one box on one dataset: the number of
+// covered examples n and the covered label mass n+ (Σ y over the
+// subgroup; fractional for probability labels).
+type Stats struct {
+	N    int
+	NPos float64
+}
+
+// Precision returns n+/n, or 0 for an empty subgroup.
+func (s Stats) Precision() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.NPos / float64(s.N)
+}
+
+// Compute evaluates the subgroup statistics of b on d.
+func Compute(b *box.Box, d *dataset.Dataset) Stats {
+	var st Stats
+	for i, x := range d.X {
+		if b.Contains(x) {
+			st.N++
+			st.NPos += d.Y[i]
+		}
+	}
+	return st
+}
+
+// Step is one box of a trajectory with its train and validation
+// statistics.
+type Step struct {
+	Box   *box.Box
+	Train Stats
+	Val   Stats
+}
+
+// Result is the output of a single subgroup-discovery run: the sequence
+// of nested candidate boxes (a single box for BI) and the index of the
+// selected one.
+type Result struct {
+	Steps      []Step
+	FinalIndex int
+}
+
+// Final returns the selected box.
+func (r *Result) Final() *box.Box {
+	if len(r.Steps) == 0 {
+		return nil
+	}
+	return r.Steps[r.FinalIndex].Box
+}
+
+// Boxes returns the trajectory boxes in order.
+func (r *Result) Boxes() []*box.Box {
+	out := make([]*box.Box, len(r.Steps))
+	for i, s := range r.Steps {
+		out[i] = s.Box
+	}
+	return out
+}
+
+// Discoverer is a subgroup-discovery algorithm ("SD" in Algorithm 4).
+// Implementations must be deterministic given the RNG.
+type Discoverer interface {
+	// Discover runs the algorithm on train data, using val for stopping
+	// and final-box selection. Passing the training set as val (D_val = D)
+	// matches the paper's experimental setup.
+	Discover(train, val *dataset.Dataset, rng *rand.Rand) (*Result, error)
+}
+
+// Cover implements the covering approach of Section 3.2: it repeatedly
+// runs disc on the examples not covered by previously selected boxes and
+// returns up to k results. It stops early when the remaining data is too
+// small or a run fails.
+func Cover(train, val *dataset.Dataset, disc Discoverer, k int, rng *rand.Rand) ([]*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sd: covering needs k >= 1, got %d", k)
+	}
+	var results []*Result
+	curTrain, curVal := train, val
+	for round := 0; round < k; round++ {
+		if curTrain.N() < 2 || curVal.N() < 2 {
+			break
+		}
+		res, err := disc.Discover(curTrain, curVal, rng)
+		if err != nil {
+			return results, fmt.Errorf("sd: covering round %d: %w", round, err)
+		}
+		results = append(results, res)
+		final := res.Final()
+		if final == nil {
+			break
+		}
+		curTrain = remove(curTrain, final)
+		curVal = remove(curVal, final)
+	}
+	return results, nil
+}
+
+// remove returns d without the examples covered by b.
+func remove(d *dataset.Dataset, b *box.Box) *dataset.Dataset {
+	var idx []int
+	for i, x := range d.X {
+		if !b.Contains(x) {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}

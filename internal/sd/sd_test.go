@@ -1,0 +1,125 @@
+package sd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+)
+
+func TestStatsPrecision(t *testing.T) {
+	if p := (Stats{}).Precision(); p != 0 {
+		t.Errorf("empty precision = %g", p)
+	}
+	if p := (Stats{N: 4, NPos: 3}).Precision(); p != 0.75 {
+		t.Errorf("precision = %g, want 0.75", p)
+	}
+}
+
+func TestCompute(t *testing.T) {
+	d := dataset.MustNew(
+		[][]float64{{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}, {0.5, 0.1}},
+		[]float64{1, 1, 0, 0},
+	)
+	b := box.New([]float64{0, 0}, []float64{0.6, 0.6})
+	st := Compute(b, d)
+	if st.N != 3 || st.NPos != 2 {
+		t.Errorf("stats = %+v, want N=3 NPos=2", st)
+	}
+	full := box.Full(2)
+	if st := Compute(full, d); st.N != 4 || st.NPos != 2 {
+		t.Errorf("full stats = %+v", st)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	empty := &Result{}
+	if empty.Final() != nil {
+		t.Error("empty result Final must be nil")
+	}
+	b1, b2 := box.Full(1), box.Full(1)
+	b2.Lo[0] = 0.5
+	r := &Result{Steps: []Step{{Box: b1}, {Box: b2}}, FinalIndex: 1}
+	if r.Final() != b2 {
+		t.Error("Final must return the indexed box")
+	}
+	boxes := r.Boxes()
+	if len(boxes) != 2 || boxes[0] != b1 || boxes[1] != b2 {
+		t.Error("Boxes order wrong")
+	}
+}
+
+// cornerDiscoverer always finds the [0, 0.5]^M corner box.
+type cornerDiscoverer struct{ calls int }
+
+func (c *cornerDiscoverer) Discover(train, val *dataset.Dataset, _ *rand.Rand) (*Result, error) {
+	c.calls++
+	b := box.Full(train.M())
+	for j := range b.Hi {
+		b.Hi[j] = 0.5
+	}
+	return &Result{Steps: []Step{{Box: b, Train: Compute(b, train), Val: Compute(b, val)}}}, nil
+}
+
+type failingDiscoverer struct{}
+
+func (failingDiscoverer) Discover(train, val *dataset.Dataset, _ *rand.Rand) (*Result, error) {
+	return nil, errors.New("nope")
+}
+
+func TestCoverRemovesCoveredExamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = []float64{rng.Float64()}
+		y[i] = 1
+	}
+	d := dataset.MustNew(x, y)
+	disc := &cornerDiscoverer{}
+	results, err := Cover(d, d, disc, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no covering results")
+	}
+	// After the first round all points in [0,0.5] are removed, so the
+	// second round's result covers nothing of the first box.
+	if len(results) > 1 {
+		st := Compute(results[1].Final(), d)
+		first := Compute(results[0].Final(), d)
+		if st.N >= first.N+int(float64(d.N())/2) {
+			t.Error("covering did not shrink the data")
+		}
+	}
+	if disc.calls < 1 {
+		t.Error("discoverer never called")
+	}
+}
+
+func TestCoverErrors(t *testing.T) {
+	d := dataset.MustNew([][]float64{{0.1}, {0.9}, {0.4}}, []float64{1, 0, 1})
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Cover(d, d, &cornerDiscoverer{}, 0, rng); err == nil {
+		t.Error("k=0 must error")
+	}
+	results, err := Cover(d, d, failingDiscoverer{}, 2, rng)
+	if err == nil {
+		t.Error("failing discoverer must propagate")
+	}
+	if len(results) != 0 {
+		t.Error("no results expected from immediate failure")
+	}
+}
+
+func TestComputeWithProbabilityLabels(t *testing.T) {
+	d := dataset.MustNew([][]float64{{0.2}, {0.4}}, []float64{0.25, 0.5})
+	st := Compute(box.Full(1), d)
+	if math.Abs(st.NPos-0.75) > 1e-12 {
+		t.Errorf("fractional NPos = %g, want 0.75", st.NPos)
+	}
+}

@@ -1,0 +1,89 @@
+package sd
+
+import "github.com/reds-go/reds/internal/box"
+
+// This file provides the box-selection policies a domain expert applies to
+// a peeling trajectory (Section 3.2.1: "From this sequence, domain experts
+// choose a single box which best suits their needs"). All selectors use
+// the recorded validation statistics.
+
+// SelectMaxPrecision returns the trajectory box with the highest
+// validation precision, ties broken toward the earlier (larger) box —
+// Algorithm 1 line 5, the library default.
+func (r *Result) SelectMaxPrecision() *box.Box {
+	best, bestPrec := -1, -1.0
+	for i, s := range r.Steps {
+		if p := s.Val.Precision(); p > bestPrec+1e-12 {
+			best, bestPrec = i, p
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return r.Steps[best].Box
+}
+
+// SelectByF1 returns the box with the best validation F1 score, the
+// balanced precision/recall compromise.
+func (r *Result) SelectByF1() *box.Box {
+	total := r.totalValPos()
+	best, bestF1 := -1, -1.0
+	for i, s := range r.Steps {
+		p := s.Val.Precision()
+		rec := 0.0
+		if total > 0 {
+			rec = s.Val.NPos / total
+		}
+		if p+rec == 0 {
+			continue
+		}
+		if f1 := 2 * p * rec / (p + rec); f1 > bestF1 {
+			best, bestF1 = i, f1
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return r.Steps[best].Box
+}
+
+// SelectByPrecisionFloor returns the box with the highest validation
+// recall among those whose validation precision is at least floor, or
+// nil when no box qualifies. This is the "as pure as needed, as big as
+// possible" policy of the paper's scenario-selection discussion.
+func (r *Result) SelectByPrecisionFloor(floor float64) *box.Box {
+	total := r.totalValPos()
+	best, bestRec := -1, -1.0
+	for i, s := range r.Steps {
+		if s.Val.Precision() < floor {
+			continue
+		}
+		rec := 0.0
+		if total > 0 {
+			rec = s.Val.NPos / total
+		}
+		if rec > bestRec {
+			best, bestRec = i, rec
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return r.Steps[best].Box
+}
+
+// totalValPos estimates N+ of the validation data from the first
+// (largest) trajectory box, which covers everything for peeling
+// trajectories.
+func (r *Result) totalValPos() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	total := r.Steps[0].Val.NPos
+	for _, s := range r.Steps[1:] {
+		if s.Val.NPos > total {
+			total = s.Val.NPos
+		}
+	}
+	return total
+}

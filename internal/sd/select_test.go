@@ -1,0 +1,71 @@
+package sd
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reds-go/reds/internal/box"
+)
+
+// trajectory builds a synthetic three-step result:
+// full box (N=100, pos=30), mid box (N=40, pos=28), tiny box (N=10, pos=10).
+func trajectory() *Result {
+	full := box.Full(1)
+	mid := box.New([]float64{math.Inf(-1)}, []float64{0.5})
+	tiny := box.New([]float64{math.Inf(-1)}, []float64{0.1})
+	return &Result{Steps: []Step{
+		{Box: full, Val: Stats{N: 100, NPos: 30}},
+		{Box: mid, Val: Stats{N: 40, NPos: 28}},
+		{Box: tiny, Val: Stats{N: 10, NPos: 10}},
+	}}
+}
+
+func TestSelectMaxPrecision(t *testing.T) {
+	r := trajectory()
+	got := r.SelectMaxPrecision()
+	if !got.Equal(r.Steps[2].Box) {
+		t.Errorf("max precision should pick the pure tiny box, got %v", got)
+	}
+	if (&Result{}).SelectMaxPrecision() != nil {
+		t.Error("empty result must select nil")
+	}
+}
+
+func TestSelectByF1(t *testing.T) {
+	r := trajectory()
+	// F1: full = 2*0.3*1/(1.3) = 0.462; mid = 2*0.7*0.933/1.633 = 0.8;
+	// tiny = 2*1*0.333/1.333 = 0.5 -> mid wins.
+	got := r.SelectByF1()
+	if !got.Equal(r.Steps[1].Box) {
+		t.Errorf("F1 should pick the mid box, got %v", got)
+	}
+	if (&Result{}).SelectByF1() != nil {
+		t.Error("empty result must select nil")
+	}
+}
+
+func TestSelectByPrecisionFloor(t *testing.T) {
+	r := trajectory()
+	// Floor 0.6: mid (0.7) and tiny (1.0) qualify; mid has higher recall.
+	got := r.SelectByPrecisionFloor(0.6)
+	if !got.Equal(r.Steps[1].Box) {
+		t.Errorf("floor 0.6 should pick the mid box, got %v", got)
+	}
+	// Floor 0.95: only tiny qualifies.
+	got = r.SelectByPrecisionFloor(0.95)
+	if !got.Equal(r.Steps[2].Box) {
+		t.Errorf("floor 0.95 should pick the tiny box, got %v", got)
+	}
+	// Impossible floor: nil.
+	if r.SelectByPrecisionFloor(1.1) != nil {
+		t.Error("impossible floor must select nil")
+	}
+}
+
+func TestSelectorsAgreeWithFinalIndexDefault(t *testing.T) {
+	r := trajectory()
+	r.FinalIndex = 2 // what selectFinal-style policies would choose
+	if !r.SelectMaxPrecision().Equal(r.Final()) {
+		t.Error("SelectMaxPrecision must match the default final policy")
+	}
+}

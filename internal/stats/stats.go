@@ -1,0 +1,335 @@
+// Package stats implements the descriptive statistics and nonparametric
+// tests the paper's evaluation relies on: quartiles, ranks with tie
+// handling, Spearman correlation, the Wilcoxon–Mann–Whitney rank-sum
+// test, the Wilcoxon signed-rank test, and the Friedman test with
+// pairwise post-hoc comparisons.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the sample median, 0 for empty input.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the p-quantile with linear interpolation between order
+// statistics (R type 7), 0 for empty input.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	i := int(h)
+	frac := h - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Quartiles returns (Q1, median, Q3).
+func Quartiles(xs []float64) (q1, med, q3 float64) {
+	return Quantile(xs, 0.25), Quantile(xs, 0.5), Quantile(xs, 0.75)
+}
+
+// Ranks assigns 1-based ranks with ties receiving their average rank.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// samples, NaN for fewer than two points or zero variance.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	rx := Ranks(xs)
+	ry := Ranks(ys)
+	return pearson(rx, ry)
+}
+
+func pearson(xs, ys []float64) float64 {
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// normalSF is the standard normal survival function P(Z > z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// MannWhitney performs the two-sided Wilcoxon–Mann–Whitney rank-sum test
+// of whether samples a and b come from the same distribution. It returns
+// the U statistic of sample a and the normal-approximation p-value with
+// tie correction. Small samples (< 4 per group) return p = 1.
+func MannWhitney(a, b []float64) (u, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 < 4 || n2 < 4 {
+		return 0, 1
+	}
+	all := append(append([]float64(nil), a...), b...)
+	ranks := Ranks(all)
+	r1 := 0.0
+	for i := 0; i < n1; i++ {
+		r1 += ranks[i]
+	}
+	u = r1 - float64(n1*(n1+1))/2
+	mu := float64(n1) * float64(n2) / 2
+	n := float64(n1 + n2)
+	tieSum := tieCorrection(all)
+	sigma2 := float64(n1) * float64(n2) / 12 * (n + 1 - tieSum/(n*(n-1)))
+	if sigma2 <= 0 {
+		return u, 1
+	}
+	z := math.Abs(u-mu) / math.Sqrt(sigma2)
+	// Continuity correction.
+	z = math.Max(0, z-0.5/math.Sqrt(sigma2))
+	return u, 2 * normalSF(z)
+}
+
+// tieCorrection returns Σ (t³ - t) over tie groups.
+func tieCorrection(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1] == s[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		sum += t*t*t - t
+		i = j + 1
+	}
+	return sum
+}
+
+// WilcoxonSignedRank performs the two-sided paired signed-rank test on
+// equal-length samples. Zero differences are dropped (Wilcoxon's
+// convention); fewer than 6 non-zero pairs return p = 1.
+func WilcoxonSignedRank(a, b []float64) (w, p float64) {
+	var diffs []float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n < 6 {
+		return 0, 1
+	}
+	abs := make([]float64, n)
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	ranks := Ranks(abs)
+	wPlus := 0.0
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += ranks[i]
+		}
+	}
+	mu := float64(n*(n+1)) / 4
+	sigma2 := float64(n*(n+1)*(2*n+1)) / 24
+	sigma2 -= tieCorrection(abs) / 48
+	if sigma2 <= 0 {
+		return wPlus, 1
+	}
+	z := math.Abs(wPlus-mu) / math.Sqrt(sigma2)
+	return wPlus, 2 * normalSF(z)
+}
+
+// Friedman performs the Friedman test on an n-blocks × k-treatments
+// matrix (rows = datasets, columns = methods). It returns the chi-square
+// statistic and its p-value. Fewer than 2 rows or columns return p = 1.
+func Friedman(data [][]float64) (chi2, p float64) {
+	n := len(data)
+	if n < 2 {
+		return 0, 1
+	}
+	k := len(data[0])
+	if k < 2 {
+		return 0, 1
+	}
+	rankSums := make([]float64, k)
+	for _, row := range data {
+		ranks := Ranks(row)
+		for j, r := range ranks {
+			rankSums[j] += r
+		}
+	}
+	chi2 = 0
+	for _, rs := range rankSums {
+		d := rs - float64(n)*float64(k+1)/2
+		chi2 += d * d
+	}
+	chi2 *= 12 / (float64(n) * float64(k) * float64(k+1))
+	return chi2, ChiSquareSF(chi2, float64(k-1))
+}
+
+// FriedmanPostHoc runs pairwise Wilcoxon signed-rank tests between
+// columns i and j of the matrix, the post-hoc procedure referenced in
+// Section 9.1.
+func FriedmanPostHoc(data [][]float64, i, j int) float64 {
+	a := make([]float64, len(data))
+	b := make([]float64, len(data))
+	for r, row := range data {
+		a[r] = row[i]
+		b[r] = row[j]
+	}
+	_, p := WilcoxonSignedRank(a, b)
+	return p
+}
+
+// HolmAdjust applies the Holm step-down correction to a family of
+// p-values (the standard multiplicity control for pairwise post-hoc
+// comparisons). The returned slice is aligned with the input and
+// clamped to [0, 1], with the usual monotonicity enforcement.
+func HolmAdjust(ps []float64) []float64 {
+	n := len(ps)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+	adj := make([]float64, n)
+	running := 0.0
+	for rank, i := range idx {
+		v := float64(n-rank) * ps[i]
+		if v > 1 {
+			v = 1
+		}
+		if v < running {
+			v = running // enforce monotone non-decreasing adjusted values
+		}
+		running = v
+		adj[i] = v
+	}
+	return adj
+}
+
+// ChiSquareSF is the chi-square survival function P(X > x) with df
+// degrees of freedom, computed through the regularized upper incomplete
+// gamma function.
+func ChiSquareSF(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(df/2, x/2)
+}
+
+// upperGammaRegularized computes Q(a, x) = Γ(a,x)/Γ(a) by series or
+// continued fraction (Numerical Recipes style).
+func upperGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaCF(a, x)
+}
+
+func lowerGammaSeries(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func upperGammaCF(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

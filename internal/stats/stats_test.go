@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianQuantile(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty input must give 0")
+	}
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Median(xs) != 2 {
+		t.Errorf("mean/median of %v wrong", xs)
+	}
+	xs = []float64{1, 2, 3, 4}
+	if m := Median(xs); m != 2.5 {
+		t.Errorf("median = %g, want 2.5", m)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1 = %g", q)
+	}
+	q1, med, q3 := Quartiles([]float64{1, 2, 3, 4, 5})
+	if q1 != 2 || med != 3 || q3 != 4 {
+		t.Errorf("quartiles = %g %g %g", q1, med, q3)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Spearman(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect monotone rho = %g", r)
+	}
+	rev := []float64{10, 8, 6, 4, 2}
+	if r := Spearman(xs, rev); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect inverse rho = %g", r)
+	}
+	// Nonlinear but monotone: still 1.
+	ys2 := []float64{1, 8, 27, 64, 125}
+	if r := Spearman(xs, ys2); math.Abs(r-1) > 1e-12 {
+		t.Errorf("monotone rho = %g", r)
+	}
+	if !math.IsNaN(Spearman(xs, []float64{1, 1, 1, 1, 1})) {
+		t.Error("zero-variance rho must be NaN")
+	}
+	if !math.IsNaN(Spearman([]float64{1}, []float64{2})) {
+		t.Error("single-point rho must be NaN")
+	}
+}
+
+func TestMannWhitneySeparatedSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 3
+	}
+	_, p := MannWhitney(a, b)
+	if p > 1e-6 {
+		t.Errorf("well-separated samples p = %g, want tiny", p)
+	}
+	// Same distribution: p should usually be large.
+	c := make([]float64, 30)
+	d := make([]float64, 30)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+		d[i] = rng.NormFloat64()
+	}
+	if _, p := MannWhitney(c, d); p < 0.001 {
+		t.Errorf("identical distributions p = %g, suspiciously small", p)
+	}
+	// Tiny samples: defensive p = 1.
+	if _, p := MannWhitney([]float64{1}, []float64{2}); p != 1 {
+		t.Errorf("tiny sample p = %g", p)
+	}
+}
+
+func TestWilcoxonSignedRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 1 + 0.1*rng.NormFloat64() // consistent shift
+	}
+	_, p := WilcoxonSignedRank(a, b)
+	if p > 1e-4 {
+		t.Errorf("shifted pairs p = %g, want tiny", p)
+	}
+	if _, p := WilcoxonSignedRank(a, a); p != 1 {
+		t.Errorf("identical pairs p = %g, want 1 (all zero diffs)", p)
+	}
+}
+
+func TestFriedman(t *testing.T) {
+	// Method 2 always best, method 0 always worst across 12 datasets.
+	var data [][]float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 12; i++ {
+		base := rng.Float64()
+		data = append(data, []float64{base, base + 0.5, base + 1})
+	}
+	chi2, p := Friedman(data)
+	if chi2 <= 0 || p > 0.01 {
+		t.Errorf("clear ranking: chi2=%g p=%g", chi2, p)
+	}
+	// Random data: no effect expected.
+	var noise [][]float64
+	for i := 0; i < 12; i++ {
+		noise = append(noise, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+	}
+	if _, p := Friedman(noise); p < 0.001 {
+		t.Errorf("random data p = %g, suspiciously small", p)
+	}
+	if _, p := Friedman(nil); p != 1 {
+		t.Error("empty matrix p must be 1")
+	}
+	ph := FriedmanPostHoc(data, 0, 2)
+	if ph > 0.01 {
+		t.Errorf("post-hoc p = %g, want small", ph)
+	}
+}
+
+func TestChiSquareSF(t *testing.T) {
+	// Known value: P(X > 3.841) with df=1 is 0.05.
+	if p := ChiSquareSF(3.841, 1); math.Abs(p-0.05) > 0.002 {
+		t.Errorf("chi2 SF(3.841, 1) = %g, want ~0.05", p)
+	}
+	// P(X > 5.991) with df=2 is 0.05.
+	if p := ChiSquareSF(5.991, 2); math.Abs(p-0.05) > 0.002 {
+		t.Errorf("chi2 SF(5.991, 2) = %g, want ~0.05", p)
+	}
+	// df=2 has closed form exp(-x/2).
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		if p := ChiSquareSF(x, 2); math.Abs(p-math.Exp(-x/2)) > 1e-9 {
+			t.Errorf("chi2 SF(%g, 2) = %g, want %g", x, p, math.Exp(-x/2))
+		}
+	}
+	if ChiSquareSF(-1, 3) != 1 || ChiSquareSF(0, 3) != 1 {
+		t.Error("non-positive x must give 1")
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			q := Quantile(xs, p)
+			if q < last-1e-12 {
+				return false
+			}
+			last = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRanksArePermutationInvariantSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64()*10) / 10
+		}
+		ranks := Ranks(xs)
+		sum := 0.0
+		for _, r := range ranks {
+			sum += r
+		}
+		// Sum of ranks is always n(n+1)/2, ties or not.
+		return math.Abs(sum-float64(n*(n+1))/2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySpearmanBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r := Spearman(xs, ys)
+		return math.IsNaN(r) || (r >= -1-1e-9 && r <= 1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHolmAdjust(t *testing.T) {
+	ps := []float64{0.01, 0.04, 0.03, 0.005}
+	adj := HolmAdjust(ps)
+	// Sorted: 0.005(x4=0.02), 0.01(x3=0.03), 0.03(x2=0.06), 0.04(x1=0.06 after monotone).
+	want := []float64{0.03, 0.06, 0.06, 0.02}
+	for i := range want {
+		if math.Abs(adj[i]-want[i]) > 1e-12 {
+			t.Fatalf("HolmAdjust = %v, want %v", adj, want)
+		}
+	}
+	// Clamping at 1.
+	adj = HolmAdjust([]float64{0.9, 0.8})
+	for _, v := range adj {
+		if v > 1 {
+			t.Errorf("adjusted p %g > 1", v)
+		}
+	}
+	if len(HolmAdjust(nil)) != 0 {
+		t.Error("empty input must return empty output")
+	}
+}

@@ -1,0 +1,324 @@
+// Package svm implements a C-SVM classifier with an RBF kernel, trained by
+// sequential minimal optimization (SMO) — the "s" metamodel of the paper.
+// The decision boundary f(x) = Σ αᵢ yᵢ K(xᵢ,x) − ρ labels points by sign;
+// a logistic squash of the decision value provides a probability surrogate
+// (the paper only uses hard labels for SVM-based REDS).
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/metamodel"
+)
+
+// Trainer configures SVM training. Zero-value fields take defaults:
+// C = 1, Gamma = 0 meaning the "scale" heuristic 1/(M·Var(X)),
+// Tol = 1e-3, MaxPasses = 5.
+type Trainer struct {
+	// C is the soft-margin penalty.
+	C float64
+	// Gamma is the RBF width; 0 selects 1/(M·Var(X)).
+	Gamma float64
+	// Tol is the KKT violation tolerance.
+	Tol float64
+	// MaxPasses bounds the number of full passes without any update
+	// before SMO stops.
+	MaxPasses int
+}
+
+// Name implements metamodel.Trainer.
+func (t *Trainer) Name() string { return "svm" }
+
+// Model is a trained SVM.
+type Model struct {
+	supportX [][]float64
+	coef     []float64 // αᵢ yᵢ of the support vectors
+	b        float64
+	gamma    float64
+}
+
+// Decision returns the signed distance surrogate f(x).
+func (m *Model) Decision(x []float64) float64 {
+	s := -m.b
+	for i, sv := range m.supportX {
+		s += m.coef[i] * rbf(sv, x, m.gamma)
+	}
+	return s
+}
+
+// PredictLabel implements metamodel.Model: 1 iff the decision value is
+// positive (bnd = 0 in Algorithm 4).
+func (m *Model) PredictLabel(x []float64) float64 {
+	if m.Decision(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// PredictProb implements metamodel.Model with a fixed logistic link on the
+// decision value; adequate because REDS uses SVM only through hard labels.
+func (m *Model) PredictProb(x []float64) float64 {
+	return 1 / (1 + math.Exp(-2*m.Decision(x)))
+}
+
+// NumSupport returns the number of support vectors.
+func (m *Model) NumSupport() int { return len(m.supportX) }
+
+func rbf(a, b []float64, gamma float64) float64 {
+	d := 0.0
+	for j := range a {
+		diff := a[j] - b[j]
+		d += diff * diff
+	}
+	return math.Exp(-gamma * d)
+}
+
+// Train implements metamodel.Trainer using Platt's simplified SMO with
+// randomized second-index selection.
+func (t *Trainer) Train(d *dataset.Dataset, rng *rand.Rand) (metamodel.Model, error) {
+	n := d.N()
+	if n < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 examples, got %d", n)
+	}
+	c := t.C
+	if c == 0 {
+		c = 1
+	}
+	tol := t.Tol
+	if tol == 0 {
+		tol = 1e-3
+	}
+	maxPasses := t.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = 5
+	}
+	gamma := t.Gamma
+	if gamma == 0 {
+		gamma = scaleGamma(d)
+	}
+
+	if single, cls := singleClass(d.Y); single {
+		// Degenerate training set: constant classifier.
+		return &constantModel{label: cls}, nil
+	}
+	// Labels in {-1, +1}.
+	y := make([]float64, n)
+	for i, v := range d.Y {
+		if v >= 0.5 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+
+	// Kernel row cache: full matrix for small n, LRU-ish map otherwise.
+	cache := newKernelCache(d.X, gamma, n)
+
+	alpha := make([]float64, n)
+	b := 0.0
+	// f(i) without the bias, maintained incrementally would be complex;
+	// simplified SMO recomputes errors on demand via cached rows.
+	errF := func(i int) float64 {
+		s := -b
+		ki := cache.row(i)
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * y[j] * ki[j]
+			}
+		}
+		return s - y[i]
+	}
+
+	passes := 0
+	iter := 0
+	maxIter := 200 * n
+	for passes < maxPasses && iter < maxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			iter++
+			ei := errF(i)
+			if !((y[i]*ei < -tol && alpha[i] < c) || (y[i]*ei > tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := errF(j)
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(c, c+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-c)
+				hi = math.Min(c, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			kii := cache.row(i)[i]
+			kjj := cache.row(j)[j]
+			kij := cache.row(i)[j]
+			eta := 2*kij - kii - kjj
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-7 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+			b1 := b + ei + y[i]*(aiNew-ai)*kii + y[j]*(ajNew-aj)*kij
+			b2 := b + ej + y[i]*(aiNew-ai)*kij + y[j]*(ajNew-aj)*kjj
+			switch {
+			case aiNew > 0 && aiNew < c:
+				b = b1
+			case ajNew > 0 && ajNew < c:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			alpha[i], alpha[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	model := &Model{b: b, gamma: gamma}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-9 {
+			model.supportX = append(model.supportX, d.X[i])
+			model.coef = append(model.coef, alpha[i]*y[i])
+		}
+	}
+	if len(model.supportX) == 0 {
+		return &constantModel{label: majority(d.Y)}, nil
+	}
+	return model, nil
+}
+
+// scaleGamma returns the 1/(M·Var) heuristic over all inputs pooled.
+func scaleGamma(d *dataset.Dataset) float64 {
+	n, m := d.N(), d.M()
+	var sum, sq float64
+	cnt := float64(n * m)
+	for _, row := range d.X {
+		for _, v := range row {
+			sum += v
+			sq += v * v
+		}
+	}
+	mean := sum / cnt
+	variance := sq/cnt - mean*mean
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return 1 / (float64(m) * variance)
+}
+
+func singleClass(y []float64) (bool, float64) {
+	first := y[0] >= 0.5
+	for _, v := range y[1:] {
+		if (v >= 0.5) != first {
+			return false, 0
+		}
+	}
+	if first {
+		return true, 1
+	}
+	return true, 0
+}
+
+func majority(y []float64) float64 {
+	pos := 0
+	for _, v := range y {
+		if v >= 0.5 {
+			pos++
+		}
+	}
+	if 2*pos > len(y) {
+		return 1
+	}
+	return 0
+}
+
+// constantModel handles degenerate single-class training sets.
+type constantModel struct{ label float64 }
+
+func (c *constantModel) PredictProb([]float64) float64  { return c.label }
+func (c *constantModel) PredictLabel([]float64) float64 { return c.label }
+
+// kernelCache caches kernel matrix rows. For n below the full-matrix
+// budget it precomputes everything; beyond that it keeps a bounded map of
+// recently used rows.
+type kernelCache struct {
+	x     [][]float64
+	gamma float64
+	full  [][]float64
+	part  map[int][]float64
+	order []int
+	limit int
+}
+
+func newKernelCache(x [][]float64, gamma float64, n int) *kernelCache {
+	c := &kernelCache{x: x, gamma: gamma}
+	if n <= 1200 {
+		c.full = make([][]float64, n)
+	} else {
+		c.part = make(map[int][]float64, 600)
+		c.limit = 600
+	}
+	return c
+}
+
+func (c *kernelCache) row(i int) []float64 {
+	if c.full != nil {
+		if c.full[i] == nil {
+			c.full[i] = c.compute(i)
+		}
+		return c.full[i]
+	}
+	if r, ok := c.part[i]; ok {
+		return r
+	}
+	r := c.compute(i)
+	if len(c.order) >= c.limit {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.part, evict)
+	}
+	c.part[i] = r
+	c.order = append(c.order, i)
+	return r
+}
+
+func (c *kernelCache) compute(i int) []float64 {
+	r := make([]float64, len(c.x))
+	for j := range c.x {
+		r[j] = rbf(c.x[i], c.x[j], c.gamma)
+	}
+	return r
+}
+
+// TunedTrainer returns a small C x gamma grid around the scale heuristic,
+// mirroring the default caret tuning for RBF SVMs.
+func TunedTrainer() metamodel.Trainer {
+	return &metamodel.Tuned{Family: "svm", Grid: []metamodel.Trainer{
+		&Trainer{C: 1},
+		&Trainer{C: 10},
+		&Trainer{C: 100},
+	}}
+}

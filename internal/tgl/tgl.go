@@ -1,0 +1,56 @@
+// Package tgl generates a synthetic stand-in for the "TGL" dataset of
+// Bryant & Lempert 2010 (882 examples, 9 inputs, ~10% interesting). The
+// original ships with the proprietary-ish R sdtoolkit and is not available
+// offline; this generator reproduces its role in the paper's third-party
+// experiments: a modest, fixed, noisy dataset whose generating process
+// cannot be queried, over which REDS must resample uniformly.
+//
+// The ground truth is the union of two overlapping boxes over three of the
+// nine inputs, with asymmetric label noise — a shape PRIM can approximate
+// but not match exactly, like real policy-model output.
+package tgl
+
+import (
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/sample"
+)
+
+// N and M are the published dataset dimensions.
+const (
+	N = 882
+	M = 9
+)
+
+// Prob returns the ground-truth P(y=1|x) of the synthetic TGL process.
+func Prob(x []float64) float64 {
+	in1 := x[0] < 0.3 && x[1] > 0.55 && x[2] < 0.6
+	in2 := x[0] < 0.2 && x[1] > 0.5
+	if in1 || in2 {
+		return 0.75
+	}
+	return 0.02
+}
+
+// Relevant returns the ground-truth relevance mask: inputs 0-2 matter.
+func Relevant() []bool {
+	r := make([]bool, M)
+	r[0], r[1], r[2] = true, true, true
+	return r
+}
+
+// Dataset generates the 882-example dataset with the given seed. The
+// paper's experiments use seed 1; other seeds give fresh draws from the
+// same process (useful for consistency estimates).
+func Dataset(seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	pts := sample.LatinHypercube{}.Sample(N, M, rng)
+	y := make([]float64, N)
+	for i, x := range pts {
+		if rng.Float64() < Prob(x) {
+			y[i] = 1
+		}
+	}
+	return &dataset.Dataset{X: pts, Y: y}
+}

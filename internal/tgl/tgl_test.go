@@ -1,0 +1,64 @@
+package tgl
+
+import "testing"
+
+func TestDatasetShape(t *testing.T) {
+	d := Dataset(1)
+	if d.N() != N || d.M() != M {
+		t.Fatalf("shape %dx%d, want %dx%d", d.N(), d.M(), N, M)
+	}
+}
+
+func TestDeterminismAndVariation(t *testing.T) {
+	a := Dataset(1)
+	b := Dataset(1)
+	c := Dataset(2)
+	sameAsA := true
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same seed must give identical datasets")
+		}
+		if a.Y[i] != c.Y[i] || a.X[i][0] != c.X[i][0] {
+			sameAsA = false
+		}
+	}
+	if sameAsA {
+		t.Error("different seeds must give different datasets")
+	}
+}
+
+func TestShareNearPaper(t *testing.T) {
+	share := Dataset(1).PositiveShare()
+	// Paper: 10.1%.
+	if share < 0.05 || share > 0.18 {
+		t.Errorf("TGL share = %.3f, want in [0.05, 0.18] (paper 0.101)", share)
+	}
+	t.Logf("TGL share: %.3f (paper 0.101)", share)
+}
+
+func TestRelevantMask(t *testing.T) {
+	r := Relevant()
+	if len(r) != M {
+		t.Fatalf("mask length %d", len(r))
+	}
+	for j := 0; j < 3; j++ {
+		if !r[j] {
+			t.Errorf("input %d should be relevant", j)
+		}
+	}
+	for j := 3; j < M; j++ {
+		if r[j] {
+			t.Errorf("input %d should be irrelevant", j)
+		}
+	}
+}
+
+func TestProbIsProbability(t *testing.T) {
+	d := Dataset(3)
+	for _, x := range d.X[:100] {
+		p := Prob(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("Prob = %g", p)
+		}
+	}
+}
