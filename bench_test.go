@@ -9,6 +9,7 @@ package reds_test
 // follow below.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -261,5 +262,49 @@ func BenchmarkDSGCSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		grid.Eval(x)
+	}
+}
+
+// --- Serial vs parallel pseudo-labeling (the redsserver hot path) ---
+
+// benchForest50k trains a default random forest and draws the 50k-point
+// pseudo-label workload the engine shards across workers.
+func benchForest50k(b *testing.B) (reds.Metamodel, [][]float64) {
+	b.Helper()
+	d := benchTrain(400, 10, 14)
+	rng := rand.New(rand.NewSource(15))
+	model, err := (&reds.RandomForest{}).Train(d, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := reds.LatinHypercube{}.Sample(50000, 10, rng)
+	return model, pts
+}
+
+func BenchmarkPredictBatch50kSerial(b *testing.B) {
+	model, pts := benchForest50k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reds.PredictBatchSerial(pts, model.PredictProb)
+	}
+}
+
+func BenchmarkPredictBatch50kParallel(b *testing.B) {
+	model, pts := benchForest50k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reds.PredictBatchParallel(context.Background(), pts, model.PredictProb, reds.BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictBatch50kParallel4(b *testing.B) {
+	model, pts := benchForest50k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reds.PredictBatchParallel(context.Background(), pts, model.PredictProb, reds.BatchOptions{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,78 @@
+// Command redsserver serves scenario discovery over HTTP: submit jobs,
+// poll their progress, fetch the discovered scenario as a JSON rule.
+//
+//	redsserver -addr :8080 -workers 4 -cache 32
+//
+// The API lives under /v1 (see internal/engine.NewHandler and the
+// "Running the server" section of the README):
+//
+//	POST   /v1/jobs              {"function":"morris","n":400,"l":50000}
+//	GET    /v1/jobs/{id}         status + per-stage progress
+//	GET    /v1/jobs/{id}/result  final box, rule, metrics, trajectory
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/functions         registered simulation functions
+//	GET    /v1/healthz           liveness + cache stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/reds-go/reds/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS/2)")
+	queue := flag.Int("queue", 64, "max pending jobs before submissions are rejected")
+	cacheSize := flag.Int("cache", 32, "metamodel LRU cache capacity")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{
+		Workers:   *workers,
+		QueueSize: *queue,
+		CacheSize: *cacheSize,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(engine.NewHandler(eng)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// ListenAndServe returns the moment Shutdown is *called*, so main
+	// must block on this channel until draining and engine teardown
+	// actually finish.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("redsserver: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		eng.Close()
+	}()
+
+	log.Printf("redsserver: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("redsserver: %v", err)
+	}
+	<-shutdownDone
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/reds-go/reds
+
+go 1.24

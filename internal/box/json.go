@@ -1,0 +1,62 @@
+package box
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// boxJSON is the interchange shape of a Box. JSON has no encoding for
+// ±Inf, so an unrestricted side is transmitted as null.
+type boxJSON struct {
+	Lo []*float64 `json:"lo"`
+	Hi []*float64 `json:"hi"`
+}
+
+func boundsToJSON(bounds []float64, sign int) []*float64 {
+	out := make([]*float64, len(bounds))
+	for j, v := range bounds {
+		if math.IsInf(v, sign) {
+			continue
+		}
+		w := v
+		out[j] = &w
+	}
+	return out
+}
+
+func boundsFromJSON(bounds []*float64, sign int) []float64 {
+	out := make([]float64, len(bounds))
+	for j, p := range bounds {
+		if p == nil {
+			out[j] = math.Inf(sign)
+		} else {
+			out[j] = *p
+		}
+	}
+	return out
+}
+
+// MarshalJSON encodes the box as {"lo": [...], "hi": [...]} with null
+// marking an unrestricted side.
+func (b *Box) MarshalJSON() ([]byte, error) {
+	return json.Marshal(boxJSON{
+		Lo: boundsToJSON(b.Lo, -1),
+		Hi: boundsToJSON(b.Hi, 1),
+	})
+}
+
+// UnmarshalJSON decodes the encoding of MarshalJSON, mapping null back
+// to the matching infinity.
+func (b *Box) UnmarshalJSON(data []byte) error {
+	var raw boxJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("box: decoding json: %w", err)
+	}
+	if len(raw.Lo) != len(raw.Hi) {
+		return fmt.Errorf("box: bound length mismatch %d != %d", len(raw.Lo), len(raw.Hi))
+	}
+	b.Lo = boundsFromJSON(raw.Lo, -1)
+	b.Hi = boundsFromJSON(raw.Hi, 1)
+	return nil
+}

@@ -1,0 +1,39 @@
+package box
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBoxJSONRoundTrip(t *testing.T) {
+	b := Full(3)
+	b.Lo[0] = 0.25
+	b.Hi[2] = 0.75
+
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "null") {
+		t.Errorf("unrestricted sides should encode as null: %s", raw)
+	}
+	var back Box
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(&back) {
+		t.Fatalf("round trip changed the box: %v -> %v", b, &back)
+	}
+	if !math.IsInf(back.Lo[1], -1) || !math.IsInf(back.Hi[1], 1) {
+		t.Fatalf("nulls did not decode to infinities: %+v", back)
+	}
+}
+
+func TestBoxJSONRejectsMismatch(t *testing.T) {
+	var b Box
+	if err := json.Unmarshal([]byte(`{"lo":[0,1],"hi":[1]}`), &b); err == nil {
+		t.Fatalf("accepted mismatched bounds")
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,6 +17,38 @@ import (
 	"github.com/reds-go/reds/internal/sample"
 	"github.com/reds-go/reds/internal/sd"
 )
+
+// Stage identifies one step of the REDS pipeline for progress reporting.
+type Stage string
+
+// The pipeline stages, in execution order.
+const (
+	StageTrain    Stage = "train"    // fit the metamodel (Algorithm 4, line 2)
+	StageSample   Stage = "sample"   // draw the L fresh points (line 3)
+	StageLabel    Stage = "label"    // pseudo-label them (lines 4-6)
+	StageDiscover Stage = "discover" // downstream subgroup discovery (line 7)
+)
+
+// Hooks let a caller — in practice the concurrent engine — observe a
+// running discovery. All callbacks are optional and may be invoked from
+// the goroutine executing the pipeline; OnLabelProgress may additionally
+// be invoked concurrently from several labeling workers.
+type Hooks struct {
+	// OnStage fires when a pipeline stage begins.
+	OnStage func(s Stage)
+	// OnLabelProgress reports pseudo-labeling progress: done of total
+	// points labeled so far.
+	OnLabelProgress func(done, total int)
+	// LabelWorkers caps the pseudo-labeling worker pool (default
+	// GOMAXPROCS).
+	LabelWorkers int
+}
+
+func (h *Hooks) stage(s Stage) {
+	if h != nil && h.OnStage != nil {
+		h.OnStage(s)
+	}
+}
 
 // REDS composes a metamodel, a sampler and a subgroup-discovery
 // algorithm. It implements sd.Discoverer, so it can be used anywhere a
@@ -41,6 +74,32 @@ type REDS struct {
 	// selected box comparable to conventional PRIM's. Exposed for the
 	// ablation study (redsbench -exp ablation).
 	ValidateOnPseudo bool
+	// Hooks observe the pipeline (stage transitions, labeling
+	// progress). Nil means no observation.
+	Hooks *Hooks
+}
+
+// checkTrain validates the shape of a training set before the pipeline
+// touches it: without it, a dataset with rows but zero input columns (or
+// ragged rows) sails through training and makes the sampler emit
+// zero-width points, which fails far downstream with an opaque message.
+func checkTrain(train *dataset.Dataset) error {
+	if train.N() == 0 {
+		return fmt.Errorf("core: empty training data")
+	}
+	m := train.M()
+	if m == 0 {
+		return fmt.Errorf("core: training data has %d rows but zero input columns", train.N())
+	}
+	for i, row := range train.X {
+		if len(row) != m {
+			return fmt.Errorf("core: malformed training data: row %d has %d columns, want %d", i, len(row), m)
+		}
+	}
+	if len(train.Y) != train.N() {
+		return fmt.Errorf("core: malformed training data: %d rows but %d labels", train.N(), len(train.Y))
+	}
+	return nil
 }
 
 // Discover implements sd.Discoverer: it runs Algorithm 4 on the train
@@ -53,11 +112,18 @@ type REDS struct {
 // drilling into artifacts of the metamodel. When val is nil, train
 // doubles as the validation set.
 func (r *REDS) Discover(train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result, error) {
+	return r.DiscoverContext(context.Background(), train, val, rng)
+}
+
+// DiscoverContext is Discover with cooperative cancellation: the pipeline
+// checks ctx between stages and while pseudo-labeling, and returns
+// ctx.Err() once it fires. Progress is reported through r.Hooks.
+func (r *REDS) DiscoverContext(ctx context.Context, train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result, error) {
 	if r.Metamodel == nil || r.SD == nil {
 		return nil, fmt.Errorf("core: REDS needs both a metamodel and an SD algorithm")
 	}
-	if train.N() == 0 {
-		return nil, fmt.Errorf("core: empty training data")
+	if err := checkTrain(train); err != nil {
+		return nil, err
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("core: REDS requires an RNG")
@@ -71,12 +137,24 @@ func (r *REDS) Discover(train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result
 		smp = sample.LatinHypercube{}
 	}
 
+	r.Hooks.stage(StageTrain)
 	model, err := r.Metamodel.Train(train, rng)
 	if err != nil {
 		return nil, fmt.Errorf("core: training metamodel %s: %w", r.Metamodel.Name(), err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.Hooks.stage(StageSample)
 	pts := smp.Sample(l, train.M(), rng)
-	dnew := r.labelPoints(model, pts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.Hooks.stage(StageLabel)
+	dnew, err := r.labelPointsCtx(ctx, model, pts)
+	if err != nil {
+		return nil, err
+	}
 	dnew.Discrete = train.Discrete
 	switch {
 	case r.ValidateOnPseudo:
@@ -84,7 +162,15 @@ func (r *REDS) Discover(train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result
 	case val == nil:
 		val = train
 	}
-	return r.SD.Discover(dnew, val, rng)
+	r.Hooks.stage(StageDiscover)
+	res, err := r.SD.Discover(dnew, val, rng)
+	if err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // DiscoverSemiSupervised runs REDS in the semi-supervised setting of
@@ -95,8 +181,11 @@ func (r *REDS) DiscoverSemiSupervised(train *dataset.Dataset, pool [][]float64, 
 	if r.Metamodel == nil || r.SD == nil {
 		return nil, fmt.Errorf("core: REDS needs both a metamodel and an SD algorithm")
 	}
-	if train.N() == 0 || len(pool) == 0 {
-		return nil, fmt.Errorf("core: empty training data or pool")
+	if err := checkTrain(train); err != nil {
+		return nil, err
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("core: empty unlabeled pool")
 	}
 	model, err := r.Metamodel.Train(train, rng)
 	if err != nil {
@@ -109,11 +198,25 @@ func (r *REDS) DiscoverSemiSupervised(train *dataset.Dataset, pool [][]float64, 
 
 // labelPoints applies lines 4-6 of Algorithm 4.
 func (r *REDS) labelPoints(model metamodel.Model, pts [][]float64) *dataset.Dataset {
-	var y []float64
+	d, _ := r.labelPointsCtx(context.Background(), model, pts)
+	return d
+}
+
+// labelPointsCtx is labelPoints with cancellation and progress: the
+// points are sharded across a worker pool and ctx is checked per chunk.
+func (r *REDS) labelPointsCtx(ctx context.Context, model metamodel.Model, pts [][]float64) (*dataset.Dataset, error) {
+	predict := model.PredictLabel
 	if r.ProbLabels {
-		y = metamodel.PredictProbBatch(model, pts)
-	} else {
-		y = metamodel.PredictLabelBatch(model, pts)
+		predict = model.PredictProb
 	}
-	return &dataset.Dataset{X: pts, Y: y}
+	opts := metamodel.BatchOptions{}
+	if r.Hooks != nil {
+		opts.Progress = r.Hooks.OnLabelProgress
+		opts.Workers = r.Hooks.LabelWorkers
+	}
+	y, err := metamodel.PredictBatchParallel(ctx, pts, predict, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.Dataset{X: pts, Y: y}, nil
 }

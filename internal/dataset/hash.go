@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Hash returns a stable hex-encoded SHA-256 digest of the dataset
+// content: shape, every input value, every label and the discrete mask.
+// Two datasets hash equal iff they hold bit-identical data, which makes
+// the digest usable as a cache key for models trained on the data
+// (engine metamodel cache) regardless of how the dataset was loaded.
+func (d *Dataset) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+
+	writeU64(uint64(d.N()))
+	writeU64(uint64(d.M()))
+	for _, row := range d.X {
+		// Rows of a malformed dataset can be ragged; hash the actual
+		// width so such datasets still get distinct digests.
+		writeU64(uint64(len(row)))
+		for _, v := range row {
+			writeF64(v)
+		}
+	}
+	for _, y := range d.Y {
+		writeF64(y)
+	}
+	if d.Discrete == nil {
+		writeU64(0)
+	} else {
+		writeU64(1)
+		for _, b := range d.Discrete {
+			if b {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

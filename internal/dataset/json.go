@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// datasetJSON is the interchange shape of a Dataset. Inputs and labels
+// are finite floats, so plain JSON numbers suffice (unlike boxes, whose
+// infinite bounds need a null encoding).
+type datasetJSON struct {
+	X        [][]float64 `json:"x"`
+	Y        []float64   `json:"y"`
+	Discrete []bool      `json:"discrete,omitempty"`
+}
+
+// MarshalJSON encodes the dataset as {"x": [[...]], "y": [...]} with an
+// optional "discrete" mask.
+func (d *Dataset) MarshalJSON() ([]byte, error) {
+	return json.Marshal(datasetJSON{X: d.X, Y: d.Y, Discrete: d.Discrete})
+}
+
+// UnmarshalJSON decodes and validates a dataset: the shape checks of New
+// apply, and a discrete mask must match the input width.
+func (d *Dataset) UnmarshalJSON(data []byte) error {
+	var raw datasetJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("dataset: decoding json: %w", err)
+	}
+	parsed, err := New(raw.X, raw.Y)
+	if err != nil {
+		return err
+	}
+	if raw.Discrete != nil && len(raw.Discrete) != parsed.M() {
+		return fmt.Errorf("dataset: discrete mask has %d entries, want %d", len(raw.Discrete), parsed.M())
+	}
+	parsed.Discrete = raw.Discrete
+	*d = *parsed
+	return nil
+}

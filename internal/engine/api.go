@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/funcs"
+)
+
+// apiJobRequest is the wire form of a job submission: an engine Request
+// plus a csv convenience field for inline data (last column = label).
+type apiJobRequest struct {
+	Request
+	CSV string `json:"csv,omitempty"`
+}
+
+// FunctionInfo describes one registry entry for GET /v1/functions.
+type FunctionInfo struct {
+	Name       string  `json:"name"`
+	Dim        int     `json:"dim"`
+	Stochastic bool    `json:"stochastic"`
+	Threshold  float64 `json:"threshold,omitempty"`
+}
+
+// NewHandler returns the /v1 HTTP API over an engine:
+//
+//	POST   /v1/jobs          submit a discovery job
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     job status + progress
+//	DELETE /v1/jobs/{id}     cancel a job
+//	GET    /v1/jobs/{id}/result  final payload of a done job
+//	GET    /v1/functions     simulation-function registry
+//	GET    /v1/healthz       liveness
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req apiJobRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if req.CSV != "" {
+			if req.Dataset != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request has both csv and dataset; pick one"))
+				return
+			}
+			d, err := dataset.ReadCSV(strings.NewReader(req.CSV))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			req.Dataset = d
+		}
+		id, err := e.Submit(req.Request)
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "queue full") {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{
+			"id":     string(id),
+			"status": string(StatusPending),
+			"href":   "/v1/jobs/" + string(id),
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": e.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := e.Job(JobID(r.PathValue("id")))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		if _, ok := e.Job(id); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", id))
+			return
+		}
+		canceled := e.Cancel(id)
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": canceled})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		snap, ok := e.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", id))
+			return
+		}
+		res, err := e.Result(id)
+		if err != nil {
+			status := http.StatusConflict // not ready / canceled / failed
+			writeJSON(w, status, map[string]any{"error": err.Error(), "status": snap.Status})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/functions", func(w http.ResponseWriter, r *http.Request) {
+		var out []FunctionInfo
+		for _, name := range funcs.Names() {
+			f, err := funcs.Get(name)
+			if err != nil {
+				continue
+			}
+			info := FunctionInfo{Name: f.Name(), Dim: f.Dim(), Stochastic: f.Stochastic()}
+			if !f.Stochastic() {
+				info.Threshold = f.Threshold()
+			}
+			out = append(out, info)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"functions": out})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		hits, misses := e.CacheStats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":           true,
+			"cache_hits":   hits,
+			"cache_misses": misses,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

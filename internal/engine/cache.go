@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/reds-go/reds/internal/metamodel"
+)
+
+// modelCache is an LRU cache of trained metamodels keyed by dataset
+// content hash + trainer configuration. Repeated jobs over the same data
+// skip retraining entirely — the dominant cost for tuned trainers.
+// Concurrent requests for the same key are deduplicated singleflight-
+// style: the first caller trains, the rest block and share the result.
+type modelCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent
+	inflight map[string]*trainCall
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	key   string
+	model metamodel.Model
+}
+
+type trainCall struct {
+	done  chan struct{}
+	model metamodel.Model
+	err   error
+}
+
+func newModelCache(capacity int) *modelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &modelCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*trainCall),
+	}
+}
+
+// getOrTrain returns the cached model for key, or runs train once —
+// even under concurrent callers — and caches its result. hit reports
+// whether the model came from the cache (a caller that waited on
+// another's in-flight training counts as a hit: it did not train).
+func (c *modelCache) getOrTrain(key string, train func() (metamodel.Model, error)) (m metamodel.Model, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).model, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		return call.model, true, call.err
+	}
+	call := &trainCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.model, call.err = train()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.insert(key, call.model)
+	}
+	c.mu.Unlock()
+	return call.model, false, call.err
+}
+
+// insert adds the entry and evicts the least recently used beyond
+// capacity. Caller holds mu.
+func (c *modelCache) insert(key string, m metamodel.Model) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).model = m
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, model: m})
+	c.entries[key] = el
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *modelCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached models.
+func (c *modelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the number of jobs executed concurrently (default
+	// GOMAXPROCS/2, min 1). Each job may itself fan out across variants
+	// and labeling workers, so a modest pool keeps the machine busy
+	// without oversubscribing it.
+	Workers int
+	// QueueSize bounds the number of pending jobs (default 64). Submit
+	// fails fast once the queue is full — backpressure instead of
+	// unbounded memory growth.
+	QueueSize int
+	// CacheSize is the LRU metamodel cache capacity in trained models
+	// (default 32).
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0) / 2
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 32
+	}
+	return o
+}
+
+// Engine schedules discovery jobs onto a bounded worker pool. All
+// methods are safe for concurrent use.
+type Engine struct {
+	opts   Options
+	cache  *modelCache
+	queue  chan *job
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[JobID]*job
+	order  []JobID
+	nextID uint64
+	closed bool
+}
+
+// New starts an engine with its worker pool.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:   opts,
+		cache:  newModelCache(opts.CacheSize),
+		queue:  make(chan *job, opts.QueueSize),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[JobID]*job),
+	}
+	e.wg.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.execute(j)
+	}
+}
+
+// execute transitions a dequeued job through its lifecycle.
+func (e *Engine) execute(j *job) {
+	j.mu.Lock()
+	if j.status != StatusPending { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	if j.ctx.Err() != nil {
+		j.status = StatusCanceled
+		j.finishedAt = time.Now()
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+
+	result, err := e.run(j)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishedAt = time.Now()
+	switch {
+	case j.ctx.Err() != nil:
+		j.status = StatusCanceled
+	case err != nil:
+		j.status = StatusFailed
+		j.err = err
+	default:
+		j.status = StatusDone
+		j.result = result
+	}
+}
+
+// Submit validates and enqueues a job, returning its ID. It fails when
+// the request is invalid, the queue is full, or the engine is closed.
+func (e *Engine) Submit(req Request) (JobID, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return "", fmt.Errorf("engine: closed")
+	}
+	e.nextID++
+	id := JobID(fmt.Sprintf("job-%06d", e.nextID))
+	ctx, cancel := context.WithCancel(e.ctx)
+	j := &job{
+		id:          id,
+		req:         req,
+		ctx:         ctx,
+		cancel:      cancel,
+		status:      StatusPending,
+		submittedAt: time.Now(),
+	}
+	select {
+	case e.queue <- j:
+	default:
+		e.mu.Unlock()
+		cancel()
+		return "", fmt.Errorf("engine: queue full (%d pending jobs)", e.opts.QueueSize)
+	}
+	e.jobs[id] = j
+	e.order = append(e.order, id)
+	e.mu.Unlock()
+	return id, nil
+}
+
+func (e *Engine) lookup(id JobID) (*job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Job returns a snapshot of the job, if it exists.
+func (e *Engine) Job(id JobID) (Snapshot, bool) {
+	j, ok := e.lookup(id)
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs returns snapshots of every known job in submission order.
+func (e *Engine) Jobs() []Snapshot {
+	e.mu.Lock()
+	ids := append([]JobID(nil), e.order...)
+	e.mu.Unlock()
+	out := make([]Snapshot, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := e.lookup(id); ok {
+			out = append(out, j.snapshot())
+		}
+	}
+	return out
+}
+
+// Result returns the payload of a finished job. It fails for unknown
+// jobs and for jobs that are not (or not yet) done.
+func (e *Engine) Result(id JobID) (*Result, error) {
+	j, ok := e.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone:
+		return j.result, nil
+	case StatusFailed:
+		return nil, fmt.Errorf("engine: job %s failed: %w", id, j.err)
+	case StatusCanceled:
+		return nil, fmt.Errorf("engine: job %s was canceled", id)
+	default:
+		return nil, fmt.Errorf("engine: job %s is %s, result not ready", id, j.status)
+	}
+}
+
+// Cancel requests cancellation of a job. Queued jobs are canceled
+// immediately; running jobs stop at the next cancellation point. It
+// reports whether the job exists and was not already terminal.
+func (e *Engine) Cancel(id JobID) bool {
+	j, ok := e.lookup(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.status.Terminal()
+	if j.status == StatusPending {
+		// The worker that eventually dequeues it will observe the
+		// status and skip execution.
+		j.status = StatusCanceled
+		j.finishedAt = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return !terminal
+}
+
+// CacheStats returns cumulative metamodel cache hits and misses.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.cache.Stats() }
+
+// Close cancels all jobs, stops the workers and waits for them. The
+// engine accepts no submissions afterwards.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()      // cancels every job context
+	close(e.queue)  // drains: workers skip canceled jobs
+	e.wg.Wait()
+}

@@ -1,0 +1,262 @@
+// Package engine is the concurrent scenario-discovery engine behind
+// cmd/redsserver: a job queue plus a bounded worker pool that runs whole
+// REDS pipelines (metamodel training → parallel pseudo-labeling →
+// subgroup discovery) with per-stage progress, cooperative cancellation,
+// an LRU metamodel cache keyed by dataset content, and multi-variant
+// fan-out (several metamodel families × SD algorithms per request)
+// ranked by scenario quality.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reds-go/reds/internal/box"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/metrics"
+)
+
+// JobID identifies a submitted job.
+type JobID string
+
+// Status is the lifecycle state of a job.
+type Status string
+
+// Job lifecycle: Pending (queued) → Running → one of Done, Failed,
+// Canceled. Cancellation of a still-queued job skips Running.
+const (
+	StatusPending  Status = "pending"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Request describes one discovery job. The input data is either a
+// registered simulation function (Function + N simulations) or an inline
+// Dataset; exactly one must be set. Metamodels and SD name the variant
+// grid: every combination runs as a concurrent sub-task and the result
+// ranks them by quality on the real (simulated) examples.
+type Request struct {
+	// Function is a funcs registry name ("morris", "borehole", ...).
+	Function string `json:"function,omitempty"`
+	// N is the number of simulations drawn from Function (default 400).
+	N int `json:"n,omitempty"`
+	// Dataset is an inline labeled dataset, alternative to Function.
+	Dataset *dataset.Dataset `json:"dataset,omitempty"`
+	// L is the pseudo-label sample size (default 10000).
+	L int `json:"l,omitempty"`
+	// Metamodels lists metamodel families to try: "rf", "xgb", "svm"
+	// (default ["rf"]).
+	Metamodels []string `json:"metamodels,omitempty"`
+	// SD lists subgroup-discovery algorithms to try: "prim", "bumping",
+	// "bi" (default ["prim"]).
+	SD []string `json:"sd,omitempty"`
+	// Sampler names the design for training and pseudo-label points:
+	// "lhs" (default), "uniform", "halton", "logitnormal", "mixed".
+	Sampler string `json:"sampler,omitempty"`
+	// Seed makes the job deterministic (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// ProbLabels selects the modified REDS of Section 6.1 (probability
+	// pseudo-labels instead of thresholded ones).
+	ProbLabels bool `json:"prob_labels,omitempty"`
+	// Tuned enables cross-validated hyperparameter search for each
+	// metamodel (slower; off by default).
+	Tuned bool `json:"tuned,omitempty"`
+}
+
+// Validate checks the request against the function registry and the
+// variant grids before the job is accepted.
+func (r *Request) Validate() error {
+	switch {
+	case r.Function == "" && r.Dataset == nil:
+		return fmt.Errorf("engine: request needs a function name or an inline dataset")
+	case r.Function != "" && r.Dataset != nil:
+		return fmt.Errorf("engine: request has both a function and an inline dataset; pick one")
+	case r.Function != "":
+		if _, err := funcs.Get(r.Function); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+	default:
+		if r.Dataset.N() == 0 {
+			return fmt.Errorf("engine: inline dataset is empty")
+		}
+		if r.Dataset.M() == 0 {
+			return fmt.Errorf("engine: inline dataset has no input columns")
+		}
+		// NaN/Inf parse fine from CSV but poison discovery and are not
+		// JSON-encodable, so job snapshots would fail to serialize.
+		for i, row := range r.Dataset.X {
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("engine: inline dataset has non-finite value at row %d col %d", i, j)
+				}
+			}
+		}
+		for i, y := range r.Dataset.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return fmt.Errorf("engine: inline dataset has non-finite label at row %d", i)
+			}
+		}
+	}
+	if r.N < 0 || r.L < 0 {
+		return fmt.Errorf("engine: negative n or l")
+	}
+	for _, name := range r.Metamodels {
+		if !knownMetamodel(name) {
+			return fmt.Errorf("engine: unknown metamodel %q (want rf, xgb or svm)", name)
+		}
+	}
+	for _, name := range r.SD {
+		if !knownSD(name) {
+			return fmt.Errorf("engine: unknown SD algorithm %q (want prim, bumping or bi)", name)
+		}
+	}
+	if _, err := samplerByName(r.Sampler); err != nil {
+		return err
+	}
+	return nil
+}
+
+// VariantResult is the outcome of one metamodel × SD combination.
+type VariantResult struct {
+	// Metamodel and SD identify the combination.
+	Metamodel string `json:"metamodel"`
+	SD        string `json:"sd"`
+	// Box is the selected scenario; Rule is its IF-THEN rendering.
+	Box  *box.Box `json:"box,omitempty"`
+	Rule string   `json:"rule,omitempty"`
+	// Precision, Recall and WRAcc evaluate Box on the real (simulated)
+	// examples; PRAUC integrates the whole trajectory.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	WRAcc     float64 `json:"wracc"`
+	PRAUC     float64 `json:"pr_auc"`
+	// Trajectory is the peeling trajectory in PR coordinates.
+	Trajectory []metrics.PRPoint `json:"trajectory,omitempty"`
+	// CacheHit reports whether the metamodel came from the engine cache.
+	CacheHit bool `json:"cache_hit"`
+	// Error is set when this variant failed; the job can still succeed
+	// on the surviving variants.
+	Error string `json:"error,omitempty"`
+}
+
+// Result is the final payload of a finished job: the winning variant
+// plus every variant for comparison, ranked best-first.
+type Result struct {
+	// Best is the highest-ranked variant (by WRAcc, ties by PR AUC).
+	Best VariantResult `json:"best"`
+	// Variants holds all combinations, ranked best-first with failed
+	// variants last.
+	Variants []VariantResult `json:"variants"`
+	// TrainN and TrainPositiveShare describe the real dataset the
+	// variants were validated on.
+	TrainN             int     `json:"train_n"`
+	TrainPositiveShare float64 `json:"train_positive_share"`
+	// DatasetHash is the content hash used as the cache key prefix.
+	DatasetHash string `json:"dataset_hash"`
+	// ElapsedSeconds is the wall-clock job duration.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// Snapshot is a point-in-time view of a job, safe to serialize.
+type Snapshot struct {
+	ID     JobID  `json:"id"`
+	Status Status `json:"status"`
+	// Request echoes the submission, except that an inline dataset is
+	// summarized by DatasetN/DatasetM instead of re-serialized on every
+	// status poll.
+	Request  Request `json:"request"`
+	DatasetN int     `json:"dataset_n,omitempty"`
+	DatasetM int     `json:"dataset_m,omitempty"`
+	// Stage is the most recently entered pipeline stage across the
+	// job's variants ("train", "sample", "label", "discover").
+	Stage string `json:"stage,omitempty"`
+	// LabelDone / LabelTotal aggregate pseudo-labeling progress over
+	// all variants.
+	LabelDone  int `json:"label_done"`
+	LabelTotal int `json:"label_total"`
+	// VariantsDone / VariantsTotal count finished variant sub-tasks.
+	VariantsDone  int `json:"variants_done"`
+	VariantsTotal int `json:"variants_total"`
+	// Error is the failure reason of a failed job.
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the engine-internal mutable state behind a Snapshot.
+type job struct {
+	id     JobID
+	req    Request
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Progress counters are atomics so labeling workers can bump them
+	// without taking mu.
+	labelDone    atomic.Int64
+	labelTotal   atomic.Int64
+	variantsDone atomic.Int64
+
+	mu            sync.Mutex
+	status        Status
+	stage         string
+	variantsTotal int
+	result        *Result
+	err           error
+	submittedAt   time.Time
+	startedAt     time.Time
+	finishedAt    time.Time
+}
+
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	req := j.req
+	s := Snapshot{
+		ID:            j.id,
+		Status:        j.status,
+		Request:       req,
+		Stage:         j.stage,
+		LabelDone:     int(j.labelDone.Load()),
+		LabelTotal:    int(j.labelTotal.Load()),
+		VariantsDone:  int(j.variantsDone.Load()),
+		VariantsTotal: j.variantsTotal,
+		SubmittedAt:   j.submittedAt,
+	}
+	if req.Dataset != nil {
+		s.DatasetN = req.Dataset.N()
+		s.DatasetM = req.Dataset.M()
+		s.Request.Dataset = nil
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		s.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		s.FinishedAt = &t
+	}
+	return s
+}
+
+func (j *job) setStage(stage string) {
+	j.mu.Lock()
+	j.stage = stage
+	j.mu.Unlock()
+}

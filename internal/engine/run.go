@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reds-go/reds/internal/bi"
+	"github.com/reds-go/reds/internal/core"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/gbt"
+	"github.com/reds-go/reds/internal/metamodel"
+	"github.com/reds-go/reds/internal/metrics"
+	"github.com/reds-go/reds/internal/prim"
+	"github.com/reds-go/reds/internal/rf"
+	"github.com/reds-go/reds/internal/sample"
+	"github.com/reds-go/reds/internal/sd"
+	"github.com/reds-go/reds/internal/svm"
+)
+
+// variantSeedStride separates the RNG streams of a job's variants.
+const variantSeedStride = 1009
+
+func knownMetamodel(name string) bool {
+	switch name {
+	case "rf", "xgb", "svm":
+		return true
+	}
+	return false
+}
+
+func knownSD(name string) bool {
+	switch name {
+	case "prim", "bumping", "bi":
+		return true
+	}
+	return false
+}
+
+func trainerByName(name string, m int, tuned bool) metamodel.Trainer {
+	switch name {
+	case "xgb":
+		if tuned {
+			return gbt.TunedTrainer()
+		}
+		return &gbt.Trainer{}
+	case "svm":
+		if tuned {
+			return svm.TunedTrainer()
+		}
+		return &svm.Trainer{}
+	default: // "rf"
+		if tuned {
+			return rf.TunedTrainer(m)
+		}
+		return &rf.Trainer{}
+	}
+}
+
+func sdByName(name string) sd.Discoverer {
+	switch name {
+	case "bumping":
+		return &prim.Bumping{}
+	case "bi":
+		return &bi.BI{}
+	default: // "prim"
+		return &prim.Peeler{}
+	}
+}
+
+func samplerByName(name string) (sample.Sampler, error) {
+	switch name {
+	case "", "lhs":
+		return sample.LatinHypercube{}, nil
+	case "uniform":
+		return sample.Uniform{}, nil
+	case "halton":
+		return &sample.Halton{}, nil
+	case "logitnormal":
+		return &sample.LogitNormal{}, nil
+	case "mixed":
+		return &sample.Mixed{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown sampler %q (want lhs, uniform, halton, logitnormal or mixed)", name)
+	}
+}
+
+type variantSpec struct {
+	metamodel string
+	sd        string
+}
+
+func buildVariants(req Request) []variantSpec {
+	mms := req.Metamodels
+	if len(mms) == 0 {
+		mms = []string{"rf"}
+	}
+	sds := req.SD
+	if len(sds) == 0 {
+		sds = []string{"prim"}
+	}
+	var out []variantSpec
+	for _, mm := range mms {
+		for _, s := range sds {
+			out = append(out, variantSpec{metamodel: mm, sd: s})
+		}
+	}
+	return out
+}
+
+// run executes one job end to end: resolve the training data, fan the
+// variant grid out as concurrent sub-tasks, rank the outcomes.
+func (e *Engine) run(j *job) (*Result, error) {
+	req := j.req
+	start := time.Now()
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	l := req.L
+	if l == 0 {
+		l = 10000
+	}
+	smp, err := samplerByName(req.Sampler)
+	if err != nil {
+		return nil, err
+	}
+
+	var train *dataset.Dataset
+	if req.Function != "" {
+		f, err := funcs.Get(req.Function)
+		if err != nil {
+			return nil, err
+		}
+		n := req.N
+		if n == 0 {
+			n = 400
+		}
+		j.setStage("simulate")
+		train = funcs.Generate(f, n, smp, rand.New(rand.NewSource(seed)))
+	} else {
+		train = req.Dataset
+	}
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	hash := train.Hash()
+
+	variants := buildVariants(req)
+	j.mu.Lock()
+	j.variantsTotal = len(variants)
+	j.mu.Unlock()
+	j.labelTotal.Store(int64(l * len(variants)))
+
+	// Training seeds are per metamodel *family*, not per variant, so the
+	// SD variants of one family share a single cache entry (the
+	// singleflight trains once, concurrently-started siblings wait).
+	familySeed := make(map[string]int64)
+	for _, v := range variants {
+		if _, ok := familySeed[v.metamodel]; !ok {
+			familySeed[v.metamodel] = seed + int64(len(familySeed)+1)*variantSeedStride
+		}
+	}
+	// Bound each variant's labeling pool so a job's fan-out does not
+	// multiply into GOMAXPROCS × variants goroutines.
+	labelWorkers := runtime.GOMAXPROCS(0) / len(variants)
+	if labelWorkers < 1 {
+		labelWorkers = 1
+	}
+
+	results := make([]VariantResult, len(variants))
+	var wg sync.WaitGroup
+	for vi, v := range variants {
+		wg.Add(1)
+		go func(vi int, v variantSpec) {
+			defer wg.Done()
+			defer j.variantsDone.Add(1)
+			results[vi] = e.runVariant(j, train, hash, smp, l, v, variantConfig{
+				pipelineSeed: seed + int64(vi+1)*variantSeedStride,
+				trainSeed:    familySeed[v.metamodel],
+				labelWorkers: labelWorkers,
+			})
+		}(vi, v)
+	}
+	wg.Wait()
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rankVariants(results)
+	if results[0].Error != "" {
+		return nil, fmt.Errorf("engine: all %d variants failed; first: %s", len(results), results[0].Error)
+	}
+	return &Result{
+		Best:               results[0],
+		Variants:           results,
+		TrainN:             train.N(),
+		TrainPositiveShare: train.PositiveShare(),
+		DatasetHash:        hash,
+		ElapsedSeconds:     time.Since(start).Seconds(),
+	}, nil
+}
+
+// variantConfig carries the per-variant execution parameters:
+// pipelineSeed drives the sampler and SD stages (unique per variant),
+// trainSeed drives metamodel training (shared across a family so its SD
+// variants share one cache entry), labelWorkers bounds the labeling
+// pool.
+type variantConfig struct {
+	pipelineSeed int64
+	trainSeed    int64
+	labelWorkers int
+}
+
+// runVariant executes one metamodel × SD combination of a job. The
+// metamodel is fetched from (or trained into) the engine cache; the
+// pipeline runs under the job's context with progress wired into the
+// job's counters.
+func (e *Engine) runVariant(j *job, train *dataset.Dataset, hash string, smp sample.Sampler, l int, v variantSpec, cfg variantConfig) VariantResult {
+	out := VariantResult{Metamodel: v.metamodel, SD: v.sd}
+	trainer := &cachedTrainer{
+		cache: e.cache,
+		key:   fmt.Sprintf("%s|%s|tuned=%v|seed=%d", hash, v.metamodel, j.req.Tuned, cfg.trainSeed),
+		seed:  cfg.trainSeed,
+		inner: trainerByName(v.metamodel, train.M(), j.req.Tuned),
+	}
+	var prev atomic.Int64
+	r := &core.REDS{
+		Metamodel:  trainer,
+		Sampler:    smp,
+		L:          l,
+		SD:         sdByName(v.sd),
+		ProbLabels: j.req.ProbLabels,
+		Hooks: &core.Hooks{
+			LabelWorkers: cfg.labelWorkers,
+			OnStage:      func(s core.Stage) { j.setStage(string(s)) },
+			OnLabelProgress: func(done, total int) {
+				// Reports may arrive out of order across labeling
+				// workers; fold them into a monotone per-variant count
+				// so the job-level sum stays exact.
+				for {
+					old := prev.Load()
+					if int64(done) <= old {
+						return
+					}
+					if prev.CompareAndSwap(old, int64(done)) {
+						j.labelDone.Add(int64(done) - old)
+						return
+					}
+				}
+			},
+		},
+	}
+	res, err := r.DiscoverContext(j.ctx, train, train, rand.New(rand.NewSource(cfg.pipelineSeed)))
+	out.CacheHit = trainer.hit.Load()
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	final := res.Final()
+	if final == nil {
+		out.Error = "discovery returned an empty trajectory"
+		return out
+	}
+	out.Box = final
+	out.Rule = final.String()
+	out.Precision, out.Recall = metrics.PrecisionRecall(final, train)
+	out.WRAcc = metrics.WRAcc(final, train)
+	out.Trajectory = metrics.Trajectory(res, train)
+	out.PRAUC = metrics.PRAUC(out.Trajectory)
+	return out
+}
+
+// rankVariants sorts best-first: successful variants by WRAcc then PR
+// AUC on the real examples, failed variants last.
+func rankVariants(results []VariantResult) {
+	sort.SliceStable(results, func(a, b int) bool {
+		ra, rb := &results[a], &results[b]
+		if (ra.Error == "") != (rb.Error == "") {
+			return ra.Error == ""
+		}
+		if ra.WRAcc != rb.WRAcc {
+			return ra.WRAcc > rb.WRAcc
+		}
+		return ra.PRAUC > rb.PRAUC
+	})
+}
+
+// cachedTrainer adapts the engine cache to the metamodel.Trainer
+// interface so core.REDS transparently reuses trained models. Training
+// runs from its own seed rather than the pipeline RNG: that keeps the
+// caller's stream in the same state whether the cache hits or misses,
+// so a cached rerun reproduces the uncached run's sampling and SD
+// stages exactly.
+type cachedTrainer struct {
+	cache *modelCache
+	key   string
+	seed  int64
+	inner metamodel.Trainer
+	hit   atomic.Bool
+}
+
+func (c *cachedTrainer) Name() string { return c.inner.Name() }
+
+func (c *cachedTrainer) Train(d *dataset.Dataset, _ *rand.Rand) (metamodel.Model, error) {
+	m, hit, err := c.cache.getOrTrain(c.key, func() (metamodel.Model, error) {
+		return c.inner.Train(d, rand.New(rand.NewSource(c.seed)))
+	})
+	c.hit.Store(hit)
+	return m, err
+}

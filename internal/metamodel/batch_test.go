@@ -1,0 +1,112 @@
+package metamodel
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// slowModel burns a few cycles per point so parallelism and
+// cancellation are observable.
+type slowModel struct{}
+
+func (slowModel) PredictProb(x []float64) float64 {
+	s := 0.0
+	for i := 0; i < 50; i++ {
+		s += math.Sin(x[0] + float64(i))
+	}
+	return math.Abs(math.Mod(s, 1))
+}
+
+func (m slowModel) PredictLabel(x []float64) float64 {
+	if m.PredictProb(x) > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func randPoints(n, m int, rng *rand.Rand) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, m)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64()
+		}
+	}
+	return pts
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	pts := randPoints(5000, 3, rand.New(rand.NewSource(1)))
+	var m slowModel
+	want := PredictBatchSerial(pts, m.PredictProb)
+	for _, workers := range []int{0, 1, 2, 7} {
+		got, err := PredictBatchParallel(context.Background(), pts, m.PredictProb, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: point %d: %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchProgressCoversAllPoints(t *testing.T) {
+	pts := randPoints(3000, 2, rand.New(rand.NewSource(2)))
+	var mu sync.Mutex
+	sum, max := 0, 0
+	prev := 0
+	_, err := PredictBatchParallel(context.Background(), pts, slowModel{}.PredictProb, BatchOptions{
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != len(pts) {
+				t.Errorf("total = %d, want %d", total, len(pts))
+			}
+			sum += done - prev
+			prev = done
+			if done > max {
+				max = done
+			}
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != len(pts) {
+		t.Errorf("final progress = %d, want %d", max, len(pts))
+	}
+}
+
+func TestBatchCancellation(t *testing.T) {
+	pts := randPoints(200000, 2, rand.New(rand.NewSource(3)))
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	out, err := PredictBatchParallel(ctx, pts, slowModel{}.PredictProb, BatchOptions{
+		Workers: 2,
+		Progress: func(done, total int) {
+			once.Do(cancel) // cancel after the first chunk
+		},
+	})
+	if err == nil {
+		t.Fatalf("cancelled batch returned no error (out len %d)", len(out))
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled batch returned a partial slice")
+	}
+}
+
+func TestBatchEmptyInput(t *testing.T) {
+	out, err := PredictBatchParallel(context.Background(), nil, slowModel{}.PredictProb, BatchOptions{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+}

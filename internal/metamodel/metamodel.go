@@ -5,10 +5,12 @@
 package metamodel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/reds-go/reds/internal/dataset"
 )
@@ -35,47 +37,110 @@ type Trainer interface {
 // across GOMAXPROCS workers. REDS labels 10^4-10^5 points per run, which
 // makes this the hot path of the whole pipeline.
 func PredictProbBatch(m Model, pts [][]float64) []float64 {
-	return batch(pts, m.PredictProb)
+	out, _ := PredictBatchParallel(context.Background(), pts, m.PredictProb, BatchOptions{})
+	return out
 }
 
 // PredictLabelBatch evaluates PredictLabel on every point in parallel.
 func PredictLabelBatch(m Model, pts [][]float64) []float64 {
-	return batch(pts, m.PredictLabel)
+	out, _ := PredictBatchParallel(context.Background(), pts, m.PredictLabel, BatchOptions{})
+	return out
 }
 
-func batch(pts [][]float64, f func([]float64) float64) []float64 {
+// batchChunk is the unit of work handed to one prediction worker. It
+// bounds how stale a Progress report or a cancellation check can be.
+const batchChunk = 512
+
+// BatchOptions configure PredictBatchParallel.
+type BatchOptions struct {
+	// Workers is the number of prediction goroutines (default
+	// GOMAXPROCS). One worker degenerates to a serial scan.
+	Workers int
+	// Progress, when non-nil, is called after every completed chunk with
+	// the running total of labeled points. It may be called concurrently
+	// from several workers and must be safe for that.
+	Progress func(done, total int)
+}
+
+// PredictBatchSerial evaluates f on every point on the calling
+// goroutine. It is the baseline the parallel path is benchmarked
+// against.
+func PredictBatchSerial(pts [][]float64, f func([]float64) float64) []float64 {
 	out := make([]float64, len(pts))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pts) {
-		workers = len(pts)
+	for i, x := range pts {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// PredictBatchParallel shards the evaluation of f over pts across a pool
+// of workers. Points are handed out in fixed-size chunks so workers stay
+// balanced even when per-point cost varies (deep trees vs early exits).
+// Cancelling ctx stops the scan between chunks and returns ctx.Err();
+// the partially-filled slice is discarded.
+func PredictBatchParallel(ctx context.Context, pts [][]float64, f func([]float64) float64, opts BatchOptions) ([]float64, error) {
+	out := make([]float64, len(pts))
+	if len(pts) == 0 {
+		return out, ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nChunks := (len(pts) + batchChunk - 1) / batchChunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	var done atomic.Int64
+	report := func(n int) {
+		if opts.Progress != nil {
+			opts.Progress(int(done.Add(int64(n))), len(pts))
+		}
 	}
 	if workers <= 1 {
-		for i, x := range pts {
-			out[i] = f(x)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pts) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pts) {
-			hi = len(pts)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		for lo := 0; lo < len(pts); lo += batchChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := lo + batchChunk
+			if hi > len(pts) {
+				hi = len(pts)
+			}
 			for i := lo; i < hi; i++ {
 				out[i] = f(pts[i])
 			}
-		}(lo, hi)
+			report(hi - lo)
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks || ctx.Err() != nil {
+					return
+				}
+				lo := c * batchChunk
+				hi := lo + batchChunk
+				if hi > len(pts) {
+					hi = len(pts)
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = f(pts[i])
+				}
+				report(hi - lo)
+			}
+		}()
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Accuracy returns the share of points whose hard prediction matches the

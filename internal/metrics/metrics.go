@@ -40,8 +40,8 @@ func WRAcc(b *box.Box, d *dataset.Dataset) float64 {
 
 // PRPoint is one point of a precision-recall curve.
 type PRPoint struct {
-	Recall    float64
-	Precision float64
+	Recall    float64 `json:"recall"`
+	Precision float64 `json:"precision"`
 }
 
 // Trajectory evaluates every box of a result on the given dataset,

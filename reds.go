@@ -31,6 +31,7 @@ import (
 	"github.com/reds-go/reds/internal/core"
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/dsgc"
+	"github.com/reds-go/reds/internal/engine"
 	"github.com/reds-go/reds/internal/funcs"
 	"github.com/reds-go/reds/internal/gbt"
 	"github.com/reds-go/reds/internal/lake"
@@ -139,6 +140,17 @@ var TunedGradientBoosting = gbt.TunedTrainer
 // TunedSVM returns a cross-validated SVM trainer.
 var TunedSVM = svm.TunedTrainer
 
+// BatchOptions configure PredictBatchParallel (worker count, progress).
+type BatchOptions = metamodel.BatchOptions
+
+// PredictBatchSerial evaluates a prediction function on every point on
+// the calling goroutine — the baseline for the parallel path.
+var PredictBatchSerial = metamodel.PredictBatchSerial
+
+// PredictBatchParallel shards prediction across a worker pool with
+// cooperative cancellation; the hot path of pseudo-labeling.
+var PredictBatchParallel = metamodel.PredictBatchParallel
+
 // --- Subgroup discovery ---
 
 // Discoverer is a subgroup-discovery algorithm: PRIM, PRIMBumping, BI or
@@ -231,6 +243,52 @@ var Consistency = metrics.Consistency
 // Irrelevant counts restricted inputs that the ground truth marks
 // irrelevant (#irrel).
 var Irrelevant = metrics.Irrelevant
+
+// --- Concurrent engine (cmd/redsserver) ---
+
+// Engine is the concurrent scenario-discovery engine: a bounded worker
+// pool running whole REDS pipelines as cancellable jobs with per-stage
+// progress, an LRU metamodel cache, and multi-variant fan-out ranked by
+// scenario quality.
+type Engine = engine.Engine
+
+// EngineOptions configure worker count, queue bound and cache capacity.
+type EngineOptions = engine.Options
+
+// NewEngine starts an engine and its worker pool; Close releases it.
+var NewEngine = engine.New
+
+// JobRequest describes one discovery job (data source, L, variant grid).
+type JobRequest = engine.Request
+
+// JobID identifies a submitted job.
+type JobID = engine.JobID
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus = engine.Status
+
+// Job lifecycle states.
+const (
+	JobPending  = engine.StatusPending
+	JobRunning  = engine.StatusRunning
+	JobDone     = engine.StatusDone
+	JobFailed   = engine.StatusFailed
+	JobCanceled = engine.StatusCanceled
+)
+
+// JobSnapshot is a point-in-time view of a job's status and progress.
+type JobSnapshot = engine.Snapshot
+
+// JobResult is the final payload of a done job: the winning variant and
+// the full ranked variant list.
+type JobResult = engine.Result
+
+// JobVariantResult is the outcome of one metamodel × SD combination.
+type JobVariantResult = engine.VariantResult
+
+// NewAPIHandler returns the /v1 HTTP JSON API over an engine — the
+// handler cmd/redsserver serves.
+var NewAPIHandler = engine.NewHandler
 
 // --- Convenience ---
 
