@@ -18,6 +18,16 @@ import (
 	"github.com/reds-go/reds/internal/experiment"
 )
 
+// skipIfShort exempts the heavy paper-figure suites from -short runs
+// (notably the CI benchmark smoke step, which only exercises the
+// component hot paths).
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping paper-figure suite in -short mode")
+	}
+}
+
 // benchConfig keeps every driver in the sub-minute range.
 func benchConfig() experiment.Config {
 	return experiment.Config{
@@ -32,6 +42,7 @@ func benchConfig() experiment.Config {
 }
 
 func BenchmarkFig6Demonstration(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.Fig6(cfg)
@@ -43,6 +54,7 @@ func BenchmarkFig6Demonstration(b *testing.B) {
 }
 
 func BenchmarkTable3PRIMMethods(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Funcs = []string{"f2", "hart3"}
 	for i := 0; i < b.N; i++ {
@@ -55,6 +67,7 @@ func BenchmarkTable3PRIMMethods(b *testing.B) {
 }
 
 func BenchmarkFig7RelativeChange(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Funcs = []string{"f2", "hart3"}
 	for i := 0; i < b.N; i++ {
@@ -67,6 +80,7 @@ func BenchmarkFig7RelativeChange(b *testing.B) {
 }
 
 func BenchmarkTable4BIMethods(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Funcs = []string{"f2", "hart3"}
 	for i := 0; i < b.N; i++ {
@@ -79,6 +93,7 @@ func BenchmarkTable4BIMethods(b *testing.B) {
 }
 
 func BenchmarkFig8RelativeChange(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Funcs = []string{"f2", "hart3"}
 	for i := 0; i < b.N; i++ {
@@ -91,6 +106,7 @@ func BenchmarkFig8RelativeChange(b *testing.B) {
 }
 
 func BenchmarkFig9Runtimes(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Funcs = []string{"f2"}
 	for i := 0; i < b.N; i++ {
@@ -103,6 +119,7 @@ func BenchmarkFig9Runtimes(b *testing.B) {
 }
 
 func BenchmarkFig10MixedInputs(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Funcs = []string{"f2", "hart3"}
 	for i := 0; i < b.N; i++ {
@@ -115,6 +132,7 @@ func BenchmarkFig10MixedInputs(b *testing.B) {
 }
 
 func BenchmarkFig11Trajectories(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		r, err := experiment.Fig11(cfg)
@@ -126,6 +144,7 @@ func BenchmarkFig11Trajectories(b *testing.B) {
 }
 
 func BenchmarkFig12LearningCurves(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Reps = 2
 	for i := 0; i < b.N; i++ {
@@ -138,6 +157,7 @@ func BenchmarkFig12LearningCurves(b *testing.B) {
 }
 
 func BenchmarkFig13Table5ThirdParty(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Reps = 2
 	for i := 0; i < b.N; i++ {
@@ -150,6 +170,7 @@ func BenchmarkFig13Table5ThirdParty(b *testing.B) {
 }
 
 func BenchmarkFig14SemiSupervised(b *testing.B) {
+	skipIfShort(b)
 	cfg := benchConfig()
 	cfg.Funcs = []string{"f2", "hart3"}
 	for i := 0; i < b.N; i++ {
@@ -192,6 +213,42 @@ func BenchmarkPRIMPeel(b *testing.B) {
 	}
 }
 
+// BenchmarkPRIMPeelReference measures the kept pre-columnar peeler
+// (quickselect plus full passes per dimension per step) on the same
+// workload, so the fast path's speedup stays visible in every run.
+func BenchmarkPRIMPeelReference(b *testing.B) {
+	d := benchTrain(10000, 20, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&reds.PRIM{Reference: true}).Discover(d, d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBumping(b *testing.B) {
+	d := benchTrain(4000, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&reds.PRIMBumping{Q: 10}).Discover(d, d, rand.New(rand.NewSource(4))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBumpingSerialReference is the pre-PR2 bumping: serial
+// replicas, reference peeler.
+func BenchmarkBumpingSerialReference(b *testing.B) {
+	d := benchTrain(4000, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&reds.PRIMBumping{Q: 10, Workers: 1, Reference: true}).Discover(d, d, rand.New(rand.NewSource(4))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkBIBeamSearch(b *testing.B) {
 	d := benchTrain(4000, 10, 3)
 	rng := rand.New(rand.NewSource(4))
@@ -214,12 +271,38 @@ func BenchmarkRandomForestTrain(b *testing.B) {
 	}
 }
 
+// BenchmarkRandomForestTrainReference measures the kept per-node
+// sorting split finder on the same workload.
+func BenchmarkRandomForestTrainReference(b *testing.B) {
+	d := benchTrain(400, 10, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(6))
+		if _, err := (&reds.RandomForest{NTrees: 100, Reference: true}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkGradientBoostingTrain(b *testing.B) {
 	d := benchTrain(400, 10, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(8))
 		if _, err := (&reds.GradientBoosting{}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGradientBoostingTrainReference measures the kept per-node
+// sorting split finder on the same workload.
+func BenchmarkGradientBoostingTrainReference(b *testing.B) {
+	d := benchTrain(400, 10, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(8))
+		if _, err := (&reds.GradientBoosting{Reference: true}).Train(d, rng); err != nil {
 			b.Fatal(err)
 		}
 	}

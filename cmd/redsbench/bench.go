@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/reds-go/reds/internal/bi"
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/gbt"
+	"github.com/reds-go/reds/internal/metamodel"
+	"github.com/reds-go/reds/internal/prim"
+	"github.com/reds-go/reds/internal/rf"
+	"github.com/reds-go/reds/internal/sample"
+)
+
+// benchResult is the machine-readable record of one component benchmark:
+// the figures CI and the perf trajectory track.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the top-level JSON document `redsbench -bench -json`
+// emits; snapshots of it (BENCH_PR2.json, ...) record the perf
+// trajectory across PRs.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	CPU        int           `json:"num_cpu"`
+	Date       string        `json:"date"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchData mirrors the dataset generator of the repo's bench_test.go so
+// the binary reports the same workloads `go test -bench` measures.
+func benchData(n, m int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0] < 0.5 && row[1] > 0.3 {
+			y[i] = 1
+		}
+	}
+	return dataset.MustNew(x, y)
+}
+
+// componentBenchmarks enumerates the hot-path benchmarks: each optimized
+// path next to its kept reference implementation, so every report
+// carries its own before/after.
+func componentBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	primData := benchData(10000, 20, 1)
+	sdTrain := benchData(4000, 10, 3)
+	mmTrain := benchData(400, 10, 5)
+
+	rfModel, err := (&rf.Trainer{}).Train(benchData(400, 10, 14), rand.New(rand.NewSource(15)))
+	if err != nil {
+		panic(err)
+	}
+	pts := sample.LatinHypercube{}.Sample(50000, 10, rand.New(rand.NewSource(16)))
+
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"prim_peel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&prim.Peeler{}).Discover(primData, primData, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"prim_peel_reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&prim.Peeler{Reference: true}).Discover(primData, primData, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"bumping", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&prim.Bumping{Q: 10}).Discover(sdTrain, sdTrain, rand.New(rand.NewSource(4))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"bumping_serial_reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&prim.Bumping{Q: 10, Workers: 1, Reference: true}).Discover(sdTrain, sdTrain, rand.New(rand.NewSource(4))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"bi_beam", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&bi.BI{}).Discover(sdTrain, sdTrain, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"rf_train", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&rf.Trainer{NTrees: 100}).Train(mmTrain, rand.New(rand.NewSource(6))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"rf_train_reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&rf.Trainer{NTrees: 100, Reference: true}).Train(mmTrain, rand.New(rand.NewSource(6))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"gbt_train", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&gbt.Trainer{}).Train(mmTrain, rand.New(rand.NewSource(8))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"gbt_train_reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&gbt.Trainer{Reference: true}).Train(mmTrain, rand.New(rand.NewSource(8))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"predict_batch_50k_serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				metamodel.PredictBatchSerial(pts, rfModel.PredictProb)
+			}
+		}},
+		{"predict_batch_50k_parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := metamodel.PredictBatchParallel(b.Context(), pts, rfModel.PredictProb, metamodel.BatchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// runComponentBenchmarks executes the hot-path suite via
+// testing.Benchmark, prints a table to w and optionally writes the JSON
+// report to jsonPath. With jsonPath "-" the JSON goes to stdout and the
+// table moves to stderr, keeping stdout cleanly machine-readable.
+func runComponentBenchmarks(w io.Writer, jsonPath string) error {
+	if jsonPath == "-" {
+		w = os.Stderr
+	}
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPU:        runtime.NumCPU(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Fprintf(w, "%-28s %14s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, bm := range componentBenchmarks() {
+		r := testing.Benchmark(bm.fn)
+		res := benchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Fprintf(w, "%-28s %14.0f %12d %14d\n", res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -11,6 +11,15 @@
 //
 // Experiments: fig6, table3, fig7, table4, fig8, fig9, fig10, fig11,
 // fig12, fig13, table5, fig14, all.
+//
+// Component mode benchmarks the hot paths (PRIM peeling, RF/GBT
+// training, BI, batch prediction) next to their kept reference
+// implementations and can emit a machine-readable report; committed
+// snapshots (BENCH_PR2.json, ...) record the perf trajectory:
+//
+//	redsbench -bench                 # table on stdout
+//	redsbench -bench -json bench.json
+//	redsbench -bench -json -         # JSON to stdout
 package main
 
 import (
@@ -35,8 +44,18 @@ func main() {
 		lbi     = flag.Int("lbi", 0, "REDS L for BI-based methods (0 = config default)")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		workers = flag.Int("workers", 0, "parallel repetitions (0 = GOMAXPROCS)")
+		bench   = flag.Bool("bench", false, "run the component hot-path benchmarks instead of an experiment")
+		jsonOut = flag.String("json", "", "with -bench: write the machine-readable report to this path ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *bench {
+		if err := runComponentBenchmarks(os.Stdout, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "redsbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiment.Default()
 	if *paper {

@@ -4,6 +4,14 @@
 // a dimension under the WRAcc measure is found in linear time after
 // sorting, because WRAcc(B) = (1/N)·Σ_{i∈B}(y_i − p₀) turns the search
 // into a maximum-sum run of tie-groups (Kadane's algorithm).
+//
+// The hot loop runs on a columnar fast path: the per-dimension sorted
+// orders come from dataset.SortedOrders (computed once, shared), point
+// eligibility for every refinement dimension of a beam box is derived
+// from a single violation-count pass instead of an O(M) bound check per
+// (point, dimension) pair, and the tie-group buffer is reused across
+// candidates. The reference implementation is kept in bi_reference.go
+// and differential tests assert identical results.
 package bi
 
 import (
@@ -40,6 +48,13 @@ func WRAcc(b *box.Box, d *dataset.Dataset) float64 {
 	return float64(st.N) / n * (st.Precision() - p0)
 }
 
+// group is one run of equal x_j values with the summed WRAcc weight of
+// its points.
+type group struct {
+	value float64
+	sum   float64
+}
+
 // Discover implements sd.Discoverer. The RNG is unused; BI is
 // deterministic. The validation set only contributes the recorded
 // statistics: BI selects its box on train data, per Algorithm 3.
@@ -64,39 +79,36 @@ func (a *BI) Discover(train, val *dataset.Dataset, _ *rand.Rand) (*sd.Result, er
 		maxIters = 64
 	}
 
-	// Pre-sort row indices along every dimension once: O(M·N log N).
-	orders := make([][]int, m)
-	for j := 0; j < m; j++ {
-		ord := make([]int, train.N())
-		for i := range ord {
-			ord[i] = i
-		}
-		jj := j
-		sort.Slice(ord, func(a, b int) bool { return train.X[ord[a]][jj] < train.X[ord[b]][jj] })
-		orders[j] = ord
-	}
+	// Row indices pre-sorted along every dimension, computed once on the
+	// dataset and shared with every other consumer.
+	cols := train.Columns()
+	orders := train.SortedOrders()
 	p0 := train.PositiveShare()
 	nf := float64(train.N())
+
+	// Scratch reused across all candidate evaluations.
+	viol := make([]int, train.N())
+	vdim := make([]int, train.N())
+	groups := make([]group, 0, train.N())
 
 	beam := []scored{{box.Full(m), 0}} // full box has WRAcc 0
 
 	for iter := 0; iter < maxIters; iter++ {
 		candidates := append([]scored(nil), beam...)
 		for _, cur := range beam {
+			// One violation-count pass replaces the per-(point, dim)
+			// othersContain scan: a point is eligible for refining dim j
+			// iff it violates no bound of cur, or only the bound on j.
+			countViolations(train, cur.b, viol, vdim)
 			for j := 0; j < m; j++ {
-				nb, ok := bestInterval(train, orders[j], cur.b, j, p0)
+				nb, ok := bestInterval(cols[j], train.Y, orders[j], cur.b, j, p0, viol, vdim, &groups)
 				if !ok {
 					continue
 				}
 				if nb.Restricted() > depth {
 					continue
 				}
-				w := 0.0
-				for _, i := range orders[j] {
-					if nb.Contains(train.X[i]) {
-						w += train.Y[i] - p0
-					}
-				}
+				w := intervalWRAcc(cols[j], train.Y, orders[j], j, nb, p0, viol, vdim)
 				candidates = append(candidates, scored{nb, w / nf})
 			}
 		}
@@ -161,30 +173,54 @@ func sameBeam(a, b []scored) bool {
 	return true
 }
 
+// countViolations fills, for every point, how many bounds of b it
+// violates and (when exactly one) which dimension. Counting stops at two
+// — such points are ineligible for every refinement dimension.
+func countViolations(d *dataset.Dataset, b *box.Box, viol, vdim []int) {
+	for i, x := range d.X {
+		c, vd := 0, -1
+		for j, v := range x {
+			if v < b.Lo[j] || v > b.Hi[j] {
+				c++
+				vd = j
+				if c > 1 {
+					break
+				}
+			}
+		}
+		viol[i] = c
+		vdim[i] = vd
+	}
+}
+
+// eligible reports whether point i satisfies all bounds except possibly
+// the one on dim j — the fast equivalent of othersContain.
+func eligible(viol, vdim []int, i, j int) bool {
+	return viol[i] == 0 || (viol[i] == 1 && vdim[i] == j)
+}
+
 // bestInterval finds the WRAcc-optimal interval for dimension j of box
 // cur (ignoring cur's existing bounds on j, per BestIntervalWRAcc). It
 // returns ok = false when no point satisfies the other bounds. When the
 // optimal run spans all eligible points the dimension is left
-// unrestricted.
-func bestInterval(d *dataset.Dataset, order []int, cur *box.Box, j int, p0 float64) (*box.Box, bool) {
+// unrestricted. The tie-group buffer is borrowed from the caller and
+// reused across candidates.
+func bestInterval(col, y []float64, order []int, cur *box.Box, j int, p0 float64, viol, vdim []int, buf *[]group) (*box.Box, bool) {
 	// Build tie-groups over eligible points in ascending x_j order.
-	type group struct {
-		value float64
-		sum   float64
-	}
-	var groups []group
+	groups := (*buf)[:0]
 	for _, i := range order {
-		if !othersContain(cur, d.X[i], j) {
+		if !eligible(viol, vdim, i, j) {
 			continue
 		}
-		v := d.X[i][j]
-		w := d.Y[i] - p0
+		v := col[i]
+		w := y[i] - p0
 		if len(groups) > 0 && groups[len(groups)-1].value == v {
 			groups[len(groups)-1].sum += w
 		} else {
 			groups = append(groups, group{value: v, sum: w})
 		}
 	}
+	*buf = groups
 	if len(groups) == 0 {
 		return nil, false
 	}
@@ -225,16 +261,20 @@ func bestInterval(d *dataset.Dataset, order []int, cur *box.Box, j int, p0 float
 	return nb, true
 }
 
-// othersContain reports whether x satisfies all bounds of b except
-// dimension skip.
-func othersContain(b *box.Box, x []float64, skip int) bool {
-	for j, v := range x {
-		if j == skip {
-			continue
-		}
-		if v < b.Lo[j] || v > b.Hi[j] {
-			return false
+// intervalWRAcc returns Σ_{i∈nb}(y_i − p₀) for a box nb that differs
+// from the beam box only on dim j, accumulated in ascending x_j order —
+// the same iteration the reference's nb.Contains scan performs, at O(1)
+// per point instead of O(M).
+func intervalWRAcc(col, y []float64, order []int, j int, nb *box.Box, p0 float64, viol, vdim []int) float64 {
+	lo, hi := nb.Lo[j], nb.Hi[j]
+	w := 0.0
+	for _, i := range order {
+		if eligible(viol, vdim, i, j) {
+			v := col[i]
+			if v >= lo && v <= hi {
+				w += y[i] - p0
+			}
 		}
 	}
-	return true
+	return w
 }

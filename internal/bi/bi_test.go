@@ -166,7 +166,11 @@ func TestBestIntervalMatchesBruteForce(t *testing.T) {
 				order[b], order[b-1] = order[b-1], order[b]
 			}
 		}
-		nb, ok := bestInterval(d, order, box.Full(2), 0, p0)
+		viol := make([]int, n)
+		vdim := make([]int, n)
+		countViolations(d, box.Full(2), viol, vdim)
+		var groups []group
+		nb, ok := bestInterval(d.Columns()[0], d.Y, order, box.Full(2), 0, p0, viol, vdim, &groups)
 		if !ok {
 			return false
 		}
@@ -190,7 +194,11 @@ func TestBestIntervalUnrestrictsWhenAllPositive(t *testing.T) {
 	d := dataset.MustNew([][]float64{{0.1}, {0.5}, {0.9}}, []float64{1, 1, 1})
 	// p0 = 0 keeps every weight positive (pretend the dataset mean is 0).
 	order := []int{0, 1, 2}
-	nb, ok := bestInterval(d, order, box.Full(1), 0, 0)
+	viol := make([]int, 3)
+	vdim := make([]int, 3)
+	countViolations(d, box.Full(1), viol, vdim)
+	var groups []group
+	nb, ok := bestInterval(d.Columns()[0], d.Y, order, box.Full(1), 0, 0, viol, vdim, &groups)
 	if !ok {
 		t.Fatal("no interval found")
 	}

@@ -96,11 +96,15 @@ func (a *ActiveREDS) DiscoverBudget(f funcs.Function, budget int, rng *rand.Rand
 		if take > len(cands) {
 			take = len(cands)
 		}
+		// Grow into a fresh Dataset rather than appending in place:
+		// trained metamodels may have materialized the old dataset's
+		// cached columnar views, which must not outlive its contents.
+		x, yy := data.X, data.Y
 		for _, c := range cands[:take] {
-			y := funcs.Label(f, c.x, rng)
-			data.X = append(data.X, c.x)
-			data.Y = append(data.Y, y)
+			x = append(x, c.x)
+			yy = append(yy, funcs.Label(f, c.x, rng))
 		}
+		data = &dataset.Dataset{X: x, Y: yy, Discrete: data.Discrete}
 		remaining -= take
 	}
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Dataset holds N examples with M inputs each. X is row-major: X[i] is the
@@ -17,10 +18,18 @@ import (
 // in [0,1] is legal (probability labels). Discrete marks inputs that take a
 // finite set of values; algorithms that need it (consistency, mixed-input
 // sampling) consult this mask, everything else treats inputs as numeric.
+//
+// Columns and SortedOrders lazily derive (and cache) a column-major view
+// and per-column sorted index orders; once either has been called the
+// dataset must be treated as immutable.
 type Dataset struct {
 	X        [][]float64
 	Y        []float64
 	Discrete []bool // nil means all-continuous
+
+	mu   sync.Mutex // guards the lazy caches below
+	cols [][]float64
+	ords [][]int
 }
 
 // New builds a dataset and validates the shape.

@@ -34,7 +34,10 @@ func (d *Dataset) UnmarshalJSON(data []byte) error {
 	if raw.Discrete != nil && len(raw.Discrete) != parsed.M() {
 		return fmt.Errorf("dataset: discrete mask has %d entries, want %d", len(raw.Discrete), parsed.M())
 	}
-	parsed.Discrete = raw.Discrete
-	*d = *parsed
+	// Assign field-wise: Dataset carries a mutex-guarded cache for its
+	// lazy columnar views, which must not be copied (and must not
+	// survive a decode into a reused receiver).
+	d.X, d.Y, d.Discrete = parsed.X, parsed.Y, raw.Discrete
+	d.invalidate()
 	return nil
 }

@@ -62,14 +62,17 @@ func trainerByName(name string, m int, tuned bool) metamodel.Trainer {
 	}
 }
 
-func sdByName(name string) sd.Discoverer {
+// sdByName builds the subgroup-discovery stage, handing PRIM-family
+// algorithms the variant's worker budget: peeling fans its per-dimension
+// candidate evaluation out, bumping its bootstrap replicas.
+func sdByName(name string, workers int) sd.Discoverer {
 	switch name {
 	case "bumping":
-		return &prim.Bumping{}
+		return &prim.Bumping{Workers: workers}
 	case "bi":
 		return &bi.BI{}
 	default: // "prim"
-		return &prim.Peeler{}
+		return &prim.Peeler{Workers: workers}
 	}
 }
 
@@ -166,8 +169,9 @@ func (e *Engine) run(j *job) (*Result, error) {
 			familySeed[v.metamodel] = seed + int64(len(familySeed)+1)*variantSeedStride
 		}
 	}
-	// Bound each variant's labeling pool so a job's fan-out does not
-	// multiply into GOMAXPROCS × variants goroutines.
+	// Bound each variant's worker pools (pseudo-labeling and the SD
+	// stage alike) so a job's fan-out does not multiply into
+	// GOMAXPROCS × variants goroutines.
 	labelWorkers := runtime.GOMAXPROCS(0) / len(variants)
 	if labelWorkers < 1 {
 		labelWorkers = 1
@@ -234,7 +238,7 @@ func (e *Engine) runVariant(j *job, train *dataset.Dataset, hash string, smp sam
 		Metamodel:  trainer,
 		Sampler:    smp,
 		L:          l,
-		SD:         sdByName(v.sd),
+		SD:         sdByName(v.sd, cfg.labelWorkers),
 		ProbLabels: j.req.ProbLabels,
 		Hooks: &core.Hooks{
 			LabelWorkers: cfg.labelWorkers,

@@ -31,6 +31,15 @@ type Trainer struct {
 	SubSample float64
 	// ColSample is the column-sampling ratio per round (default 1 = off).
 	ColSample float64
+	// Reference selects the original per-node sorting split finder
+	// instead of the presorted columnar fast path. The two grow
+	// identical ensembles (see the differential tests) as long as no
+	// two distinct rows share a feature value; across genuinely tied
+	// rows the reference's unstable sort visits them in a different
+	// order, so gradient partial sums (and with them exact split
+	// tie-breaking) can differ in the last float64 bit. The flag
+	// exists so benchmarks and tests can measure the reference.
+	Reference bool
 }
 
 // Name implements metamodel.Trainer.
@@ -170,6 +179,14 @@ func (t *Trainer) Train(d *dataset.Dataset, rng *rand.Rand) (metamodel.Model, er
 	grad := make([]float64, n)
 	hess := make([]float64, n)
 
+	// The columnar view and per-feature sorted orders are computed once
+	// on the dataset and shared by every round; the builder specializes
+	// them to each round's row sample and reuses its scratch buffers.
+	var builder *roundBuilder
+	if !cfg.Reference {
+		builder = newRoundBuilder(d.Columns(), d.SortedOrders(), grad, hess, cfg)
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		for i := 0; i < n; i++ {
 			p := sigmoid(margin[i])
@@ -179,7 +196,11 @@ func (t *Trainer) Train(d *dataset.Dataset, rng *rand.Rand) (metamodel.Model, er
 		rows := sampleRows(n, cfg.SubSample, rng)
 		cols := sampleCols(d.M(), cfg.ColSample, rng)
 		tr := btree{}
-		grow(&tr, d.X, grad, hess, rows, cols, cfg, 0, model.gains)
+		if cfg.Reference {
+			growReference(&tr, d.X, grad, hess, rows, cols, cfg, 0, model.gains)
+		} else {
+			builder.build(&tr, rows, cols, model.gains)
+		}
 		model.trees = append(model.trees, tr)
 		for i := 0; i < n; i++ {
 			margin[i] += cfg.LearningRate * tr.predict(d.X[i])
@@ -220,65 +241,133 @@ func sampleCols(m int, ratio float64, rng *rand.Rand) []int {
 	return cols
 }
 
-// grow appends the subtree over rows and returns its node index, adding
-// split gains into the importance accumulator.
-func grow(t *btree, x [][]float64, grad, hess []float64, rows, cols []int, cfg Trainer, depth int, gains []float64) int {
-	var gSum, hSum float64
-	for _, i := range rows {
-		gSum += grad[i]
-		hSum += hess[i]
-	}
-	leafWeight := -gSum / (hSum + cfg.Lambda)
-	if depth >= cfg.MaxDepth || hSum < 2*cfg.MinChildWeight || len(rows) < 2 {
-		return leaf(t, leafWeight)
-	}
-
-	feat, split, gain := bestSplit(x, grad, hess, rows, cols, cfg, gSum, hSum)
-	if gain <= 1e-12 {
-		return leaf(t, leafWeight)
-	}
-	gains[feat] += gain
-
-	var left, right []int
-	for _, i := range rows {
-		if x[i][feat] <= split {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) == 0 || len(right) == 0 {
-		return leaf(t, leafWeight)
-	}
-	self := len(t.nodes)
-	t.nodes = append(t.nodes, node{feature: feat, split: split})
-	l := grow(t, x, grad, hess, left, cols, cfg, depth+1, gains)
-	r := grow(t, x, grad, hess, right, cols, cfg, depth+1, gains)
-	t.nodes[self].left = l
-	t.nodes[self].right = r
-	return self
-}
-
 func leaf(t *btree, w float64) int {
 	t.nodes = append(t.nodes, node{feature: -1, weight: w})
 	return len(t.nodes) - 1
 }
 
+// roundBuilder grows one boosting tree per round from presorted column
+// orders: the dataset-level sorted orders are filtered to the round's
+// row sample once, kept sorted through every split by stable
+// partitioning, and swept with running gradient/hessian prefix sums —
+// O(n) per node-column instead of the reference's O(n log n) sort.
+// Scratch buffers persist across rounds, so steady-state growth
+// allocates only the tree nodes.
+type roundBuilder struct {
+	colsView [][]float64 // columnar view: colsView[j][row]
+	shared   [][]int     // dataset-level ascending row order per column
+	grad     []float64
+	hess     []float64
+	cfg      Trainer
+
+	inRound []bool  // dataset row is in this round's sample
+	orders  [][]int // per candidate column: sampled rows in ascending order, segmented by node
+	rows    []int   // node rows in sample order, segmented like orders
+	cols    []int   // this round's candidate column ids
+	goLeft  []bool  // per dataset row: goes left at the split being applied
+	scratch []int   // right-half spill buffer for stable partitioning
+	gains   []float64
+	t       *btree
+}
+
+func newRoundBuilder(colsView [][]float64, shared [][]int, grad, hess []float64, cfg Trainer) *roundBuilder {
+	n := len(grad)
+	m := len(colsView)
+	orders := make([][]int, m)
+	for j := range orders {
+		orders[j] = make([]int, 0, n)
+	}
+	return &roundBuilder{
+		colsView: colsView,
+		shared:   shared,
+		grad:     grad,
+		hess:     hess,
+		cfg:      cfg,
+		inRound:  make([]bool, n),
+		orders:   orders,
+		rows:     make([]int, 0, n),
+		goLeft:   make([]bool, n),
+		scratch:  make([]int, n),
+	}
+}
+
+// build grows one tree over the sampled rows (sample order, no
+// duplicates) and candidate cols, adding split gains into gains.
+func (b *roundBuilder) build(t *btree, rows, cols []int, gains []float64) {
+	for i := range b.inRound {
+		b.inRound[i] = false
+	}
+	for _, i := range rows {
+		b.inRound[i] = true
+	}
+	// Specialize the shared orders to the sample: an O(N) filter per
+	// candidate column.
+	for ci, c := range cols {
+		ord := b.orders[ci][:0]
+		for _, r := range b.shared[c] {
+			if b.inRound[r] {
+				ord = append(ord, r)
+			}
+		}
+		b.orders[ci] = ord
+	}
+	b.rows = append(b.rows[:0], rows...)
+	b.cols = cols
+	b.t = t
+	b.gains = gains
+	b.grow(0, len(rows), 0)
+}
+
+// grow appends the subtree over the segment [lo, hi) of the node lists
+// and returns its node index.
+func (b *roundBuilder) grow(lo, hi, depth int) int {
+	cfg := b.cfg
+	var gSum, hSum float64
+	for _, i := range b.rows[lo:hi] {
+		gSum += b.grad[i]
+		hSum += b.hess[i]
+	}
+	leafWeight := -gSum / (hSum + cfg.Lambda)
+	if depth >= cfg.MaxDepth || hSum < 2*cfg.MinChildWeight || hi-lo < 2 {
+		return leaf(b.t, leafWeight)
+	}
+
+	feat, split, gain := b.bestSplit(lo, hi, gSum, hSum)
+	if gain <= 1e-12 {
+		return leaf(b.t, leafWeight)
+	}
+	b.gains[feat] += gain
+
+	nl := b.partition(lo, hi, feat, split)
+	if nl == 0 || nl == hi-lo {
+		return leaf(b.t, leafWeight)
+	}
+	self := len(b.t.nodes)
+	b.t.nodes = append(b.t.nodes, node{feature: feat, split: split})
+	l := b.grow(lo, lo+nl, depth+1)
+	r := b.grow(lo+nl, hi, depth+1)
+	b.t.nodes[self].left = l
+	b.t.nodes[self].right = r
+	return self
+}
+
 // bestSplit maximizes the XGBoost structure gain
 // GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ) over all cut points of the
-// candidate columns.
-func bestSplit(x [][]float64, grad, hess []float64, rows, cols []int, cfg Trainer, gSum, hSum float64) (feat int, split, bestGain float64) {
-	order := make([]int, len(rows))
+// candidate columns; each column is a single prefix-sum sweep over its
+// presorted node segment.
+func (b *roundBuilder) bestSplit(lo, hi int, gSum, hSum float64) (feat int, split, bestGain float64) {
+	cfg := b.cfg
+	n := hi - lo
 	parent := gSum * gSum / (hSum + cfg.Lambda)
-	for _, f := range cols {
-		copy(order, rows)
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+	for ci, f := range b.cols {
+		seg := b.orders[ci][lo:hi]
+		col := b.colsView[f]
 		var gl, hl float64
-		for k := 0; k < len(order)-1; k++ {
-			i := order[k]
-			gl += grad[i]
-			hl += hess[i]
-			if x[order[k+1]][f] == x[i][f] {
+		for k := 0; k < n-1; k++ {
+			i := seg[k]
+			gl += b.grad[i]
+			hl += b.hess[i]
+			if col[seg[k+1]] == col[i] {
 				continue
 			}
 			hr := hSum - hl
@@ -290,11 +379,27 @@ func bestSplit(x [][]float64, grad, hess []float64, rows, cols []int, cfg Traine
 			if gain > bestGain {
 				bestGain = gain
 				feat = f
-				split = (x[i][f] + x[order[k+1]][f]) / 2
+				split = (col[i] + col[seg[k+1]]) / 2
 			}
 		}
 	}
 	return feat, split, bestGain
+}
+
+// partition stably splits the node segment [lo, hi) of the sample-order
+// row list and of every candidate column's sorted list on
+// x[feat] <= split, so both children remain sorted. Returns the left
+// child size.
+func (b *roundBuilder) partition(lo, hi, feat int, split float64) int {
+	col := b.colsView[feat]
+	for _, r := range b.rows[lo:hi] {
+		b.goLeft[r] = col[r] <= split
+	}
+	nl := dataset.StablePartition(b.rows[lo:hi], b.goLeft, b.scratch)
+	for ci := range b.cols {
+		dataset.StablePartition(b.orders[ci][lo:hi], b.goLeft, b.scratch)
+	}
+	return nl
 }
 
 // TunedTrainer returns the caret-style grid for boosting: depth x rounds

@@ -1,0 +1,82 @@
+package gbt
+
+// This file keeps the original per-node sorting tree induction as a
+// reference implementation. The fast path in gbt.go presorts the
+// sampled rows along every candidate column once per round and sweeps
+// splits with running gradient/hessian prefix sums; differential tests
+// assert both paths grow identical ensembles. Select it with
+// Trainer.Reference.
+
+import "sort"
+
+// growReference appends the subtree over rows and returns its node
+// index, adding split gains into the importance accumulator.
+func growReference(t *btree, x [][]float64, grad, hess []float64, rows, cols []int, cfg Trainer, depth int, gains []float64) int {
+	var gSum, hSum float64
+	for _, i := range rows {
+		gSum += grad[i]
+		hSum += hess[i]
+	}
+	leafWeight := -gSum / (hSum + cfg.Lambda)
+	if depth >= cfg.MaxDepth || hSum < 2*cfg.MinChildWeight || len(rows) < 2 {
+		return leaf(t, leafWeight)
+	}
+
+	feat, split, gain := bestSplitReference(x, grad, hess, rows, cols, cfg, gSum, hSum)
+	if gain <= 1e-12 {
+		return leaf(t, leafWeight)
+	}
+	gains[feat] += gain
+
+	var left, right []int
+	for _, i := range rows {
+		if x[i][feat] <= split {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return leaf(t, leafWeight)
+	}
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: feat, split: split})
+	l := growReference(t, x, grad, hess, left, cols, cfg, depth+1, gains)
+	r := growReference(t, x, grad, hess, right, cols, cfg, depth+1, gains)
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplitReference maximizes the XGBoost structure gain
+// GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ) over all cut points of the
+// candidate columns, sorting the node's rows along each column.
+func bestSplitReference(x [][]float64, grad, hess []float64, rows, cols []int, cfg Trainer, gSum, hSum float64) (feat int, split, bestGain float64) {
+	order := make([]int, len(rows))
+	parent := gSum * gSum / (hSum + cfg.Lambda)
+	for _, f := range cols {
+		copy(order, rows)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		var gl, hl float64
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			gl += grad[i]
+			hl += hess[i]
+			if x[order[k+1]][f] == x[i][f] {
+				continue
+			}
+			hr := hSum - hl
+			if hl < cfg.MinChildWeight || hr < cfg.MinChildWeight {
+				continue
+			}
+			gr := gSum - gl
+			gain := gl*gl/(hl+cfg.Lambda) + gr*gr/(hr+cfg.Lambda) - parent
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				split = (x[i][f] + x[order[k+1]][f]) / 2
+			}
+		}
+	}
+	return feat, split, bestGain
+}

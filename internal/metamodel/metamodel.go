@@ -7,6 +7,7 @@ package metamodel
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -177,8 +178,27 @@ type Tuned struct {
 // Name implements Trainer.
 func (t *Tuned) Name() string { return t.Family }
 
+// candidateSeed derives the training seed of one fold × grid candidate
+// from the tuning run's base seed, the candidate's configuration (type
+// and field values, not grid position) and the fold index. Identity-based
+// derivation makes the tuning outcome invariant under grid reordering,
+// not just under evaluation order.
+func candidateSeed(base int64, tr Trainer, fold int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%T%+v|%d", tr, tr, fold)
+	return base ^ int64(h.Sum64())
+}
+
 // Train implements Trainer: it picks the grid entry with the best CV
 // accuracy and refits it on the full data.
+//
+// Every fold × grid candidate trains from its own seeded RNG, derived
+// up front from the caller's stream. A single shared RNG would make
+// each candidate's result depend on how many random draws the
+// previously evaluated candidates consumed — so reordering the grid,
+// skipping an entry, or evaluating candidates concurrently would all
+// change the tuning outcome. With per-candidate derivation the
+// evaluation is order-independent (and safe to parallelize).
 func (t *Tuned) Train(d *dataset.Dataset, rng *rand.Rand) (Model, error) {
 	if len(t.Grid) == 0 {
 		return nil, fmt.Errorf("metamodel: empty tuning grid for %s", t.Family)
@@ -195,11 +215,14 @@ func (t *Tuned) Train(d *dataset.Dataset, rng *rand.Rand) (Model, error) {
 		// Too little data to cross-validate: fall back to the first entry.
 		return t.Grid[0].Train(d, rng)
 	}
+	tuneSeed := rng.Int63()
+	refitSeed := rng.Int63()
 	best, bestAcc := 0, -1.0
 	for gi, tr := range t.Grid {
 		acc := 0.0
-		for _, f := range kf {
-			m, err := tr.Train(f.Train, rng)
+		for fi, f := range kf {
+			child := rand.New(rand.NewSource(candidateSeed(tuneSeed, tr, fi)))
+			m, err := tr.Train(f.Train, child)
 			if err != nil {
 				return nil, fmt.Errorf("metamodel: tuning %s: %w", t.Family, err)
 			}
@@ -210,5 +233,5 @@ func (t *Tuned) Train(d *dataset.Dataset, rng *rand.Rand) (Model, error) {
 			bestAcc, best = acc, gi
 		}
 	}
-	return t.Grid[best].Train(d, rng)
+	return t.Grid[best].Train(d, rand.New(rand.NewSource(refitSeed)))
 }

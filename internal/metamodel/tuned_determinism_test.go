@@ -1,0 +1,61 @@
+package metamodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/dataset"
+)
+
+// noisyTrainer returns a threshold model whose cut is perturbed by the
+// training RNG, after consuming a per-config number of extra draws — a
+// stand-in for real trainers whose RNG consumption varies with their
+// hyperparameters. With a single RNG threaded through the whole grid,
+// each candidate's result would depend on how many draws its
+// predecessors consumed.
+type noisyTrainer struct {
+	cut        float64
+	extraDraws int
+}
+
+func (t noisyTrainer) Name() string { return "noisy" }
+
+func (t noisyTrainer) Train(d *dataset.Dataset, rng *rand.Rand) (Model, error) {
+	for i := 0; i < t.extraDraws; i++ {
+		rng.Float64()
+	}
+	return thresholdModel{t.cut + 0.02*rng.Float64()}, nil
+}
+
+// TestTunedOrderIndependent asserts that tuning selects the same model
+// regardless of grid order: candidate seeds derive from the candidate's
+// configuration, not from its position or from draws consumed by earlier
+// candidates.
+func TestTunedOrderIndependent(t *testing.T) {
+	good := noisyTrainer{cut: 0.5, extraDraws: 1}
+	bad := noisyTrainer{cut: 0.9, extraDraws: 7}
+
+	train := func(grid []Trainer, seed int64) thresholdModel {
+		rng := rand.New(rand.NewSource(seed))
+		d := stepData(300, 0.5, rand.New(rand.NewSource(99)))
+		m, err := (&Tuned{Family: "noisy", Grid: grid}).Train(d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.(thresholdModel)
+	}
+
+	forward := train([]Trainer{good, bad}, 7)
+	forwardAgain := train([]Trainer{good, bad}, 7)
+	reversed := train([]Trainer{bad, good}, 7)
+
+	if forward != forwardAgain {
+		t.Errorf("tuning not deterministic: %v vs %v", forward, forwardAgain)
+	}
+	if forward != reversed {
+		t.Errorf("tuning depends on grid order: forward %v, reversed %v", forward, reversed)
+	}
+	if forward.cut > 0.6 {
+		t.Errorf("tuning picked the wrong entry: cut %v", forward.cut)
+	}
+}

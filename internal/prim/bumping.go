@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"github.com/reds-go/reds/internal/box"
@@ -24,6 +25,14 @@ type Bumping struct {
 	// SubsetSize is m, the number of inputs per repetition
 	// (default: all inputs).
 	SubsetSize int
+	// Workers caps the pool peeling the independent bootstrap replicas
+	// (default GOMAXPROCS; 1 peels serially). Every replica's random
+	// draws happen up front on the caller's goroutine, so the result is
+	// identical for any worker count.
+	Workers int
+	// Reference routes the inner peelers through their reference
+	// implementation (see Peeler.Reference); for differential tests.
+	Reference bool
 }
 
 // Discover implements sd.Discoverer.
@@ -43,32 +52,63 @@ func (b *Bumping) Discover(train, val *dataset.Dataset, rng *rand.Rand) (*sd.Res
 	if subset <= 0 || subset > m {
 		subset = m
 	}
-	peeler := &Peeler{Alpha: b.Alpha, MinPoints: b.MinPoints}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Split the worker budget between the replica pool and the peelers
+	// inside it: with more workers than replicas (small Q on a big
+	// machine) each replica's candidate evaluation fans out over the
+	// leftover share. The output is identical for any split.
+	peelWorkers := workers / q
+	if peelWorkers < 1 {
+		peelWorkers = 1
+	}
+	peeler := &Peeler{Alpha: b.Alpha, MinPoints: b.MinPoints, Workers: peelWorkers, Reference: b.Reference}
 
-	var boxes []*box.Box
-	for rep := 0; rep < q; rep++ {
+	// Draw every replica's bootstrap rows and column subset on the
+	// caller's goroutine first — the RNG stream is exactly that of a
+	// serial run — then peel the independent replicas in parallel.
+	type replica struct {
+		sub  *dataset.Dataset
+		cols []int
+	}
+	reps := make([]replica, q)
+	for rep := range reps {
 		bs := train.Bootstrap(rng)
 		cols := rng.Perm(m)[:subset]
 		sort.Ints(cols)
-		sub := bs.SelectColumns(cols)
-		res, err := peeler.Discover(sub, sub, rng)
-		if err != nil {
-			return nil, fmt.Errorf("prim: bumping repetition %d: %w", rep, err)
+		reps[rep] = replica{sub: bs.SelectColumns(cols), cols: cols}
+	}
+	results := make([]*sd.Result, q)
+	errs := make([]error, q)
+	runParallel(workers, q, func(rep int) {
+		results[rep], errs[rep] = peeler.Discover(reps[rep].sub, reps[rep].sub, nil)
+	})
+	var boxes []*box.Box
+	for rep := 0; rep < q; rep++ {
+		if errs[rep] != nil {
+			return nil, fmt.Errorf("prim: bumping repetition %d: %w", rep, errs[rep])
 		}
-		for _, step := range res.Steps {
-			boxes = append(boxes, liftBox(step.Box, cols, m))
+		for _, step := range results[rep].Steps {
+			boxes = append(boxes, liftBox(step.Box, reps[rep].cols, m))
 		}
 	}
 
-	// Pareto filter on validation precision and recall.
+	// Pareto filter on validation precision and recall. Evaluating every
+	// candidate box on the validation set is itself a hot loop
+	// (Q replicas × trajectory steps, O(N·M) each) and each box is
+	// independent, so it shares the replica pool.
 	totalPos := 0.0
 	for _, y := range val.Y {
 		totalPos += y
 	}
 	valStats := make([]sd.Stats, len(boxes))
+	runParallel(workers, len(boxes), func(i int) {
+		valStats[i] = sd.Compute(boxes[i], val)
+	})
 	qualities := make([][]float64, len(boxes))
-	for i, bx := range boxes {
-		valStats[i] = sd.Compute(bx, val)
+	for i := range boxes {
 		recall := 0.0
 		if totalPos > 0 {
 			recall = valStats[i].NPos / totalPos

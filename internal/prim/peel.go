@@ -2,12 +2,22 @@
 // Fisher 1999 (Algorithm 1 of the paper): iterative peeling of the
 // α-quantile slab with the lowest output mean, optional pasting, and the
 // bumping ensemble variant of Kwakkel & Cunningham 2016 (Algorithm 2).
+//
+// Peeling runs on a columnar fast path: per-dimension sorted orders
+// (seeded from dataset.SortedOrders) are maintained across peel steps by
+// compaction, so every candidate peel is a boundary walk plus an
+// O(α·n) prefix sum instead of the reference implementation's
+// quickselect and three full passes (peel_reference.go). The 2M
+// candidates of a step are independent and evaluated by a worker pool.
 package prim
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/reds-go/reds/internal/box"
 	"github.com/reds-go/reds/internal/dataset"
@@ -43,6 +53,20 @@ type Peeler struct {
 	Paste bool
 	// Objective selects the peel target function (default ObjectiveMean).
 	Objective Objective
+	// Workers caps the worker pool evaluating a step's per-dimension
+	// peel candidates (default GOMAXPROCS, never more than the number
+	// of inputs; 1 evaluates serially with no goroutines).
+	Workers int
+	// Reference selects the original quickselect-based candidate search
+	// instead of the presorted columnar fast path. The two peel
+	// identical boxes (see the differential tests, which cover ties,
+	// duplicated rows and fractional probability labels): the fast path
+	// accumulates candidate scores in sorted rather than row order, but
+	// the eps-tolerant candidate comparison in better() absorbs the
+	// last-bit float differences that reordering a sum can introduce,
+	// and all remaining tie-breaks are exact integers. The flag exists
+	// so benchmarks and tests can measure the reference.
+	Reference bool
 }
 
 // Discover implements sd.Discoverer. The RNG is unused; peeling is
@@ -78,20 +102,52 @@ func (p *Peeler) Discover(train, val *dataset.Dataset, _ *rand.Rand) (*sd.Result
 		Val:   statsOf(val, valIdx),
 	})
 
-	scratch := make([]float64, train.N())
+	// The reference path re-selects the α-quantile from scratch every
+	// step; the fast path maintains sorted per-dimension orders in a
+	// peelEngine and filters through reusable ping-pong buffers.
+	var eng *peelEngine
+	var scratch []float64
+	var valCols [][]float64
+	var trainSpare, valSpare []int
+	if p.Reference {
+		scratch = make([]float64, train.N())
+	} else {
+		eng = newPeelEngine(train, p.Workers, p.Objective)
+		valCols = val.Columns()
+		trainSpare = make([]int, 0, train.N())
+		valSpare = make([]int, 0, val.N())
+	}
+
 	for {
-		cand, ok := bestPeel(train, trainIdx, alpha, scratch, p.Objective)
+		var cand peelCand
+		var ok bool
+		if p.Reference {
+			cand, ok = bestPeelReference(train, trainIdx, alpha, scratch, p.Objective)
+		} else {
+			cand, ok = eng.bestPeel(trainIdx, alpha)
+		}
 		if !ok {
 			break
 		}
 		// Apply tentatively to measure the support floor on both sets.
-		newTrainIdx := filterIdx(train, trainIdx, cand.dim, cand.lo, cand.hi)
-		newValIdx := filterIdx(val, valIdx, cand.dim, cand.lo, cand.hi)
+		var newTrainIdx, newValIdx []int
+		if p.Reference {
+			newTrainIdx = filterIdx(train, trainIdx, cand.dim, cand.lo, cand.hi)
+			newValIdx = filterIdx(val, valIdx, cand.dim, cand.lo, cand.hi)
+		} else {
+			newTrainIdx = filterIdxInto(trainSpare[:0], eng.cols[cand.dim], trainIdx, cand.lo, cand.hi)
+			newValIdx = filterIdxInto(valSpare[:0], valCols[cand.dim], valIdx, cand.lo, cand.hi)
+		}
 		if len(newTrainIdx) < mp || len(newValIdx) < mp {
 			break
 		}
 		cur.Lo[cand.dim] = math.Max(cur.Lo[cand.dim], cand.lo)
 		cur.Hi[cand.dim] = math.Min(cur.Hi[cand.dim], cand.hi)
+		if eng != nil {
+			eng.applied(trainIdx, newTrainIdx)
+			// The outgoing index slices become the next step's spares.
+			trainSpare, valSpare = trainIdx, valIdx
+		}
 		trainIdx, valIdx = newTrainIdx, newValIdx
 		res.Steps = append(res.Steps, sd.Step{
 			Box:   cur.Clone(),
@@ -137,62 +193,24 @@ func filterIdx(d *dataset.Dataset, idx []int, dim int, lo, hi float64) []int {
 	return out
 }
 
+// filterIdxInto is filterIdx over a columnar view, appending into dst to
+// avoid the per-step allocation.
+func filterIdxInto(dst []int, col []float64, idx []int, lo, hi float64) []int {
+	for _, i := range idx {
+		v := col[i]
+		if v >= lo && v <= hi {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
 // peelCand describes a candidate peel: restrict dim to [lo, hi].
 type peelCand struct {
 	dim    int
 	lo, hi float64
 	mean   float64 // objective value of the points remaining after the peel
 	remain int
-}
-
-// bestPeel evaluates the 2M candidate peels (Step 3 of Algorithm 1) and
-// returns the one maximizing the objective. ok is false when no
-// candidate removes at least one but not all points.
-func bestPeel(d *dataset.Dataset, idx []int, alpha float64, scratch []float64, obj Objective) (peelCand, bool) {
-	n := len(idx)
-	if n < 2 {
-		return peelCand{}, false
-	}
-	k := int(alpha * float64(n))
-	if k < 1 {
-		k = 1
-	}
-	var total float64
-	for _, i := range idx {
-		total += d.Y[i]
-	}
-
-	best := peelCand{mean: math.Inf(-1)}
-	found := false
-	for j := 0; j < d.M(); j++ {
-		vals := scratch[:n]
-		for t, i := range idx {
-			vals[t] = d.X[i][j]
-		}
-		// Low-side peel: remove all points with value <= the k-th
-		// smallest (ties removed together so the peel always makes
-		// progress).
-		tLow := kthSmallest(vals, k)
-		if lowCand, ok := evalPeel(d, idx, j, tLow, true, total, n, obj); ok {
-			lowCand.lo, lowCand.hi = boundAfterPeel(d, idx, j, tLow, true), math.Inf(1)
-			if better(lowCand, best) {
-				best, found = lowCand, true
-			}
-		}
-		// High-side peel: remove all points with value >= the k-th
-		// largest.
-		for t, i := range idx {
-			vals[t] = d.X[i][j]
-		}
-		tHigh := kthLargest(vals, k)
-		if highCand, ok := evalPeel(d, idx, j, tHigh, false, total, n, obj); ok {
-			highCand.lo, highCand.hi = math.Inf(-1), boundAfterPeel(d, idx, j, tHigh, false)
-			if better(highCand, best) {
-				best, found = highCand, true
-			}
-		}
-	}
-	return best, found
 }
 
 // better orders candidates by remaining mean, breaking ties in favor of
@@ -212,57 +230,6 @@ func better(a, b peelCand) bool {
 	return a.dim < b.dim
 }
 
-// evalPeel computes the post-peel objective when removing values <= t
-// (low) or >= t (high) in dim j.
-func evalPeel(d *dataset.Dataset, idx []int, j int, t float64, low bool, total float64, n int, obj Objective) (peelCand, bool) {
-	removed := 0
-	var removedSum float64
-	for _, i := range idx {
-		v := d.X[i][j]
-		if (low && v <= t) || (!low && v >= t) {
-			removed++
-			removedSum += d.Y[i]
-		}
-	}
-	if removed == 0 || removed >= n {
-		return peelCand{}, false
-	}
-	remain := n - removed
-	score := (total - removedSum) / float64(remain)
-	if obj == ObjectiveLift {
-		score *= math.Sqrt(float64(remain))
-	}
-	return peelCand{
-		dim:    j,
-		mean:   score,
-		remain: remain,
-	}, true
-}
-
-// boundAfterPeel places the new bound at the midpoint between the last
-// removed and the first remaining value — the least-biased cut for
-// evaluating the box on fresh data.
-func boundAfterPeel(d *dataset.Dataset, idx []int, j int, t float64, low bool) float64 {
-	if low {
-		remainMin := math.Inf(1)
-		for _, i := range idx {
-			v := d.X[i][j]
-			if v > t && v < remainMin {
-				remainMin = v
-			}
-		}
-		return (t + remainMin) / 2
-	}
-	remainMax := math.Inf(-1)
-	for _, i := range idx {
-		v := d.X[i][j]
-		if v < t && v > remainMax {
-			remainMax = v
-		}
-	}
-	return (t + remainMax) / 2
-}
-
 // selectFinal returns the index of the step with the highest validation
 // precision, preferring the earlier (larger) box on ties — Algorithm 1,
 // line 5.
@@ -277,55 +244,210 @@ func selectFinal(steps []sd.Step) int {
 	return best
 }
 
-// kthSmallest returns the k-th smallest value (1-based) of vals,
-// reordering vals in place via quickselect.
-func kthSmallest(vals []float64, k int) float64 {
-	return quickselect(vals, k-1)
+// peelEngine holds the state the fast candidate search maintains across
+// peel steps: the training columns, one sorted row order per dimension
+// (compacted lazily against the in-box set), and per-dimension result
+// slots for the worker pool.
+type peelEngine struct {
+	cols  [][]float64
+	y     []float64
+	ords  [][]int // per-dim ascending orders of the current in-box rows
+	inbox []bool  // row is inside the current box
+	stale bool    // a peel was applied; orders need compaction
+
+	workers int
+	obj     Objective
+	cands   []peelCand
+	found   []bool
 }
 
-// kthLargest returns the k-th largest value (1-based) of vals.
-func kthLargest(vals []float64, k int) float64 {
-	return quickselect(vals, len(vals)-k)
+func newPeelEngine(train *dataset.Dataset, workers int, obj Objective) *peelEngine {
+	cols := train.Columns()
+	shared := train.SortedOrders()
+	n, m := train.N(), train.M()
+	// Private copies of the shared orders: the engine compacts them in
+	// place as the box shrinks.
+	backing := make([]int, n*m)
+	ords := make([][]int, m)
+	for j := range ords {
+		ords[j] = backing[j*n : (j+1)*n]
+		copy(ords[j], shared[j])
+	}
+	inbox := make([]bool, n)
+	for i := range inbox {
+		inbox[i] = true
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	return &peelEngine{
+		cols:    cols,
+		y:       train.Y,
+		ords:    ords,
+		inbox:   inbox,
+		workers: workers,
+		obj:     obj,
+		cands:   make([]peelCand, m),
+		found:   make([]bool, m),
+	}
 }
 
-// quickselect returns the element that would be at position pos in sorted
-// order, using median-of-three partitioning.
-func quickselect(vals []float64, pos int) float64 {
-	lo, hi := 0, len(vals)-1
-	for lo < hi {
-		// Median-of-three pivot for resilience to sorted inputs.
-		mid := lo + (hi-lo)/2
-		if vals[mid] < vals[lo] {
-			vals[mid], vals[lo] = vals[lo], vals[mid]
-		}
-		if vals[hi] < vals[lo] {
-			vals[hi], vals[lo] = vals[lo], vals[hi]
-		}
-		if vals[hi] < vals[mid] {
-			vals[hi], vals[mid] = vals[mid], vals[hi]
-		}
-		pivot := vals[mid]
-		i, j := lo, hi
-		for i <= j {
-			for vals[i] < pivot {
-				i++
-			}
-			for vals[j] > pivot {
-				j--
-			}
-			if i <= j {
-				vals[i], vals[j] = vals[j], vals[i]
-				i++
-				j--
-			}
-		}
-		if pos <= j {
-			hi = j
-		} else if pos >= i {
-			lo = i
-		} else {
-			break
+// applied records that the box shrank from the rows of old to the rows
+// of cur; the per-dimension orders compact against the new in-box set on
+// their next evaluation.
+func (e *peelEngine) applied(old, cur []int) {
+	for _, i := range old {
+		e.inbox[i] = false
+	}
+	for _, i := range cur {
+		e.inbox[i] = true
+	}
+	e.stale = true
+}
+
+// bestPeel evaluates the 2M candidate peels (Step 3 of Algorithm 1) over
+// the in-box rows idx and returns the one maximizing the objective. ok
+// is false when no candidate removes at least one but not all points.
+func (e *peelEngine) bestPeel(idx []int, alpha float64) (peelCand, bool) {
+	n := len(idx)
+	if n < 2 {
+		return peelCand{}, false
+	}
+	k := int(alpha * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	var total float64
+	for _, i := range idx {
+		total += e.y[i]
+	}
+
+	m := len(e.cols)
+	runParallel(e.workers, m, func(j int) {
+		e.evalDim(j, n, k, total)
+	})
+	e.stale = false
+
+	best := peelCand{mean: math.Inf(-1)}
+	found := false
+	for j := 0; j < m; j++ {
+		if e.found[j] && better(e.cands[j], best) {
+			best, found = e.cands[j], true
 		}
 	}
-	return vals[pos]
+	return best, found
+}
+
+// evalDim compacts dimension j's sorted order if needed, then evaluates
+// its low- and high-side peel candidates into the engine's result slots.
+func (e *peelEngine) evalDim(j, n, k int, total float64) {
+	ord := e.ords[j]
+	if e.stale {
+		w := 0
+		for _, r := range ord {
+			if e.inbox[r] {
+				ord[w] = r
+				w++
+			}
+		}
+		ord = ord[:w]
+		e.ords[j] = ord
+	}
+	col := e.cols[j]
+	var dimBest peelCand
+	dimFound := false
+
+	// Low-side peel: remove all points with value <= the k-th smallest
+	// (ties removed together so the peel always makes progress).
+	t := col[ord[k-1]]
+	b := k
+	for b < n && col[ord[b]] <= t {
+		b++
+	}
+	if b < n {
+		var removedSum float64
+		for _, r := range ord[:b] {
+			removedSum += e.y[r]
+		}
+		remain := n - b
+		score := (total - removedSum) / float64(remain)
+		if e.obj == ObjectiveLift {
+			score *= math.Sqrt(float64(remain))
+		}
+		// The new bound is the midpoint between the last removed and the
+		// first remaining value — the least-biased cut for fresh data.
+		dimBest = peelCand{
+			dim:    j,
+			lo:     (t + col[ord[b]]) / 2,
+			hi:     math.Inf(1),
+			mean:   score,
+			remain: remain,
+		}
+		dimFound = true
+	}
+
+	// High-side peel: remove all points with value >= the k-th largest.
+	t = col[ord[n-k]]
+	b = n - k
+	for b > 0 && col[ord[b-1]] >= t {
+		b--
+	}
+	if b > 0 {
+		var removedSum float64
+		for _, r := range ord[b:] {
+			removedSum += e.y[r]
+		}
+		remain := b
+		score := (total - removedSum) / float64(remain)
+		if e.obj == ObjectiveLift {
+			score *= math.Sqrt(float64(remain))
+		}
+		hc := peelCand{
+			dim:    j,
+			lo:     math.Inf(-1),
+			hi:     (t + col[ord[b-1]]) / 2,
+			mean:   score,
+			remain: remain,
+		}
+		if !dimFound || better(hc, dimBest) {
+			dimBest = hc
+			dimFound = true
+		}
+	}
+	e.cands[j] = dimBest
+	e.found[j] = dimFound
+}
+
+// runParallel fans f over n independent tasks across a pool of workers —
+// the worker-pool idiom of metamodel.PredictBatchParallel. workers <= 1
+// runs serially on the calling goroutine with no synchronization.
+func runParallel(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

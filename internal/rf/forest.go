@@ -23,6 +23,16 @@ type Trainer struct {
 	MinLeaf int
 	// MaxDepth caps tree depth; 0 means unlimited.
 	MaxDepth int
+	// Reference selects the original per-node sorting split finder
+	// instead of the presorted columnar fast path. The two grow
+	// identical trees (see the differential tests) as long as no two
+	// distinct rows share a feature value — bootstrap-duplicated rows
+	// are fine; across genuinely tied rows the reference's unstable
+	// sort visits them in a different order, so partial sums (and with
+	// them exact split tie-breaking) can differ in the last float64
+	// bit. The flag exists so benchmarks and tests can measure the
+	// reference.
+	Reference bool
 }
 
 // Name implements metamodel.Trainer.
@@ -61,6 +71,15 @@ func (t *Trainer) Train(d *dataset.Dataset, rng *rand.Rand) (metamodel.Model, er
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
+	// The columnar view and per-feature sorted orders are computed once
+	// on the dataset and shared by every tree; each worker's builder
+	// specializes them to its tree's bootstrap by counting.
+	var cols [][]float64
+	var shared [][]int
+	if !t.Reference {
+		cols = d.Columns()
+		shared = d.SortedOrders()
+	}
 	forest := &Forest{trees: make([]*tree, nTrees)}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nTrees {
@@ -72,13 +91,21 @@ func (t *Trainer) Train(d *dataset.Dataset, rng *rand.Rand) (metamodel.Model, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var builder *treeBuilder
+			if !t.Reference {
+				builder = newTreeBuilder(cols, d.Y, shared, cfg)
+			}
+			idx := make([]int, d.N())
 			for ti := range next {
 				local := rand.New(rand.NewSource(seeds[ti]))
-				idx := make([]int, d.N())
 				for k := range idx {
 					idx[k] = local.Intn(d.N())
 				}
-				forest.trees[ti] = buildTree(d.X, d.Y, idx, cfg, local)
+				if t.Reference {
+					forest.trees[ti] = buildTreeReference(d.X, d.Y, idx, cfg, local)
+				} else {
+					forest.trees[ti] = builder.build(idx, local)
+				}
 			}
 		}()
 	}
