@@ -1,10 +1,17 @@
 // Command redsserver serves scenario discovery over HTTP: submit jobs,
 // poll their progress, fetch the discovered scenario as a JSON rule.
 //
-//	redsserver -addr :8080 -workers 4 -cache 32
+//	redsserver -addr :8080 -workers 4 -cache 32 \
+//	    -store.dir /var/lib/reds -store.ttl 168h -store.sweep-interval 1m
 //
-// The API lives under /v1 (see internal/engine.NewHandler and the
-// "Running the server" section of the README):
+// With -store.dir set, jobs and results are persisted to an append-only
+// JSON-lines store in that directory and survive restarts: done results
+// stay servable, jobs that were still queued are re-enqueued, and jobs a
+// crash left running are marked failed with a restart reason. -store.ttl
+// garbage-collects finished jobs after the given retention (0 keeps them
+// forever). Without -store.dir everything lives in memory, as before.
+//
+// The API lives under /v1 (see docs/API.md for the full reference):
 //
 //	POST   /v1/jobs              {"function":"morris","n":400,"l":50000}
 //	GET    /v1/jobs/{id}         status + per-stage progress
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"github.com/reds-go/reds/internal/engine"
+	"github.com/reds-go/reds/internal/engine/store"
 )
 
 func main() {
@@ -33,13 +41,38 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS/2)")
 	queue := flag.Int("queue", 64, "max pending jobs before submissions are rejected")
 	cacheSize := flag.Int("cache", 32, "metamodel LRU cache capacity")
+	storeDir := flag.String("store.dir", "", "directory for the durable job store (empty: in-memory only)")
+	storeTTL := flag.Duration("store.ttl", 0, "retention of finished jobs before garbage collection (0: keep forever)")
+	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{
-		Workers:   *workers,
-		QueueSize: *queue,
-		CacheSize: *cacheSize,
+	var st store.Store
+	if *storeDir != "" {
+		fs, err := store.OpenFS(*storeDir, store.FSOptions{})
+		if err != nil {
+			log.Fatalf("redsserver: opening job store: %v", err)
+		}
+		if n := fs.Skipped(); n > 0 {
+			log.Printf("redsserver: job store replay skipped %d corrupt lines", n)
+		}
+		st = fs
+	}
+
+	eng, err := engine.New(engine.Options{
+		Workers:       *workers,
+		QueueSize:     *queue,
+		CacheSize:     *cacheSize,
+		Store:         st,
+		TTL:           *storeTTL,
+		SweepInterval: *storeSweep,
 	})
+	if err != nil {
+		log.Fatalf("redsserver: starting engine: %v", err)
+	}
+	if rec := eng.Recovery(); rec.Recovered > 0 {
+		log.Printf("redsserver: recovered %d jobs from %s (%d re-enqueued, %d orphaned running jobs marked failed)",
+			rec.Recovered, *storeDir, rec.Reenqueued, rec.Orphaned)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(engine.NewHandler(eng)),

@@ -4,6 +4,27 @@
 // CSV interchange. Labels are float64 so that both binary {0,1} labels and
 // the probability pseudo-labels of the REDS "p" variant flow through the
 // same code paths.
+//
+// # Columnar views
+//
+// The hot loops of split finding (rf, gbt) and peeling (prim, bi) scan one
+// feature at a time, so Dataset lazily derives two cached, shared views:
+// Columns (a column-major copy) and SortedOrders (per-column sorted index
+// orders, computed once). Both the optimized code paths and the kept
+// reference implementations (the Reference flags on rf.Trainer,
+// gbt.Trainer, prim.Peeler, prim.Bumping) consume the same dataset;
+// differential tests assert the two paths produce identical trees and
+// boxes, which is what licenses deleting neither. Once either view has
+// been materialized the dataset must be treated as immutable — grow into a
+// fresh Dataset instead of appending rows.
+//
+// # Content hashing
+//
+// Hash digests the full dataset content (shape, inputs, labels, discrete
+// mask) into a stable SHA-256 hex string. Two datasets hash equal iff they
+// hold bit-identical data, regardless of how they were loaded, which makes
+// the digest the natural cache and addressing key: the engine's metamodel
+// cache keys on it, and persisted job results carry it as dataset_hash.
 package dataset
 
 import (

@@ -17,6 +17,27 @@ type apiJobRequest struct {
 	CSV string `json:"csv,omitempty"`
 }
 
+// apiError is the error envelope every /v1 endpoint uses, including the
+// router's own 404/405 responses (see jsonErrors):
+//
+//	{"error": {"code": "not_found", "message": "unknown job job-000042"}}
+//
+// Codes are stable machine-readable strings; messages are for humans.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used by the /v1 API (documented in docs/API.md).
+const (
+	errBadRequest       = "bad_request"        // malformed JSON or invalid request fields
+	errNotFound         = "not_found"          // unknown job id or route
+	errMethodNotAllowed = "method_not_allowed" // known route, wrong HTTP method
+	errQueueFull        = "queue_full"         // submission rejected by backpressure
+	errNotReady         = "not_ready"          // result requested before the job finished
+	errInternal         = "internal"           // unexpected server-side failure
+)
+
 // FunctionInfo describes one registry entry for GET /v1/functions.
 type FunctionInfo struct {
 	Name       string  `json:"name"`
@@ -33,7 +54,11 @@ type FunctionInfo struct {
 //	DELETE /v1/jobs/{id}     cancel a job
 //	GET    /v1/jobs/{id}/result  final payload of a done job
 //	GET    /v1/functions     simulation-function registry
-//	GET    /v1/healthz       liveness
+//	GET    /v1/healthz       liveness + cache/job counters
+//
+// Every error response — including the router's own 404/405 — uses the
+// apiError envelope. The full request/response reference lives in
+// docs/API.md.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -41,28 +66,28 @@ func NewHandler(e *Engine) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			writeError(w, http.StatusBadRequest, errBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
 		if req.CSV != "" {
 			if req.Dataset != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("request has both csv and dataset; pick one"))
+				writeError(w, http.StatusBadRequest, errBadRequest, fmt.Errorf("request has both csv and dataset; pick one"))
 				return
 			}
 			d, err := dataset.ReadCSV(strings.NewReader(req.CSV))
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				writeError(w, http.StatusBadRequest, errBadRequest, err)
 				return
 			}
 			req.Dataset = d
 		}
 		id, err := e.Submit(req.Request)
 		if err != nil {
-			status := http.StatusBadRequest
+			status, code := http.StatusBadRequest, errBadRequest
 			if strings.Contains(err.Error(), "queue full") {
-				status = http.StatusServiceUnavailable
+				status, code = http.StatusServiceUnavailable, errQueueFull
 			}
-			writeError(w, status, err)
+			writeError(w, status, code, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{
@@ -77,7 +102,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := e.Job(JobID(r.PathValue("id")))
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+			writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
@@ -85,7 +110,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := JobID(r.PathValue("id"))
 		if _, ok := e.Job(id); !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", id))
+			writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("unknown job %s", id))
 			return
 		}
 		canceled := e.Cancel(id)
@@ -95,13 +120,23 @@ func NewHandler(e *Engine) http.Handler {
 		id := JobID(r.PathValue("id"))
 		snap, ok := e.Job(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", id))
+			writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("unknown job %s", id))
 			return
 		}
 		res, err := e.Result(id)
 		if err != nil {
-			status := http.StatusConflict // not ready / canceled / failed
-			writeJSON(w, status, map[string]any{"error": err.Error(), "status": snap.Status})
+			// A done job whose stored result cannot load is a server-side
+			// failure, not something a client should retry as not-ready.
+			if snap.Status == StatusDone {
+				writeError(w, http.StatusInternalServerError, errInternal, err)
+				return
+			}
+			// Not ready, canceled or failed: the envelope carries the
+			// reason, "status" the job's current lifecycle state.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  apiError{Code: errNotReady, Message: err.Error()},
+				"status": snap.Status,
+			})
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -123,13 +158,16 @@ func NewHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		hits, misses := e.CacheStats()
+		rec := e.Recovery()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":           true,
-			"cache_hits":   hits,
-			"cache_misses": misses,
+			"ok":             true,
+			"cache_hits":     hits,
+			"cache_misses":   misses,
+			"jobs":           e.JobCount(),
+			"jobs_recovered": rec.Recovered,
 		})
 	})
-	return mux
+	return jsonErrors(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -140,6 +178,58 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]any{"error": apiError{Code: code, Message: err.Error()}})
+}
+
+// jsonErrors converts the plain-text 404/405 responses of the standard
+// ServeMux (unknown route, wrong method) into the API's JSON error
+// envelope, so every error a client can receive under /v1 has the same
+// shape. Handler-written responses pass through untouched: they set
+// Content-Type application/json before writing.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+// envelopeWriter intercepts WriteHeader: a 404/405 status written
+// without a JSON content type comes from the router itself, so the
+// writer substitutes the envelope and swallows the original text body.
+type envelopeWriter struct {
+	http.ResponseWriter
+	req       *http.Request
+	intercept bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	ct := w.Header().Get("Content-Type")
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		ct != "application/json" {
+		w.intercept = true
+		code, msg := errNotFound, fmt.Sprintf("no route %s %s", w.req.Method, w.req.URL.Path)
+		if status == http.StatusMethodNotAllowed {
+			code = errMethodNotAllowed
+			msg = fmt.Sprintf("method %s not allowed on %s", w.req.Method, w.req.URL.Path)
+			if allow := w.Header().Get("Allow"); allow != "" {
+				msg += " (allowed: " + allow + ")"
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(status)
+		enc := json.NewEncoder(w.ResponseWriter)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"error": apiError{Code: code, Message: msg}})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// Write drops the router's text body once the envelope has been sent.
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.intercept {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
 }

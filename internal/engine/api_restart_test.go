@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/reds-go/reds/internal/engine/store"
+)
+
+// startServerOverDir boots an httptest server whose engine persists to
+// the given store directory — one "redsserver process".
+func startServerOverDir(t *testing.T, dir string, workers int) (*httptest.Server, *Engine) {
+	t.Helper()
+	fs, err := store.OpenFS(dir, store.FSOptions{})
+	if err != nil {
+		t.Fatalf("OpenFS(%s): %v", dir, err)
+	}
+	e, err := New(Options{Workers: workers, Store: fs})
+	if err != nil {
+		t.Fatalf("New over %s: %v", dir, err)
+	}
+	return httptest.NewServer(NewHandler(e)), e
+}
+
+// TestServerRestartOverStoreDir is the PR's acceptance test at the HTTP
+// layer: a server restarted over the same -store.dir serves previously
+// submitted done results via GET /v1/jobs/{id}/result and re-enqueues
+// jobs that were pending at shutdown.
+func TestServerRestartOverStoreDir(t *testing.T) {
+	dir := t.TempDir()
+
+	// --- process 1: finish one job, leave a second queued ---
+	srv1, e1 := startServerOverDir(t, dir, 1)
+	code, created := postJSON(t, srv1.URL+"/v1/jobs",
+		`{"function":"morris","n":120,"l":1500,"seed":4}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit returned %d: %v", code, created)
+	}
+	doneID := created["id"].(string)
+
+	var snap Snapshot
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		getJSON(t, srv1.URL+"/v1/jobs/"+doneID, &snap)
+		if snap.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %s", snap.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", snap.Status, snap.Error)
+	}
+	var res1 Result
+	if code := getJSON(t, srv1.URL+"/v1/jobs/"+doneID+"/result", &res1); code != http.StatusOK {
+		t.Fatalf("result before restart returned %d", code)
+	}
+
+	// Occupy the single worker, then queue a job that will still be
+	// pending when the server goes down.
+	_, blocker := postJSON(t, srv1.URL+"/v1/jobs",
+		`{"function":"hart3","n":150,"l":3000000,"seed":1}`)
+	blockerID := blocker["id"].(string)
+	waitForStatus(t, srv1.URL, blockerID, StatusRunning)
+	_, queued := postJSON(t, srv1.URL+"/v1/jobs",
+		`{"function":"morris","n":100,"l":1200,"seed":9}`)
+	queuedID := queued["id"].(string)
+
+	srv1.Close()
+	e1.Close() // graceful shutdown: blocker canceled, queued stays pending
+
+	// --- process 2: same directory, fresh engine ---
+	srv2, e2 := startServerOverDir(t, dir, 1)
+	defer srv2.Close()
+	defer e2.Close()
+
+	var res2 Result
+	if code := getJSON(t, srv2.URL+"/v1/jobs/"+doneID+"/result", &res2); code != http.StatusOK {
+		t.Fatalf("result after restart returned %d", code)
+	}
+	if res2.Best.Rule != res1.Best.Rule || res2.DatasetHash != res1.DatasetHash {
+		t.Fatalf("restart served a different result: %q vs %q", res1.Best.Rule, res2.Best.Rule)
+	}
+
+	getJSON(t, srv2.URL+"/v1/jobs/"+blockerID, &snap)
+	if snap.Status != StatusCanceled {
+		t.Fatalf("blocker after restart = %s, want canceled", snap.Status)
+	}
+
+	// The queued job was re-enqueued and runs to completion.
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		getJSON(t, srv2.URL+"/v1/jobs/"+queuedID, &snap)
+		if snap.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-enqueued job stuck at %s", snap.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.Status != StatusDone {
+		t.Fatalf("re-enqueued job finished %s: %s", snap.Status, snap.Error)
+	}
+
+	var health map[string]any
+	getJSON(t, srv2.URL+"/v1/healthz", &health)
+	if health["jobs_recovered"].(float64) != 3 {
+		t.Fatalf("healthz jobs_recovered = %v, want 3", health["jobs_recovered"])
+	}
+}
+
+func waitForStatus(t *testing.T, baseURL, id string, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var snap Snapshot
+	for {
+		getJSON(t, baseURL+"/v1/jobs/"+id, &snap)
+		if snap.Status == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %s, want %s", id, snap.Status, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestErrorEnvelope asserts every error shape under /v1 — handler
+// errors, router 404s, and router 405s — uses the same
+// {"error":{"code","message"}} envelope.
+func TestErrorEnvelope(t *testing.T) {
+	srv, _ := startTestServer(t)
+
+	type envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+
+	// Unknown job id → structured not_found, not a bare text 404.
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	var env envelope
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("unknown-job Content-Type = %q, want application/json", ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("unknown-job body is not the envelope: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || env.Error.Code != "not_found" || env.Error.Message == "" {
+		t.Fatalf("unknown job → %d %+v, want 404 not_found", resp.StatusCode, env)
+	}
+
+	// Unknown route → router 404, still the envelope.
+	resp, err = http.Get(srv.URL + "/v1/no-such-route")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	env = envelope{}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("router 404 body is not the envelope: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || env.Error.Code != "not_found" {
+		t.Fatalf("unknown route → %d %+v, want 404 not_found", resp.StatusCode, env)
+	}
+
+	// Wrong method on a known route → router 405, still the envelope.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/jobs", bytes.NewReader(nil))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PUT: %v", err)
+	}
+	env = envelope{}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("router 405 body is not the envelope: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || env.Error.Code != "method_not_allowed" {
+		t.Fatalf("wrong method → %d %+v, want 405 method_not_allowed", resp.StatusCode, env)
+	}
+
+	// Bad request body → bad_request.
+	code, body := postJSON(t, srv.URL+"/v1/jobs", `{"bogus":1}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad body → %d, want 400", code)
+	}
+	errObj, ok := body["error"].(map[string]any)
+	if !ok || errObj["code"] != "bad_request" {
+		t.Fatalf("bad body envelope = %v, want code bad_request", body)
+	}
+
+	// Result of an unfinished job → 409 not_ready with the job status.
+	_, created := postJSON(t, srv.URL+"/v1/jobs", fmt.Sprintf(`{"function":"hart3","n":150,"l":3000000,"seed":%d}`, 2))
+	id := created["id"].(string)
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	var notReady map[string]any
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+id+"/result", &notReady); code != http.StatusConflict {
+		t.Fatalf("early result → %d, want 409", code)
+	}
+	errObj, ok = notReady["error"].(map[string]any)
+	if !ok || errObj["code"] != "not_ready" || notReady["status"] == nil {
+		t.Fatalf("early result envelope = %v, want not_ready + status", notReady)
+	}
+}

@@ -13,7 +13,10 @@ import (
 
 func startTestServer(t *testing.T) (*httptest.Server, *Engine) {
 	t.Helper()
-	e := New(Options{Workers: 2})
+	e, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	srv := httptest.NewServer(NewHandler(e))
 	t.Cleanup(func() {
 		srv.Close()

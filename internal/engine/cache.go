@@ -7,11 +7,21 @@ import (
 	"github.com/reds-go/reds/internal/metamodel"
 )
 
-// modelCache is an LRU cache of trained metamodels keyed by dataset
-// content hash + trainer configuration. Repeated jobs over the same data
-// skip retraining entirely — the dominant cost for tuned trainers.
-// Concurrent requests for the same key are deduplicated singleflight-
-// style: the first caller trains, the rest block and share the result.
+// modelCache is an LRU cache of trained metamodels. Keys follow the
+// scheme built in cachedTrainer (run.go):
+//
+//	<dataset SHA-256>|<family>|tuned=<bool>|seed=<train seed>
+//
+// i.e. dataset content hash (dataset.Hash, so any load path of the same
+// bits hits) + trainer configuration (family name and whether
+// cross-validated tuning ran) + the training seed. Anything that can
+// change the trained model is part of the key; anything that cannot
+// (the SD algorithm, L, the sampler) deliberately is not, so all SD
+// variants of one metamodel family share a single entry. Repeated jobs
+// over the same data skip retraining entirely — the dominant cost for
+// tuned trainers. Concurrent requests for the same key are deduplicated
+// singleflight-style: the first caller trains, the rest block and share
+// the result.
 type modelCache struct {
 	mu       sync.Mutex
 	capacity int

@@ -2,10 +2,15 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/reds-go/reds/internal/engine/store"
 )
 
 // Options configure an Engine.
@@ -17,11 +22,27 @@ type Options struct {
 	Workers int
 	// QueueSize bounds the number of pending jobs (default 64). Submit
 	// fails fast once the queue is full — backpressure instead of
-	// unbounded memory growth.
+	// unbounded memory growth. On recovery the queue is grown to fit
+	// every re-enqueued job regardless of this bound.
 	QueueSize int
 	// CacheSize is the LRU metamodel cache capacity in trained models
 	// (default 32).
 	CacheSize int
+
+	// Store persists jobs and results across restarts. nil defaults to
+	// a fresh in-memory store, which preserves the historical behavior:
+	// engine state dies with the process. Pass a store.FS opened over a
+	// fixed directory to make jobs durable. The engine owns the store
+	// once New succeeds and closes it in Close.
+	Store store.Store
+	// TTL expires terminal jobs: once a job has been done, failed or
+	// canceled for longer than TTL, the background sweeper deletes it
+	// (and its result) from both the store and the engine. 0 disables
+	// expiry and keeps every job forever.
+	TTL time.Duration
+	// SweepInterval is the period of the TTL sweeper goroutine (default
+	// 1 minute; only used when TTL > 0).
+	SweepInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -37,49 +58,278 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize <= 0 {
 		o.CacheSize = 32
 	}
+	if o.SweepInterval <= 0 {
+		o.SweepInterval = time.Minute
+	}
 	return o
 }
 
-// Engine schedules discovery jobs onto a bounded worker pool. All
-// methods are safe for concurrent use.
+// RecoveryStats describes what New found in a pre-existing store.
+type RecoveryStats struct {
+	// Recovered is the total number of jobs loaded from the store.
+	Recovered int
+	// Reenqueued counts recovered pending jobs put back on the queue;
+	// they run again from their original request.
+	Reenqueued int
+	// Orphaned counts jobs that were running when the previous process
+	// stopped without finishing them (a crash — a graceful Close leaves
+	// running jobs canceled, not running). They are marked failed with a
+	// restart reason rather than silently re-run.
+	Orphaned int
+}
+
+// Engine schedules discovery jobs onto a bounded worker pool and mirrors
+// every lifecycle transition into its Store. All methods are safe for
+// concurrent use.
 type Engine struct {
-	opts   Options
-	cache  *modelCache
-	queue  chan *job
-	wg     sync.WaitGroup
-	ctx    context.Context
-	cancel context.CancelFunc
+	opts     Options
+	cache    *modelCache
+	store    store.Store
+	recovery RecoveryStats
+	queue    chan *job
+	wg       sync.WaitGroup
+	ctx      context.Context
+	cancel   context.CancelFunc
 
 	mu     sync.Mutex
 	jobs   map[JobID]*job
 	order  []JobID
 	nextID uint64
-	closed bool
+	// persistedNextID is the job-ID high-water mark already written to
+	// the store's meta namespace; the sweeper raises it before deleting
+	// records so ids are never reused across restarts (a reused id would
+	// silently serve a different job's data to a client holding an old
+	// URL).
+	persistedNextID uint64
+	closed          bool
 }
 
-// New starts an engine with its worker pool.
-func New(opts Options) *Engine {
+// nextIDMetaKey is the store meta key holding the job-ID high-water
+// mark as a JSON number.
+const nextIDMetaKey = "next_id"
+
+// New starts an engine with its worker pool. If the configured store
+// holds jobs from a previous process they are recovered first: terminal
+// jobs become visible again (results load lazily from the store),
+// pending jobs are re-enqueued, and jobs the previous process left
+// running are marked failed with a restart reason — see RecoveryStats.
+func New(opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
+	st := opts.Store
+	if st == nil {
+		st = store.NewMem()
+	}
+	recs, err := st.List()
+	if err != nil {
+		return nil, fmt.Errorf("engine: listing store: %w", err)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		opts:   opts,
 		cache:  newModelCache(opts.CacheSize),
-		queue:  make(chan *job, opts.QueueSize),
+		store:  st,
 		ctx:    ctx,
 		cancel: cancel,
 		jobs:   make(map[JobID]*job),
 	}
+	pending, err := e.recover(recs)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+
+	queueCap := opts.QueueSize
+	if len(pending) > queueCap {
+		queueCap = len(pending)
+	}
+	e.queue = make(chan *job, queueCap)
+	for _, j := range pending {
+		e.queue <- j
+	}
+
 	e.wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go e.worker()
 	}
-	return e
+	if opts.TTL > 0 {
+		e.wg.Add(1)
+		go e.sweeper()
+	}
+	return e, nil
 }
+
+// recover rebuilds the in-memory job index from store records and
+// returns the jobs to re-enqueue. Called from New before the workers
+// start, so no locking is needed yet.
+func (e *Engine) recover(recs []store.Record) ([]*job, error) {
+	var pending []*job
+	for _, rec := range recs {
+		j := &job{
+			id:          JobID(rec.ID),
+			status:      Status(rec.Status),
+			reqJSON:     rec.Request,
+			submittedAt: rec.SubmittedAt,
+			startedAt:   rec.StartedAt,
+			finishedAt:  rec.FinishedAt,
+		}
+		if rec.Error != "" {
+			j.err = errors.New(rec.Error)
+		}
+		repersist := false
+		switch j.status {
+		case StatusPending, StatusRunning, StatusDone, StatusFailed, StatusCanceled:
+		default:
+			j.status = StatusFailed
+			j.err = fmt.Errorf("stored record has unknown status %q", rec.Status)
+			repersist = true
+		}
+		if err := json.Unmarshal(rec.Request, &j.req); err != nil && !j.status.Terminal() {
+			j.status = StatusFailed
+			j.err = fmt.Errorf("stored request is unreadable: %w", err)
+			repersist = true
+		}
+		if repersist && j.finishedAt.IsZero() {
+			// A job failed during recovery is terminal: give it the
+			// FinishedAt that makes it TTL-sweepable.
+			j.finishedAt = time.Now()
+		}
+
+		var n uint64
+		if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > e.nextID {
+			e.nextID = n
+		}
+
+		jctx, jcancel := context.WithCancel(e.ctx)
+		j.ctx, j.cancel = jctx, jcancel
+		switch j.status {
+		case StatusPending:
+			pending = append(pending, j)
+			e.recovery.Reenqueued++
+		case StatusRunning:
+			// The previous process died mid-job. Fail it explicitly with
+			// the reason instead of re-running: the client may have acted
+			// on partial progress, and an expensive job should only burn
+			// compute twice on an explicit resubmit.
+			j.status = StatusFailed
+			j.err = errors.New("job was running when the previous engine process stopped; resubmit to re-run")
+			j.finishedAt = time.Now()
+			jcancel()
+			e.recovery.Orphaned++
+			repersist = true
+		default:
+			jcancel() // terminal: nothing to cancel later
+		}
+		if repersist {
+			e.persist(j.transitionLocked()) // no concurrency yet; "Locked" is satisfied trivially
+		}
+		e.jobs[j.id] = j
+		e.order = append(e.order, j.id)
+		e.recovery.Recovered++
+	}
+	// The id high-water mark may exceed every surviving record's id when
+	// swept jobs carried the highest ids. persistedNextID tracks what is
+	// durably in the meta namespace (not what is derivable from records,
+	// which sweeping can delete), so the sweeper knows when to raise it.
+	// A GetMeta failure must fail recovery: proceeding with a low nextID
+	// is exactly the silent id reuse the mark prevents.
+	raw, ok, err := e.store.GetMeta(nextIDMetaKey)
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading id high-water mark: %w", err)
+	}
+	if ok {
+		var n uint64
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return nil, fmt.Errorf("engine: decoding id high-water mark %q: %w", raw, err)
+		}
+		e.persistedNextID = n
+		if n > e.nextID {
+			e.nextID = n
+		}
+	}
+	return pending, nil
+}
+
+// Recovery reports what New loaded from a pre-existing store.
+func (e *Engine) Recovery() RecoveryStats { return e.recovery }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
 		e.execute(j)
+	}
+}
+
+// sweeper is the TTL garbage collector: every SweepInterval it deletes
+// terminal jobs that finished more than TTL ago from the store and the
+// in-memory index.
+func (e *Engine) sweeper() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.opts.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case <-t.C:
+			e.sweepExpired()
+		}
+	}
+}
+
+// sweepExpired performs one TTL sweep and returns how many jobs it
+// removed. The store decides expiry from its mirrored records (non-zero
+// FinishedAt before the cutoff), so running jobs are never touched.
+func (e *Engine) sweepExpired() int {
+	// Make the id high-water mark durable before deleting the records
+	// that encode it, so a restart after the sweep cannot reuse ids.
+	e.mu.Lock()
+	n, persisted := e.nextID, e.persistedNextID
+	e.mu.Unlock()
+	if n > persisted {
+		raw, _ := json.Marshal(n)
+		if err := e.store.PutMeta(nextIDMetaKey, raw); err != nil {
+			log.Printf("engine: persisting id high-water mark: %v", err)
+			return 0 // do not sweep past an unpersisted mark
+		}
+		e.mu.Lock()
+		if n > e.persistedNextID {
+			e.persistedNextID = n
+		}
+		e.mu.Unlock()
+	}
+	ids, err := e.store.Sweep(time.Now().Add(-e.opts.TTL))
+	if err != nil {
+		log.Printf("engine: ttl sweep: %v", err)
+		return 0
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	drop := make(map[JobID]bool, len(ids))
+	for _, id := range ids {
+		drop[JobID(id)] = true
+	}
+	e.mu.Lock()
+	kept := e.order[:0]
+	for _, id := range e.order {
+		if drop[id] {
+			delete(e.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+	e.mu.Unlock()
+	return len(ids)
+}
+
+// persist mirrors a job record into the store. Store failures must not
+// take down job execution, so they are logged and the in-memory state
+// stays authoritative for this process.
+func (e *Engine) persist(rec store.Record) {
+	if err := e.store.PutJob(rec); err != nil {
+		log.Printf("engine: persisting job %s: %v", rec.ID, err)
 	}
 }
 
@@ -91,19 +341,21 @@ func (e *Engine) execute(j *job) {
 		return
 	}
 	if j.ctx.Err() != nil {
-		j.status = StatusCanceled
-		j.finishedAt = time.Now()
+		// The engine is shutting down while the job was still queued (a
+		// user cancel would already have moved it to canceled). Leave it
+		// pending: over a durable store the next process re-enqueues it.
 		j.mu.Unlock()
 		return
 	}
 	j.status = StatusRunning
 	j.startedAt = time.Now()
+	rec := j.transitionLocked()
 	j.mu.Unlock()
+	e.persist(rec)
 
 	result, err := e.run(j)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finishedAt = time.Now()
 	switch {
 	case j.ctx.Err() != nil:
@@ -115,36 +367,92 @@ func (e *Engine) execute(j *job) {
 		j.status = StatusDone
 		j.result = result
 	}
+	rec = j.transitionLocked()
+	done := j.status == StatusDone
+	j.mu.Unlock()
+
+	// Result before record: once the record says done, the result is
+	// guaranteed to be in the store (a crash in between re-runs nothing
+	// and loses nothing — the job is still recorded as running and gets
+	// orphaned on recovery). If the result cannot be persisted, the
+	// record is deliberately NOT advanced to done either: this process
+	// still serves the in-memory result, and the store's stale running
+	// record becomes an honest orphaned-failed job on the next boot
+	// instead of a done job whose result can never load.
+	if done {
+		raw, err := json.Marshal(result)
+		if err == nil {
+			err = e.store.PutResult(string(j.id), raw)
+		}
+		if err != nil {
+			log.Printf("engine: persisting result of %s (leaving stored record running): %v", j.id, err)
+			return
+		}
+	}
+	e.persist(rec)
 }
 
 // Submit validates and enqueues a job, returning its ID. It fails when
 // the request is invalid, the queue is full, or the engine is closed.
+// The job is persisted as pending before Submit returns.
 func (e *Engine) Submit(req Request) (JobID, error) {
 	if err := req.Validate(); err != nil {
 		return "", err
+	}
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("engine: encoding request: %w", err)
 	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return "", fmt.Errorf("engine: closed")
 	}
+	// Reject on a visibly full queue before doing any store I/O, so
+	// backpressure during overload stays free of fsyncs. This check is
+	// conservative (the authoritative one is the enqueue below).
+	if len(e.queue) == cap(e.queue) {
+		e.mu.Unlock()
+		return "", fmt.Errorf("engine: queue full (%d pending jobs)", e.opts.QueueSize)
+	}
 	e.nextID++
 	id := JobID(fmt.Sprintf("job-%06d", e.nextID))
+	e.mu.Unlock()
+
 	ctx, cancel := context.WithCancel(e.ctx)
 	j := &job{
 		id:          id,
 		req:         req,
+		reqJSON:     reqJSON,
 		ctx:         ctx,
 		cancel:      cancel,
 		status:      StatusPending,
 		submittedAt: time.Now(),
 	}
+	// Persist outside e.mu — an fsync (or a snapshot compaction) must
+	// not stall every concurrent status poll — but before enqueueing, so
+	// the worker's "running" upsert cannot race ahead of the initial
+	// pending record.
+	e.persist(j.recordLocked())
+
+	e.mu.Lock()
+	reject := func(reason error) (JobID, error) {
+		e.mu.Unlock()
+		cancel()
+		// Best-effort: drop the already-persisted pending record so a
+		// later boot does not resurrect a job nobody was told about.
+		if err := e.store.Delete(string(id)); err != nil {
+			log.Printf("engine: deleting rejected job %s: %v", id, err)
+		}
+		return "", reason
+	}
+	if e.closed {
+		return reject(fmt.Errorf("engine: closed"))
+	}
 	select {
 	case e.queue <- j:
 	default:
-		e.mu.Unlock()
-		cancel()
-		return "", fmt.Errorf("engine: queue full (%d pending jobs)", e.opts.QueueSize)
+		return reject(fmt.Errorf("engine: queue full (%d pending jobs)", e.opts.QueueSize))
 	}
 	e.jobs[id] = j
 	e.order = append(e.order, id)
@@ -183,7 +491,9 @@ func (e *Engine) Jobs() []Snapshot {
 }
 
 // Result returns the payload of a finished job. It fails for unknown
-// jobs and for jobs that are not (or not yet) done.
+// jobs and for jobs that are not (or not yet) done. For a job recovered
+// from a durable store the payload is loaded from the store on first
+// access and cached on the job afterwards.
 func (e *Engine) Result(id JobID) (*Result, error) {
 	j, ok := e.lookup(id)
 	if !ok {
@@ -193,6 +503,13 @@ func (e *Engine) Result(id JobID) (*Result, error) {
 	defer j.mu.Unlock()
 	switch j.status {
 	case StatusDone:
+		if j.result == nil {
+			res, err := e.loadResult(id)
+			if err != nil {
+				return nil, err
+			}
+			j.result = res
+		}
 		return j.result, nil
 	case StatusFailed:
 		return nil, fmt.Errorf("engine: job %s failed: %w", id, j.err)
@@ -201,6 +518,22 @@ func (e *Engine) Result(id JobID) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("engine: job %s is %s, result not ready", id, j.status)
 	}
+}
+
+// loadResult fetches and decodes a persisted result payload.
+func (e *Engine) loadResult(id JobID) (*Result, error) {
+	raw, ok, err := e.store.GetResult(string(id))
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading result of %s: %w", id, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: result of %s is missing from the store", id)
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("engine: decoding stored result of %s: %w", id, err)
+	}
+	return &res, nil
 }
 
 // Cancel requests cancellation of a job. Queued jobs are canceled
@@ -213,13 +546,20 @@ func (e *Engine) Cancel(id JobID) bool {
 	}
 	j.mu.Lock()
 	terminal := j.status.Terminal()
+	var rec store.Record
+	persist := false
 	if j.status == StatusPending {
 		// The worker that eventually dequeues it will observe the
 		// status and skip execution.
 		j.status = StatusCanceled
 		j.finishedAt = time.Now()
+		rec = j.transitionLocked()
+		persist = true
 	}
 	j.mu.Unlock()
+	if persist {
+		e.persist(rec)
+	}
 	j.cancel()
 	return !terminal
 }
@@ -227,8 +567,18 @@ func (e *Engine) Cancel(id JobID) bool {
 // CacheStats returns cumulative metamodel cache hits and misses.
 func (e *Engine) CacheStats() (hits, misses int64) { return e.cache.Stats() }
 
-// Close cancels all jobs, stops the workers and waits for them. The
-// engine accepts no submissions afterwards.
+// JobCount returns the number of jobs the engine currently knows,
+// without materializing snapshots (TTL-swept jobs are gone).
+func (e *Engine) JobCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.jobs)
+}
+
+// Close cancels running jobs, stops the workers and the sweeper, waits
+// for them, and closes the store. Running jobs end canceled (persisted
+// as such); jobs still queued stay pending so a restart over a durable
+// store re-enqueues them. The engine accepts no submissions afterwards.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -237,7 +587,10 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.mu.Unlock()
-	e.cancel()      // cancels every job context
-	close(e.queue)  // drains: workers skip canceled jobs
+	e.cancel()     // cancels every job context and stops the sweeper
+	close(e.queue) // drains: workers skip canceled jobs
 	e.wg.Wait()
+	if err := e.store.Close(); err != nil {
+		log.Printf("engine: closing store: %v", err)
+	}
 }

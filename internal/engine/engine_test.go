@@ -25,6 +25,16 @@ func testDataset(n int, rng *rand.Rand) *dataset.Dataset {
 	return dataset.MustNew(x, y)
 }
 
+// newTestEngine is New with the error path folded into the test.
+func newTestEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
 func waitTerminal(t *testing.T, e *Engine, id JobID, timeout time.Duration) Snapshot {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
@@ -44,7 +54,7 @@ func waitTerminal(t *testing.T, e *Engine, id JobID, timeout time.Duration) Snap
 }
 
 func TestJobLifecycle(t *testing.T) {
-	e := New(Options{Workers: 2})
+	e := newTestEngine(t, Options{Workers: 2})
 	defer e.Close()
 
 	d := testDataset(300, rand.New(rand.NewSource(1)))
@@ -91,7 +101,7 @@ func TestJobLifecycle(t *testing.T) {
 }
 
 func TestMultiVariantRanking(t *testing.T) {
-	e := New(Options{Workers: 1})
+	e := newTestEngine(t, Options{Workers: 1})
 	defer e.Close()
 
 	d := testDataset(250, rand.New(rand.NewSource(2)))
@@ -135,7 +145,7 @@ func TestMultiVariantRanking(t *testing.T) {
 }
 
 func TestCancelQueuedJob(t *testing.T) {
-	e := New(Options{Workers: 1})
+	e := newTestEngine(t, Options{Workers: 1})
 	defer e.Close()
 
 	d := testDataset(300, rand.New(rand.NewSource(3)))
@@ -163,7 +173,7 @@ func TestCancelQueuedJob(t *testing.T) {
 }
 
 func TestCancelRunningJob(t *testing.T) {
-	e := New(Options{Workers: 1})
+	e := newTestEngine(t, Options{Workers: 1})
 	defer e.Close()
 
 	d := testDataset(300, rand.New(rand.NewSource(4)))
@@ -194,7 +204,7 @@ func TestCancelRunningJob(t *testing.T) {
 }
 
 func TestMetamodelCacheHit(t *testing.T) {
-	e := New(Options{Workers: 1})
+	e := newTestEngine(t, Options{Workers: 1})
 	defer e.Close()
 
 	d := testDataset(250, rand.New(rand.NewSource(5)))
@@ -247,7 +257,7 @@ func TestMetamodelCacheHit(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	e := New(Options{Workers: 1})
+	e := newTestEngine(t, Options{Workers: 1})
 	defer e.Close()
 
 	cases := []Request{
@@ -270,7 +280,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestQueueBackpressure(t *testing.T) {
-	e := New(Options{Workers: 1, QueueSize: 1})
+	e := newTestEngine(t, Options{Workers: 1, QueueSize: 1})
 	defer e.Close()
 
 	d := testDataset(300, rand.New(rand.NewSource(6)))

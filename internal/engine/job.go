@@ -5,6 +5,28 @@
 // an LRU metamodel cache keyed by dataset content, and multi-variant
 // fan-out (several metamodel families × SD algorithms per request)
 // ranked by scenario quality.
+//
+// # Durability
+//
+// Every job lifecycle transition and every finished result is mirrored
+// into a store.Store (see internal/engine/store). With the default
+// in-memory store the engine behaves as a purely in-process service;
+// with a file store, New recovers the previous process's state: done
+// results become servable again, jobs that never started are
+// re-enqueued, and jobs orphaned mid-run by a crash are marked failed
+// with a restart reason. A TTL sweeper garbage-collects terminal jobs
+// past their retention window from both the store and the in-memory
+// index, bounding growth in long-running deployments.
+//
+// # Job lifecycle
+//
+//	pending ──► running ──► done | failed | canceled
+//	   │                               ▲
+//	   └── cancel while queued ────────┘
+//
+// A graceful Close leaves queued jobs pending (so a durable restart
+// resumes them) and ends running jobs canceled; a crash leaves running
+// jobs in the store as running, which the next New reports as orphaned.
 package engine
 
 import (
@@ -17,6 +39,7 @@ import (
 
 	"github.com/reds-go/reds/internal/box"
 	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/engine/store"
 	"github.com/reds-go/reds/internal/funcs"
 	"github.com/reds-go/reds/internal/metrics"
 )
@@ -199,10 +222,14 @@ type Snapshot struct {
 
 // job is the engine-internal mutable state behind a Snapshot.
 type job struct {
-	id     JobID
-	req    Request
-	ctx    context.Context
-	cancel context.CancelFunc
+	id  JobID
+	req Request
+	// reqJSON is the request as persisted (encoded once at submission or
+	// carried over from the store on recovery), reused for every store
+	// upsert of this job.
+	reqJSON []byte
+	ctx     context.Context
+	cancel  context.CancelFunc
 
 	// Progress counters are atomics so labeling workers can bump them
 	// without taking mu.
@@ -253,6 +280,34 @@ func (j *job) snapshot() Snapshot {
 		s.FinishedAt = &t
 	}
 	return s
+}
+
+// recordLocked builds the store record for the job's current state.
+// Caller holds j.mu (or has exclusive access during recovery).
+func (j *job) recordLocked() store.Record {
+	rec := store.Record{
+		ID:          string(j.id),
+		Status:      string(j.status),
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+		Request:     j.reqJSON,
+	}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	return rec
+}
+
+// transitionLocked is recordLocked without the request payload: status
+// transitions of an already-persisted job upsert with a nil Request
+// (the store's merge rule keeps the stored one), so a transition entry
+// stays small even for jobs submitted with inline datasets. Caller
+// holds j.mu.
+func (j *job) transitionLocked() store.Record {
+	rec := j.recordLocked()
+	rec.Request = nil
+	return rec
 }
 
 func (j *job) setStage(stage string) {

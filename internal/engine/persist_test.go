@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reds-go/reds/internal/engine/store"
+)
+
+func openFS(t *testing.T, dir string) *store.FS {
+	t.Helper()
+	fs, err := store.OpenFS(dir, store.FSOptions{})
+	if err != nil {
+		t.Fatalf("OpenFS(%s): %v", dir, err)
+	}
+	return fs
+}
+
+// TestRestartServesDoneResults is the acceptance flow at the engine
+// level: finish a job over a durable store, shut the engine down, boot a
+// fresh engine over the same directory, and read the result back.
+func TestRestartServesDoneResults(t *testing.T) {
+	dir := t.TempDir()
+	d := testDataset(250, rand.New(rand.NewSource(11)))
+
+	e1 := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	id, err := e1.Submit(Request{Dataset: d, L: 800, Seed: 5})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if snap := waitTerminal(t, e1, id, 60*time.Second); snap.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", snap.Status, snap.Error)
+	}
+	res1, err := e1.Result(id)
+	if err != nil {
+		t.Fatalf("result before restart: %v", err)
+	}
+	e1.Close()
+
+	e2 := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	defer e2.Close()
+	if got := e2.Recovery(); got.Recovered != 1 || got.Reenqueued != 0 || got.Orphaned != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 recovered terminal job", got)
+	}
+	snap, ok := e2.Job(id)
+	if !ok || snap.Status != StatusDone {
+		t.Fatalf("recovered job = %+v ok=%v, want done", snap, ok)
+	}
+	if snap.SubmittedAt.IsZero() || snap.FinishedAt == nil {
+		t.Fatalf("recovered job lost its timestamps: %+v", snap)
+	}
+	res2, err := e2.Result(id)
+	if err != nil {
+		t.Fatalf("result after restart: %v", err)
+	}
+	if res2.Best.Rule != res1.Best.Rule || res2.DatasetHash != res1.DatasetHash {
+		t.Fatalf("restart changed the result: %q/%s vs %q/%s",
+			res1.Best.Rule, res1.DatasetHash, res2.Best.Rule, res2.DatasetHash)
+	}
+	if res2.Best.Rule == "" || res2.Best.Box == nil {
+		t.Fatalf("recovered result is empty: %+v", res2.Best)
+	}
+}
+
+// TestRestartReenqueuesPending shuts an engine down with a job still
+// queued behind a long-running one; the next engine over the same store
+// must run the queued job to completion.
+func TestRestartReenqueuesPending(t *testing.T) {
+	dir := t.TempDir()
+	d := testDataset(250, rand.New(rand.NewSource(12)))
+
+	e1 := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	blocker, err := e1.Submit(Request{Dataset: d, L: 2000000, Seed: 1})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if snap, _ := e1.Job(blocker); snap.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued, err := e1.Submit(Request{Dataset: d, L: 800, Seed: 6})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	e1.Close() // blocker → canceled, queued stays pending in the store
+
+	e2 := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	defer e2.Close()
+	rec := e2.Recovery()
+	if rec.Recovered != 2 || rec.Reenqueued != 1 {
+		t.Fatalf("recovery stats = %+v, want 2 recovered / 1 re-enqueued", rec)
+	}
+	if snap, ok := e2.Job(blocker); !ok || snap.Status != StatusCanceled {
+		t.Fatalf("blocker after restart = %+v, want canceled", snap)
+	}
+	snap := waitTerminal(t, e2, queued, 60*time.Second)
+	if snap.Status != StatusDone {
+		t.Fatalf("re-enqueued job finished %s: %s", snap.Status, snap.Error)
+	}
+	if res, err := e2.Result(queued); err != nil || res.Best.Rule == "" {
+		t.Fatalf("re-enqueued job result: %v / %+v", err, res)
+	}
+}
+
+// TestRecoveryMarksOrphanedRunning boots an engine over a store whose
+// previous process crashed mid-job (simulated by writing the running
+// record directly): the job must come back failed with a restart reason,
+// not silently re-run.
+func TestRecoveryMarksOrphanedRunning(t *testing.T) {
+	dir := t.TempDir()
+	fs := openFS(t, dir)
+	reqJSON, _ := json.Marshal(Request{Function: "morris", N: 50, L: 500})
+	now := time.Now()
+	if err := fs.PutJob(store.Record{
+		ID:          "job-000007",
+		Status:      string(StatusRunning),
+		SubmittedAt: now.Add(-time.Minute),
+		StartedAt:   now.Add(-50 * time.Second),
+		Request:     reqJSON,
+	}); err != nil {
+		t.Fatalf("planting running record: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("closing store: %v", err)
+	}
+
+	e := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	defer e.Close()
+	if rec := e.Recovery(); rec.Orphaned != 1 {
+		t.Fatalf("recovery stats = %+v, want 1 orphaned", rec)
+	}
+	snap, ok := e.Job("job-000007")
+	if !ok || snap.Status != StatusFailed {
+		t.Fatalf("orphaned job = %+v ok=%v, want failed", snap, ok)
+	}
+	if !strings.Contains(snap.Error, "previous engine process stopped") {
+		t.Fatalf("orphan error = %q, want a restart reason", snap.Error)
+	}
+	// The failure is persisted, so yet another restart agrees.
+	e.Close()
+	e2 := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	defer e2.Close()
+	if rec := e2.Recovery(); rec.Orphaned != 0 {
+		t.Fatalf("second recovery re-orphaned: %+v", rec)
+	}
+	if snap, _ := e2.Job("job-000007"); snap.Status != StatusFailed {
+		t.Fatalf("orphan not failed after second restart: %+v", snap)
+	}
+	// New submissions must not collide with the recovered id space.
+	d := testDataset(100, rand.New(rand.NewSource(13)))
+	id, err := e2.Submit(Request{Dataset: d, L: 200})
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	if id == "job-000007" {
+		t.Fatalf("id collision with recovered job")
+	}
+	e2.Cancel(id)
+}
+
+// TestTTLSweepExpiresFinishedJobs runs an engine with a tiny TTL and
+// asserts finished jobs vanish from both the engine and the store while
+// unfinished work is untouched.
+func TestTTLSweepExpiresFinishedJobs(t *testing.T) {
+	st := store.NewMem()
+	e := newTestEngine(t, Options{
+		Workers:       1,
+		Store:         st,
+		TTL:           100 * time.Millisecond,
+		SweepInterval: 20 * time.Millisecond,
+	})
+	defer e.Close()
+
+	d := testDataset(250, rand.New(rand.NewSource(14)))
+	id, err := e.Submit(Request{Dataset: d, L: 800, Seed: 7})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if snap := waitTerminal(t, e, id, 60*time.Second); snap.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", snap.Status, snap.Error)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, inEngine := e.Job(id)
+		recs, err := st.List()
+		if err != nil {
+			t.Fatalf("store list: %v", err)
+		}
+		if !inEngine && len(recs) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expired job survived the sweeper: inEngine=%v store=%d", inEngine, len(recs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, ok, _ := st.GetResult(string(id)); ok {
+		t.Fatalf("swept job kept its result in the store")
+	}
+	if len(e.Jobs()) != 0 {
+		t.Fatalf("swept job still listed: %+v", e.Jobs())
+	}
+}
+
+// TestIDsNotReusedAfterSweepAndRestart sweeps every record away, then
+// restarts: the next submission must not reuse a swept job's id (an old
+// job URL would silently serve the new job's data otherwise).
+func TestIDsNotReusedAfterSweepAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newTestEngine(t, Options{
+		Workers:       1,
+		Store:         openFS(t, dir),
+		TTL:           50 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+	})
+	d := testDataset(250, rand.New(rand.NewSource(16)))
+	id1, err := e1.Submit(Request{Dataset: d, L: 800, Seed: 3})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if snap := waitTerminal(t, e1, id1, 60*time.Second); snap.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", snap.Status, snap.Error)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := e1.Job(id1); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never swept")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	e1.Close()
+
+	e2 := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	defer e2.Close()
+	if rec := e2.Recovery(); rec.Recovered != 0 {
+		t.Fatalf("swept store recovered %d jobs", rec.Recovered)
+	}
+	id2, err := e2.Submit(Request{Dataset: d, L: 800, Seed: 4})
+	if err != nil {
+		t.Fatalf("submit after restart: %v", err)
+	}
+	if id2 == id1 {
+		t.Fatalf("job id %s reused after sweep + restart", id2)
+	}
+	e2.Cancel(id2)
+}
+
+// TestSweepKeepsUnfinishedJobs makes sure the GC never touches pending
+// or running work even with an aggressive TTL.
+func TestSweepKeepsUnfinishedJobs(t *testing.T) {
+	st := store.NewMem()
+	e := newTestEngine(t, Options{
+		Workers:       1,
+		Store:         st,
+		TTL:           time.Millisecond,
+		SweepInterval: 5 * time.Millisecond,
+	})
+	defer e.Close()
+
+	d := testDataset(250, rand.New(rand.NewSource(15)))
+	running, err := e.Submit(Request{Dataset: d, L: 2000000, Seed: 1})
+	if err != nil {
+		t.Fatalf("submit running: %v", err)
+	}
+	queued, err := e.Submit(Request{Dataset: d, L: 800, Seed: 2})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond) // several sweep periods
+	if _, ok := e.Job(running); !ok {
+		t.Fatalf("sweeper removed an active job")
+	}
+	if _, ok := e.Job(queued); !ok {
+		t.Fatalf("sweeper removed a queued job")
+	}
+	e.Cancel(running)
+	e.Cancel(queued)
+}

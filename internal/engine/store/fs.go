@@ -1,0 +1,425 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// File layout of an FS store directory:
+//
+//	snapshot.jsonl   compacted full state, rewritten atomically
+//	wal.jsonl        write-ahead log of entries since the snapshot
+//
+// Every mutation appends one JSON line to the write-ahead log (fsynced
+// by default) before it is acknowledged. Open replays the snapshot and
+// then the log; a partial trailing line — the footprint of a crash
+// mid-append — is discarded and truncated away, which is exactly the
+// WAL contract: an append whose write never completed was never
+// acknowledged to the engine. Once the log grows past CompactEvery
+// entries it is folded into a fresh snapshot (written to a temp file,
+// fsynced, renamed) and truncated.
+const (
+	snapshotFile = "snapshot.jsonl"
+	walFile      = "wal.jsonl"
+
+	opJob    = "job"
+	opResult = "result"
+	opDelete = "delete"
+	opMeta   = "meta"
+)
+
+// walEntry is one JSON line of the log or the snapshot.
+type walEntry struct {
+	Op     string          `json:"op"`
+	Job    *Record         `json:"job,omitempty"`
+	ID     string          `json:"id,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// FSOptions tune the file store.
+type FSOptions struct {
+	// CompactEvery folds the write-ahead log into the snapshot after
+	// this many appended entries (default 4096).
+	CompactEvery int
+	// NoSync skips the per-append fsync. Appends then survive process
+	// crashes (the OS page cache holds them) but not power loss; meant
+	// for tests and throwaway stores.
+	NoSync bool
+}
+
+func (o FSOptions) withDefaults() FSOptions {
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 4096
+	}
+	return o
+}
+
+// FS is the durable Store: an in-memory mirror of the current state
+// (reads never touch the disk) fronted by the append-only log described
+// above.
+type FS struct {
+	dir  string
+	opts FSOptions
+
+	mu       sync.Mutex
+	wal      *os.File
+	walCount int
+	jobs     map[string]Record
+	results  map[string]json.RawMessage
+	metas    map[string]json.RawMessage
+	skipped  int
+}
+
+// OpenFS opens (creating if needed) a file store in dir and replays its
+// state. A directory left behind by a crashed process is recovered: the
+// snapshot is loaded, the log replayed on top, and a torn trailing
+// write truncated away.
+func OpenFS(dir string, opts FSOptions) (*FS, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	f := &FS{
+		dir:     dir,
+		opts:    opts,
+		jobs:    make(map[string]Record),
+		results: make(map[string]json.RawMessage),
+		metas:   make(map[string]json.RawMessage),
+	}
+	// A leftover temp snapshot is an interrupted compaction that never
+	// renamed into place; the snapshot+log pair is still authoritative.
+	_ = os.Remove(filepath.Join(dir, snapshotFile+".tmp"))
+
+	if err := f.replayFile(filepath.Join(dir, snapshotFile), false); err != nil {
+		return nil, err
+	}
+	if err := f.replayFile(filepath.Join(dir, walFile), true); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening log: %w", err)
+	}
+	f.wal = wal
+	// A process that crash-restarts repeatedly may never reach the
+	// in-flight compaction threshold; fold an oversized replayed log
+	// into the snapshot now so it cannot grow without bound.
+	if f.walCount >= f.opts.CompactEvery {
+		if err := f.compactLocked(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// replayFile applies every complete entry of a JSONL file to the
+// in-memory state. For the write-ahead log (truncateTail) a partial
+// final line is removed from the file so subsequent appends start on a
+// clean line boundary; unparseable complete lines are counted and
+// skipped rather than failing the whole store.
+func (f *FS) replayFile(path string, truncateTail bool) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	validLen := len(raw)
+	if truncateTail {
+		if i := bytes.LastIndexByte(raw, '\n'); i < len(raw)-1 {
+			validLen = i + 1 // torn final write: everything after the last newline
+			raw = raw[:validLen]
+		}
+	}
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if truncateTail {
+			f.walCount++ // replayed log entries count toward compaction
+		}
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			f.skipped++
+			continue
+		}
+		f.apply(e)
+	}
+	if truncateTail {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > int64(validLen) {
+			if err := os.Truncate(path, int64(validLen)); err != nil {
+				return fmt.Errorf("store: truncating torn log tail: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// apply folds one entry into the in-memory state. Entries are full-state
+// upserts or deletes, so replay is idempotent in any snapshot/log
+// interleaving.
+func (f *FS) apply(e walEntry) {
+	switch e.Op {
+	case opJob:
+		if e.Job != nil {
+			rec := *e.Job
+			if rec.Request == nil {
+				if old, ok := f.jobs[rec.ID]; ok {
+					rec.Request = old.Request
+				}
+			}
+			f.jobs[rec.ID] = rec
+		}
+	case opResult:
+		f.results[e.ID] = e.Result
+	case opDelete:
+		delete(f.jobs, e.ID)
+		delete(f.results, e.ID)
+	case opMeta:
+		f.metas[e.ID] = e.Result
+	default:
+		f.skipped++
+	}
+}
+
+// appendLocked writes entries to the log as one buffer with a single
+// fsync, then compacts if the log has grown past the threshold. Caller
+// holds mu.
+func (f *FS) appendLocked(entries ...walEntry) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep rule strings like "x <= 1" readable
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("store: encoding log entry: %w", err)
+		}
+	}
+	if _, err := f.wal.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("store: appending to log: %w", err)
+	}
+	if !f.opts.NoSync {
+		if err := f.wal.Sync(); err != nil {
+			return fmt.Errorf("store: syncing log: %w", err)
+		}
+	}
+	f.walCount += len(entries)
+	if f.walCount >= f.opts.CompactEvery {
+		return f.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked folds the current state into a fresh snapshot and
+// truncates the log: marshal everything to snapshot.jsonl.tmp, fsync,
+// rename over snapshot.jsonl, fsync the directory, then empty the log.
+// A crash anywhere in that sequence is safe — the rename is atomic and
+// replaying a stale log over the new snapshot re-applies the same
+// upserts. Caller holds mu.
+func (f *FS) compactLocked() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	for _, rec := range sortedRecords(f.jobs) {
+		rec := rec
+		if err := enc.Encode(walEntry{Op: opJob, Job: &rec}); err != nil {
+			return fmt.Errorf("store: encoding snapshot: %w", err)
+		}
+	}
+	for _, id := range sortedResultIDs(f.results) {
+		if err := enc.Encode(walEntry{Op: opResult, ID: id, Result: f.results[id]}); err != nil {
+			return fmt.Errorf("store: encoding snapshot: %w", err)
+		}
+	}
+	for _, key := range sortedResultIDs(f.metas) {
+		if err := enc.Encode(walEntry{Op: opMeta, ID: key, Result: f.metas[key]}); err != nil {
+			return fmt.Errorf("store: encoding snapshot: %w", err)
+		}
+	}
+	tmp := filepath.Join(f.dir, snapshotFile+".tmp")
+	file, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := file.Write(buf.Bytes()); err != nil {
+		file.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if !f.opts.NoSync {
+		if err := file.Sync(); err != nil {
+			file.Close()
+			return fmt.Errorf("store: syncing snapshot: %w", err)
+		}
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if !f.opts.NoSync {
+		if d, err := os.Open(f.dir); err == nil {
+			_ = d.Sync() // make the rename durable; best-effort per platform
+			d.Close()
+		}
+	}
+	if err := f.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating log: %w", err)
+	}
+	f.walCount = 0
+	return nil
+}
+
+// PutJob implements Store. A nil rec.Request is logged as-is (the
+// transition entry stays a few hundred bytes even for jobs with inline
+// datasets); the in-memory record and replay both merge the previously
+// stored request back in.
+func (f *FS) PutJob(rec Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rec.Request != nil {
+		rec.Request = append(json.RawMessage(nil), rec.Request...)
+	}
+	if err := f.appendLocked(walEntry{Op: opJob, Job: &rec}); err != nil {
+		return err
+	}
+	if rec.Request == nil {
+		if old, ok := f.jobs[rec.ID]; ok {
+			rec.Request = old.Request
+		}
+	}
+	f.jobs[rec.ID] = rec
+	return nil
+}
+
+// PutResult implements Store.
+func (f *FS) PutResult(id string, result json.RawMessage) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	result = append(json.RawMessage(nil), result...)
+	if err := f.appendLocked(walEntry{Op: opResult, ID: id, Result: result}); err != nil {
+		return err
+	}
+	f.results[id] = result
+	return nil
+}
+
+// GetResult implements Store.
+func (f *FS) GetResult(id string) (json.RawMessage, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	res, ok := f.results[id]
+	if !ok {
+		return nil, false, nil
+	}
+	return append(json.RawMessage(nil), res...), true, nil
+}
+
+// List implements Store.
+func (f *FS) List() ([]Record, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return sortedRecords(f.jobs), nil
+}
+
+// Delete implements Store.
+func (f *FS) Delete(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, okJ := f.jobs[id]; !okJ {
+		if _, okR := f.results[id]; !okR {
+			return nil // unknown id: nothing to log
+		}
+	}
+	if err := f.appendLocked(walEntry{Op: opDelete, ID: id}); err != nil {
+		return err
+	}
+	delete(f.jobs, id)
+	delete(f.results, id)
+	return nil
+}
+
+// Sweep implements Store. All expired records are logged and removed
+// under one append (single fsync).
+func (f *FS) Sweep(cutoff time.Time) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	expired := expiredIDs(f.jobs, cutoff)
+	if len(expired) == 0 {
+		return nil, nil
+	}
+	entries := make([]walEntry, len(expired))
+	for i, id := range expired {
+		entries[i] = walEntry{Op: opDelete, ID: id}
+	}
+	if err := f.appendLocked(entries...); err != nil {
+		return nil, err
+	}
+	for _, id := range expired {
+		delete(f.jobs, id)
+		delete(f.results, id)
+	}
+	return expired, nil
+}
+
+// PutMeta implements Store.
+func (f *FS) PutMeta(key string, value json.RawMessage) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	value = append(json.RawMessage(nil), value...)
+	if err := f.appendLocked(walEntry{Op: opMeta, ID: key, Result: value}); err != nil {
+		return err
+	}
+	f.metas[key] = value
+	return nil
+}
+
+// GetMeta implements Store.
+func (f *FS) GetMeta(key string) (json.RawMessage, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.metas[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append(json.RawMessage(nil), v...), true, nil
+}
+
+// Skipped returns the number of corrupt lines ignored during replay —
+// non-zero means the directory had damage beyond a torn final write.
+func (f *FS) Skipped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.skipped
+}
+
+// Close compacts the outstanding log into the snapshot and releases the
+// file handle. The store must not be used afterwards.
+func (f *FS) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var err error
+	if f.walCount > 0 {
+		err = f.compactLocked()
+	}
+	if cerr := f.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func sortedResultIDs(results map[string]json.RawMessage) []string {
+	ids := make([]string, 0, len(results))
+	for id := range results {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts FSOptions) *FS {
+	t.Helper()
+	s, err := OpenFS(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenFS(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestFSReplay closes a store and reopens the directory: the full state
+// — records, upserts, results, deletes — must come back.
+func TestFSReplay(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+
+	s := mustOpen(t, dir, FSOptions{})
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := s.PutJob(rec(id, "pending", t0)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	// Transition upserts carry a nil Request; replay must merge the
+	// stored request back in.
+	done := rec("job-2", "done", t0)
+	done.FinishedAt = t0.Add(time.Minute)
+	done.Request = nil
+	if err := s.PutJob(done); err != nil {
+		t.Fatalf("upsert: %v", err)
+	}
+	if err := s.PutResult("job-2", json.RawMessage(`{"best":{"rule":"x <= 1"}}`)); err != nil {
+		t.Fatalf("put result: %v", err)
+	}
+	if err := s.Delete("job-3"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, err := re.List()
+	if err != nil {
+		t.Fatalf("list after reopen: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2: %+v", len(recs), recs)
+	}
+	byID := map[string]Record{}
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	if byID["job-1"].Status != "pending" || byID["job-2"].Status != "done" {
+		t.Fatalf("replayed statuses wrong: %+v", byID)
+	}
+	if string(byID["job-2"].Request) != `{"function":"morris","n":10}` {
+		t.Fatalf("replay lost the request of a nil-request transition: %q", byID["job-2"].Request)
+	}
+	res, ok, err := re.GetResult("job-2")
+	if err != nil || !ok || !strings.Contains(string(res), "x <= 1") {
+		t.Fatalf("result after reopen = %s ok=%v err=%v", res, ok, err)
+	}
+	if re.Skipped() != 0 {
+		t.Fatalf("clean reopen skipped %d lines", re.Skipped())
+	}
+}
+
+// TestFSCrashReplayWithoutClose reopens a directory whose store was
+// never Closed (no final compaction): replay comes purely from the
+// write-ahead log.
+func TestFSCrashReplayWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{})
+	if err := s.PutJob(rec("job-1", "running", time.Now())); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Simulate a crash: drop the handle without Close. The wal fsync on
+	// append means the entry is already on disk.
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, _ := re.List()
+	if len(recs) != 1 || recs[0].ID != "job-1" || recs[0].Status != "running" {
+		t.Fatalf("crash replay lost state: %+v", recs)
+	}
+}
+
+// TestFSTornTail appends a partial line to the log — the footprint of a
+// crash mid-write — and asserts the store recovers the complete prefix,
+// truncates the garbage, and keeps accepting appends.
+func TestFSTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{})
+	if err := s.PutJob(rec("job-1", "pending", time.Now())); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// No Close: the snapshot stays empty, everything lives in the log.
+	walPath := filepath.Join(dir, walFile)
+	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("opening wal: %v", err)
+	}
+	if _, err := wal.WriteString(`{"op":"job","job":{"id":"job-torn","sta`); err != nil {
+		t.Fatalf("appending torn line: %v", err)
+	}
+	wal.Close()
+
+	re := mustOpen(t, dir, FSOptions{})
+	recs, _ := re.List()
+	if len(recs) != 1 || recs[0].ID != "job-1" {
+		t.Fatalf("torn-tail replay = %+v, want only job-1", recs)
+	}
+	if re.Skipped() != 0 {
+		t.Fatalf("torn tail counted as corruption (skipped=%d), should be truncated", re.Skipped())
+	}
+	// The tail must be gone from disk so the next append starts clean.
+	raw, _ := os.ReadFile(walPath)
+	if strings.Contains(string(raw), "job-torn") {
+		t.Fatalf("torn tail still on disk: %s", raw)
+	}
+	if err := re.PutJob(rec("job-2", "pending", time.Now())); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	re.Close()
+
+	final := mustOpen(t, dir, FSOptions{})
+	defer final.Close()
+	recs, _ = final.List()
+	if len(recs) != 2 {
+		t.Fatalf("post-truncation state = %+v, want 2 records", recs)
+	}
+}
+
+// TestFSCorruptMidLine damages a complete line in the middle of the log:
+// the store must skip it, count it, and keep the rest.
+func TestFSCorruptMidLine(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{})
+	_ = s.PutJob(rec("job-1", "pending", time.Now()))
+	_ = s.PutJob(rec("job-2", "pending", time.Now()))
+
+	walPath := filepath.Join(dir, walFile)
+	raw, _ := os.ReadFile(walPath)
+	lines := strings.SplitAfter(string(raw), "\n")
+	lines[0] = strings.Replace(lines[0], `"op":"job"`, `"op:"job"`, 1) // break JSON
+	if err := os.WriteFile(walPath, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatalf("rewriting wal: %v", err)
+	}
+
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, _ := re.List()
+	if len(recs) != 1 || recs[0].ID != "job-2" {
+		t.Fatalf("corrupt-line replay = %+v, want only job-2", recs)
+	}
+	if re.Skipped() != 1 {
+		t.Fatalf("skipped = %d, want 1", re.Skipped())
+	}
+}
+
+// TestFSCompaction drives the log past CompactEvery and asserts the
+// state folds into the snapshot, the log empties, and reopen still sees
+// everything.
+func TestFSCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{CompactEvery: 4})
+	t0 := time.Now()
+	for i, id := range []string{"job-1", "job-2", "job-3", "job-4", "job-5"} {
+		if err := s.PutJob(rec(id, "pending", t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatalf("put %s: %v", id, err)
+		}
+	}
+	// 5 appends with CompactEvery=4: at least one compaction happened.
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil || len(snap) == 0 {
+		t.Fatalf("no snapshot written after compaction threshold: %v", err)
+	}
+	wal, _ := os.ReadFile(filepath.Join(dir, walFile))
+	if strings.Count(string(wal), "\n") >= 5 {
+		t.Fatalf("log not truncated by compaction: %d bytes", len(wal))
+	}
+	s.Close()
+
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, _ := re.List()
+	if len(recs) != 5 {
+		t.Fatalf("after compaction+reopen: %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if want := []string{"job-1", "job-2", "job-3", "job-4", "job-5"}[i]; r.ID != want {
+			t.Fatalf("order after compaction: got %s at %d, want %s", r.ID, i, want)
+		}
+	}
+}
+
+// TestFSCompactionOnOpen reopens a never-closed directory whose log
+// already exceeds the threshold: open itself must fold it into the
+// snapshot so repeated crash-restarts cannot grow the log forever.
+func TestFSCompactionOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{CompactEvery: 100})
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		_ = s.PutJob(rec(id, "pending", time.Now()))
+	}
+	// No Close: wal has 3 entries, snapshot none.
+	re := mustOpen(t, dir, FSOptions{CompactEvery: 2})
+	defer re.Close()
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil || len(snap) == 0 {
+		t.Fatalf("open did not compact an oversized log: %v", err)
+	}
+	wal, _ := os.ReadFile(filepath.Join(dir, walFile))
+	if len(wal) != 0 {
+		t.Fatalf("log not truncated by open-time compaction: %d bytes", len(wal))
+	}
+	recs, _ := re.List()
+	if len(recs) != 3 {
+		t.Fatalf("open-time compaction lost records: %+v", recs)
+	}
+}
+
+// TestFSMeta exercises the meta namespace: roundtrip, overwrite,
+// survival across reopen and compaction, isolation from List/Sweep.
+func TestFSMeta(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{CompactEvery: 3})
+	if _, ok, err := s.GetMeta("next_id"); ok || err != nil {
+		t.Fatalf("meta before put: ok=%v err=%v", ok, err)
+	}
+	if err := s.PutMeta("next_id", json.RawMessage(`7`)); err != nil {
+		t.Fatalf("put meta: %v", err)
+	}
+	if err := s.PutMeta("next_id", json.RawMessage(`9`)); err != nil {
+		t.Fatalf("overwrite meta: %v", err)
+	}
+	// Push past CompactEvery so the meta must survive the snapshot.
+	t0 := time.Now()
+	old := rec("job-1", "done", t0)
+	old.FinishedAt = t0
+	_ = s.PutJob(old)
+	_ = s.PutJob(rec("job-2", "pending", t0))
+	if recs, _ := s.List(); len(recs) != 2 {
+		t.Fatalf("meta leaked into List: %+v", recs)
+	}
+	if _, err := s.Sweep(t0.Add(time.Hour)); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	s.Close()
+
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	v, ok, err := re.GetMeta("next_id")
+	if err != nil || !ok || string(v) != "9" {
+		t.Fatalf("meta after sweep+compaction+reopen = %s ok=%v err=%v, want 9", v, ok, err)
+	}
+}
+
+// TestFSInterruptedCompaction plants a leftover snapshot temp file (a
+// compaction that crashed before rename) and asserts open ignores it.
+func TestFSInterruptedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{})
+	_ = s.PutJob(rec("job-1", "pending", time.Now()))
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile+".tmp"), []byte("half-written gar"), 0o644); err != nil {
+		t.Fatalf("planting tmp: %v", err)
+	}
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, _ := re.List()
+	if len(recs) != 1 {
+		t.Fatalf("tmp leftover broke replay: %+v", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("leftover tmp not cleaned up")
+	}
+}
+
+// TestFSSweepSurvivesReopen sweeps, reopens, and asserts the swept
+// records stay gone (the deletes were logged).
+func TestFSSweepSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	s := mustOpen(t, dir, FSOptions{})
+	old := rec("job-old", "done", t0)
+	old.FinishedAt = t0
+	_ = s.PutJob(old)
+	_ = s.PutResult("job-old", json.RawMessage(`{}`))
+	_ = s.PutJob(rec("job-live", "pending", t0))
+	if swept, err := s.Sweep(t0.Add(time.Hour)); err != nil || len(swept) != 1 {
+		t.Fatalf("sweep = %v, %v", swept, err)
+	}
+	// No Close — the delete must already be durable in the log.
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, _ := re.List()
+	if len(recs) != 1 || recs[0].ID != "job-live" {
+		t.Fatalf("sweep not durable: %+v", recs)
+	}
+	if _, ok, _ := re.GetResult("job-old"); ok {
+		t.Fatalf("swept result resurrected")
+	}
+}

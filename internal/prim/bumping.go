@@ -31,7 +31,9 @@ type Bumping struct {
 	// identical for any worker count.
 	Workers int
 	// Reference routes the inner peelers through their reference
-	// implementation (see Peeler.Reference); for differential tests.
+	// implementation. The contract is Peeler.Reference's: both paths
+	// must select identical boxes, and the differential tests compare
+	// them replica for replica.
 	Reference bool
 }
 

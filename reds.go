@@ -32,6 +32,7 @@ import (
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/dsgc"
 	"github.com/reds-go/reds/internal/engine"
+	"github.com/reds-go/reds/internal/engine/store"
 	"github.com/reds-go/reds/internal/funcs"
 	"github.com/reds-go/reds/internal/gbt"
 	"github.com/reds-go/reds/internal/lake"
@@ -252,11 +253,28 @@ var Irrelevant = metrics.Irrelevant
 // scenario quality.
 type Engine = engine.Engine
 
-// EngineOptions configure worker count, queue bound and cache capacity.
+// EngineOptions configure worker count, queue bound, cache capacity and
+// the durable job store (Store/TTL/SweepInterval).
 type EngineOptions = engine.Options
 
-// NewEngine starts an engine and its worker pool; Close releases it.
+// NewEngine starts an engine and its worker pool, recovering any jobs a
+// previous process left in the configured store; Close releases it
+// (including the store).
 var NewEngine = engine.New
+
+// JobStore is the persistence interface behind EngineOptions.Store.
+type JobStore = store.Store
+
+// NewMemJobStore returns the in-process store (the default): engine
+// state dies with the process.
+var NewMemJobStore = store.NewMem
+
+// OpenFSJobStore opens (creating or recovering) a durable append-only
+// job store in a directory; jobs and results survive restarts.
+var OpenFSJobStore = store.OpenFS
+
+// FSJobStoreOptions tune the file store (compaction threshold, fsync).
+type FSJobStoreOptions = store.FSOptions
 
 // JobRequest describes one discovery job (data source, L, variant grid).
 type JobRequest = engine.Request
