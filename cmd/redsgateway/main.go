@@ -1,0 +1,212 @@
+// Command redsgateway is the sharding front door of a REDS cluster: it
+// accepts the same /v1 job API as redsserver, but instead of running
+// discovery pipelines itself it consistent-hash-routes each job to one
+// of a configured set of redsserver workers, keyed by the job's dataset
+// content hash — so every dataset's metamodel cache stays hot on one
+// worker. Dead workers are detected by a health prober (and by failed
+// executions) and their jobs re-routed to the next worker on the ring.
+//
+//	redsgateway -addr :8090 \
+//	    -workers http://10.0.0.1:8080,http://10.0.0.2:8080 \
+//	    -store.dir /var/lib/redsgw -store.ttl 168h
+//
+// The gateway is an ordinary engine.Engine whose executor is a
+// cluster.Dispatcher, so jobs submitted here get the full orchestration
+// treatment — bounded queue, lifecycle tracking, durable store,
+// TTL GC — while execution happens on the workers through their
+// internal API (POST /internal/v1/execute).
+//
+// Two endpoints aggregate across the fleet:
+//
+//	GET /v1/jobs     gateway jobs + each worker's own job list
+//	GET /v1/healthz  gateway liveness + ring state + per-worker health
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/reds-go/reds/internal/cluster"
+	"github.com/reds-go/reds/internal/engine"
+	"github.com/reds-go/reds/internal/engine/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	workersFlag := flag.String("workers", "", "comma-separated redsserver base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+	dispatch := flag.Int("dispatch", 0, "jobs dispatched concurrently (default 2 per worker)")
+	queue := flag.Int("queue", 256, "max pending jobs before submissions are rejected")
+	replicas := flag.Int("hash.replicas", 128, "virtual nodes per worker on the consistent-hash ring")
+	healthInterval := flag.Duration("health.interval", 2*time.Second, "worker health-probe period")
+	healthTimeout := flag.Duration("health.timeout", time.Second, "single health-probe timeout")
+	pollInterval := flag.Duration("poll.interval", 150*time.Millisecond, "remote execution progress-poll period")
+	storeDir := flag.String("store.dir", "", "directory for the durable job store (empty: in-memory only)")
+	storeTTL := flag.Duration("store.ttl", 0, "retention of finished jobs before garbage collection (0: keep forever)")
+	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
+	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
+	flag.Parse()
+
+	workers := splitWorkers(*workersFlag)
+	if len(workers) == 0 {
+		log.Fatalf("redsgateway: -workers is required (comma-separated redsserver base URLs)")
+	}
+	if *dispatch <= 0 {
+		*dispatch = 2 * len(workers)
+	}
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	disp, err := cluster.NewDispatcher(workers, cluster.DispatcherOptions{
+		Replicas:     *replicas,
+		PollInterval: *pollInterval,
+		Client:       client,
+		Health: cluster.HealthOptions{
+			Interval: *healthInterval,
+			Timeout:  *healthTimeout,
+		},
+	})
+	if err != nil {
+		log.Fatalf("redsgateway: %v", err)
+	}
+
+	var st store.Store
+	if *storeDir != "" {
+		fs, err := store.OpenFS(*storeDir, store.FSOptions{FsyncInterval: *storeFsync})
+		if err != nil {
+			log.Fatalf("redsgateway: opening job store: %v", err)
+		}
+		if n := fs.Skipped(); n > 0 {
+			log.Printf("redsgateway: job store replay skipped %d corrupt lines", n)
+		}
+		st = fs
+	}
+
+	eng, err := engine.New(engine.Options{
+		Workers:       *dispatch,
+		QueueSize:     *queue,
+		Executor:      disp,
+		Store:         st,
+		TTL:           *storeTTL,
+		SweepInterval: *storeSweep,
+	})
+	if err != nil {
+		log.Fatalf("redsgateway: starting engine: %v", err)
+	}
+	if rec := eng.Recovery(); rec.Recovered > 0 {
+		log.Printf("redsgateway: recovered %d jobs from %s (%d re-enqueued, %d orphaned running jobs marked failed)",
+			rec.Recovered, *storeDir, rec.Reenqueued, rec.Orphaned)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", gatewayHealthz(eng, disp))
+	mux.HandleFunc("GET /v1/jobs", gatewayJobs(eng, disp, client))
+	mux.Handle("/", engine.NewHandler(eng))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(mux),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("redsgateway: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		eng.Close()
+		disp.Close()
+	}()
+
+	log.Printf("redsgateway: listening on %s, routing to %d workers: %s", *addr, len(workers), strings.Join(workers, ", "))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("redsgateway: %v", err)
+	}
+	<-shutdownDone
+}
+
+// splitWorkers parses the -workers flag, trimming blanks and trailing
+// slashes so the same worker written two ways cannot land on the ring
+// twice.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		w = strings.TrimRight(strings.TrimSpace(w), "/")
+		if w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// gatewayHealthz reports the gateway's own state plus the ring and every
+// worker's health (with its last healthz payload, fetched live). ok is
+// true while at least one worker is alive — a gateway with no workers
+// left cannot make progress.
+func gatewayHealthz(eng *engine.Engine, disp *cluster.Dispatcher) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		statuses := disp.Health().Snapshot()
+		anyAlive := false
+		for _, st := range statuses {
+			if st.Alive {
+				anyAlive = true
+			}
+		}
+		dispatched, failovers := disp.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":         anyAlive,
+			"role":       "gateway",
+			"jobs":       eng.JobCount(),
+			"workers":    statuses,
+			"dispatched": dispatched,
+			"failovers":  failovers,
+			"ring": map[string]any{
+				"workers": disp.Ring().Len(),
+			},
+		})
+	}
+}
+
+// gatewayJobs aggregates the cluster's job listings: the gateway's own
+// jobs (the ones clients submitted here) plus each worker's /v1/jobs,
+// fetched concurrently — jobs submitted directly to a worker stay
+// visible through the gateway's single pane.
+func gatewayJobs(eng *engine.Engine, disp *cluster.Dispatcher, client *http.Client) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		defer cancel()
+		fetched := cluster.FanOutJSON(ctx, client, disp.Ring().Nodes(), "/v1/jobs")
+		writeJSON(w, http.StatusOK, map[string]any{
+			"jobs":    eng.Jobs(),
+			"workers": fetched,
+		})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -1,7 +1,7 @@
 // Command redsserver serves scenario discovery over HTTP: submit jobs,
 // poll their progress, fetch the discovered scenario as a JSON rule.
 //
-//	redsserver -addr :8080 -workers 4 -cache 32 \
+//	redsserver -addr :8080 -workers 4 -cache.bytes 268435456 \
 //	    -store.dir /var/lib/reds -store.ttl 168h -store.sweep-interval 1m
 //
 // With -store.dir set, jobs and results are persisted to an append-only
@@ -9,9 +9,12 @@
 // stay servable, jobs that were still queued are re-enqueued, and jobs a
 // crash left running are marked failed with a restart reason. -store.ttl
 // garbage-collects finished jobs after the given retention (0 keeps them
-// forever). Without -store.dir everything lives in memory, as before.
+// forever). -store.fsync-interval batches the per-append fsyncs under
+// high submission rates. Without -store.dir everything lives in memory,
+// as before.
 //
-// The API lives under /v1 (see docs/API.md for the full reference):
+// The public API lives under /v1 (see docs/API.md for the full
+// reference):
 //
 //	POST   /v1/jobs              {"function":"morris","n":400,"l":50000}
 //	GET    /v1/jobs/{id}         status + per-stage progress
@@ -19,6 +22,11 @@
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/functions         registered simulation functions
 //	GET    /v1/healthz           liveness + cache stats
+//
+// Unless -internal.disable is set, the server also exposes the internal
+// execution API under /internal/v1/execute, which lets a redsgateway
+// dispatch jobs onto this process as a cluster worker (see
+// docs/ARCHITECTURE.md "Sharding & cluster topology").
 package main
 
 import (
@@ -40,15 +48,18 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS/2)")
 	queue := flag.Int("queue", 64, "max pending jobs before submissions are rejected")
-	cacheSize := flag.Int("cache", 32, "metamodel LRU cache capacity")
+	cacheBytes := flag.Int64("cache.bytes", 256<<20, "metamodel cache budget in approximate model bytes")
+	cacheTTL := flag.Duration("cache.ttl", 0, "expiry of cached metamodels after training (0: never)")
 	storeDir := flag.String("store.dir", "", "directory for the durable job store (empty: in-memory only)")
 	storeTTL := flag.Duration("store.ttl", 0, "retention of finished jobs before garbage collection (0: keep forever)")
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
+	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
+	internalOff := flag.Bool("internal.disable", false, "do not expose the internal execution API used by redsgateway")
 	flag.Parse()
 
 	var st store.Store
 	if *storeDir != "" {
-		fs, err := store.OpenFS(*storeDir, store.FSOptions{})
+		fs, err := store.OpenFS(*storeDir, store.FSOptions{FsyncInterval: *storeFsync})
 		if err != nil {
 			log.Fatalf("redsserver: opening job store: %v", err)
 		}
@@ -58,10 +69,16 @@ func main() {
 		st = fs
 	}
 
+	// One executor serves both the engine's own jobs and gateway-
+	// dispatched executions, so they share the metamodel cache.
+	executor := engine.NewLocalExecutor(engine.LocalExecutorOptions{
+		CacheBytes: *cacheBytes,
+		CacheTTL:   *cacheTTL,
+	})
 	eng, err := engine.New(engine.Options{
 		Workers:       *workers,
 		QueueSize:     *queue,
-		CacheSize:     *cacheSize,
+		Executor:      executor,
 		Store:         st,
 		TTL:           *storeTTL,
 		SweepInterval: *storeSweep,
@@ -73,9 +90,16 @@ func main() {
 		log.Printf("redsserver: recovered %d jobs from %s (%d re-enqueued, %d orphaned running jobs marked failed)",
 			rec.Recovered, *storeDir, rec.Reenqueued, rec.Orphaned)
 	}
+
+	var handlerOpts []engine.HandlerOption
+	var execSrv *engine.ExecServer
+	if !*internalOff {
+		execSrv = engine.NewExecServer(executor, engine.ExecServerOptions{})
+		handlerOpts = append(handlerOpts, engine.WithExecutionAPI(execSrv))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(engine.NewHandler(eng)),
+		Handler:           logRequests(engine.NewHandler(eng, handlerOpts...)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -92,6 +116,9 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
+		if execSrv != nil {
+			execSrv.Close()
+		}
 		eng.Close()
 	}()
 

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/reds-go/reds/internal/engine"
+)
+
+// DispatcherOptions tune job routing.
+type DispatcherOptions struct {
+	// Replicas is the ring's virtual-node count per worker (default
+	// 128).
+	Replicas int
+	// Health configures the liveness prober.
+	Health HealthOptions
+	// PollInterval is each RemoteExecutor's progress-polling period.
+	PollInterval time.Duration
+	// Client is the HTTP client RemoteExecutors use (default: one
+	// shared client with a 15s per-request timeout).
+	Client *http.Client
+	// ExecutorFor overrides how a worker name becomes an Executor —
+	// injectable for tests that want in-process fakes instead of HTTP.
+	ExecutorFor func(node string) engine.Executor
+}
+
+// Dispatcher implements engine.Executor across a fleet of workers: each
+// request is consistent-hash-routed by its ShardKey (the dataset
+// content hash) to a worker, so one dataset's metamodel cache stays hot
+// on one process. When the chosen worker is dead — known from the
+// health prober, or discovered when the execution fails with
+// engine.ErrUnavailable — the dispatcher walks the key's deterministic
+// candidate list to the next worker and re-runs the request there.
+// Errors that are verdicts about the request itself (validation,
+// pipeline failures) are returned as-is, never re-routed.
+type Dispatcher struct {
+	ring   *Ring
+	health *Health
+	execs  map[string]engine.Executor
+
+	mu         sync.Mutex
+	dispatched map[string]int64
+	failovers  int64
+}
+
+// NewDispatcher builds a dispatcher over the worker base URLs.
+func NewDispatcher(workers []string, opts DispatcherOptions) (*Dispatcher, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 15 * time.Second}
+	}
+	executorFor := opts.ExecutorFor
+	if executorFor == nil {
+		executorFor = func(node string) engine.Executor {
+			return &engine.RemoteExecutor{BaseURL: node, Client: client, PollInterval: opts.PollInterval}
+		}
+	}
+	if opts.Health.Client == nil {
+		opts.Health.Client = client
+	}
+	execs := make(map[string]engine.Executor, len(workers))
+	for _, w := range workers {
+		if _, dup := execs[w]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker %s", w)
+		}
+		execs[w] = executorFor(w)
+	}
+	return &Dispatcher{
+		ring:       NewRing(opts.Replicas, workers...),
+		health:     NewHealth(workers, opts.Health),
+		execs:      execs,
+		dispatched: make(map[string]int64, len(workers)),
+	}, nil
+}
+
+// Close stops the health prober.
+func (d *Dispatcher) Close() { d.health.Close() }
+
+// Ring exposes the hash ring (for introspection endpoints).
+func (d *Dispatcher) Ring() *Ring { return d.ring }
+
+// Health exposes the liveness prober.
+func (d *Dispatcher) Health() *Health { return d.health }
+
+// Route returns the worker currently first in line for a key.
+func (d *Dispatcher) Route(key string) (string, bool) { return d.ring.Lookup(key) }
+
+// Stats returns per-worker dispatch counts and the number of failover
+// re-routes so far.
+func (d *Dispatcher) Stats() (dispatched map[string]int64, failovers int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int64, len(d.dispatched))
+	for k, v := range d.dispatched {
+		out[k] = v
+	}
+	return out, d.failovers
+}
+
+// Execute implements engine.Executor with consistent-hash routing and
+// failover. The candidate walk visits every worker at most once, alive
+// workers first in ring order; progress restarts from zero when an
+// execution is re-routed mid-flight (the new worker runs the request
+// from scratch).
+func (d *Dispatcher) Execute(ctx context.Context, req engine.Request, onProgress func(engine.Progress)) (*engine.Result, error) {
+	key := req.ShardKey()
+	cands := d.ring.Candidates(key, d.ring.Len())
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cluster: no workers on the ring: %w", engine.ErrUnavailable)
+	}
+	// Alive candidates keep ring order; dead ones go to the back (still
+	// in ring order) rather than being skipped — health is a hint that
+	// can be stale in both directions, so a fully-"dead" cluster still
+	// gets one optimistic attempt per worker.
+	ordered := make([]string, 0, len(cands))
+	var dead []string
+	for _, c := range cands {
+		if d.health.Alive(c) {
+			ordered = append(ordered, c)
+		} else {
+			dead = append(dead, c)
+		}
+	}
+	ordered = append(ordered, dead...)
+
+	var lastErr error
+	for i, node := range ordered {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		d.dispatched[node]++
+		if i > 0 {
+			d.failovers++
+		}
+		d.mu.Unlock()
+
+		res, err := d.execs[node].Execute(ctx, req, onProgress)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, engine.ErrUnavailable) {
+			return nil, err
+		}
+		d.health.MarkDead(node, err)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: all %d workers failed for key %.12s…: %w", len(ordered), key, lastErr)
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reds-go/reds/internal/engine"
+)
+
+// fakeExecutor is an in-process stand-in for a worker: it can succeed,
+// fail with a request error, or be "down" (engine.ErrUnavailable).
+type fakeExecutor struct {
+	node string
+	down atomic.Bool
+	fail error
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *fakeExecutor) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *fakeExecutor) Execute(ctx context.Context, req engine.Request, onProgress func(engine.Progress)) (*engine.Result, error) {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	if f.down.Load() {
+		return nil, fmt.Errorf("fake %s is down: %w", f.node, engine.ErrUnavailable)
+	}
+	if f.fail != nil {
+		return nil, f.fail
+	}
+	if onProgress != nil {
+		onProgress(engine.Progress{Stage: "discover", VariantsTotal: 1, VariantsDone: 1})
+	}
+	return &engine.Result{DatasetHash: req.ShardKey(), ElapsedSeconds: 0}, nil
+}
+
+// okTransport answers every probe with 200 so fake nodes stay alive
+// until a test marks them dead explicitly (through a failed execution).
+type okTransport struct{}
+
+func (okTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Body:       io.NopCloser(strings.NewReader(`{"ok":true}`)),
+		Header:     make(http.Header),
+		Request:    r,
+	}, nil
+}
+
+// newFakeCluster builds a dispatcher over in-process fakes whose health
+// probes always succeed; liveness changes only through dispatcher
+// feedback (MarkDead on ErrUnavailable).
+func newFakeCluster(t *testing.T, nodes ...string) (*Dispatcher, map[string]*fakeExecutor) {
+	t.Helper()
+	fakes := make(map[string]*fakeExecutor, len(nodes))
+	d, err := NewDispatcher(nodes, DispatcherOptions{
+		Replicas: 64,
+		Health: HealthOptions{
+			Interval: time.Hour,
+			Client:   &http.Client{Transport: okTransport{}},
+		},
+		ExecutorFor: func(node string) engine.Executor {
+			f := &fakeExecutor{node: node}
+			fakes[node] = f
+			return f
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewDispatcher: %v", err)
+	}
+	t.Cleanup(d.Close)
+	return d, fakes
+}
+
+func testRequest(seed int64) engine.Request {
+	return engine.Request{Function: "morris", Seed: seed}
+}
+
+func TestDispatcherRoutesByShardKey(t *testing.T) {
+	d, fakes := newFakeCluster(t, "http://w1", "http://w2", "http://w3")
+	req := testRequest(7)
+	owner, _ := d.Route(req.ShardKey())
+
+	for i := 0; i < 5; i++ {
+		if _, err := d.Execute(context.Background(), req, nil); err != nil {
+			t.Fatalf("execute %d: %v", i, err)
+		}
+	}
+	if got := fakes[owner].Calls(); got != 5 {
+		t.Fatalf("owner %s saw %d calls, want all 5 (cache affinity)", owner, got)
+	}
+	for node, f := range fakes {
+		if node != owner && f.Calls() != 0 {
+			t.Fatalf("non-owner %s saw %d calls", node, f.Calls())
+		}
+	}
+}
+
+func TestDispatcherSpreadsDistinctKeys(t *testing.T) {
+	d, fakes := newFakeCluster(t, "http://w1", "http://w2", "http://w3")
+	for seed := int64(1); seed <= 60; seed++ {
+		if _, err := d.Execute(context.Background(), testRequest(seed), nil); err != nil {
+			t.Fatalf("execute seed %d: %v", seed, err)
+		}
+	}
+	for node, f := range fakes {
+		if f.Calls() == 0 {
+			t.Errorf("worker %s received no traffic across 60 distinct keys", node)
+		}
+	}
+}
+
+func TestDispatcherFailover(t *testing.T) {
+	d, fakes := newFakeCluster(t, "http://w1", "http://w2", "http://w3")
+	req := testRequest(11)
+	key := req.ShardKey()
+	owner, _ := d.Route(key)
+	fakes[owner].down.Store(true)
+
+	res, err := d.Execute(context.Background(), req, nil)
+	if err != nil {
+		t.Fatalf("execute with dead owner: %v", err)
+	}
+	if res.DatasetHash != key {
+		t.Fatalf("wrong result: %+v", res)
+	}
+	// The dead owner was tried once, then the deterministic successor.
+	successor := d.Ring().Candidates(key, 2)[1]
+	if fakes[owner].Calls() != 1 || fakes[successor].Calls() != 1 {
+		t.Fatalf("calls: owner=%d successor=%d, want 1/1", fakes[owner].Calls(), fakes[successor].Calls())
+	}
+	if d.Health().Alive(owner) {
+		t.Fatalf("failed owner still marked alive")
+	}
+	_, failovers := d.Stats()
+	if failovers < 1 {
+		t.Fatalf("failovers = %d, want ≥ 1", failovers)
+	}
+
+	// Next execution of the same key skips the known-dead owner
+	// entirely.
+	if _, err := d.Execute(context.Background(), req, nil); err != nil {
+		t.Fatalf("second execute: %v", err)
+	}
+	if fakes[owner].Calls() != 1 {
+		t.Fatalf("known-dead owner was tried again")
+	}
+	if fakes[successor].Calls() != 2 {
+		t.Fatalf("successor calls = %d, want 2", fakes[successor].Calls())
+	}
+}
+
+func TestDispatcherDoesNotRerouteRequestErrors(t *testing.T) {
+	d, fakes := newFakeCluster(t, "http://w1", "http://w2")
+	req := testRequest(3)
+	owner, _ := d.Route(req.ShardKey())
+	wantErr := errors.New("all variants failed")
+	fakes[owner].fail = wantErr
+
+	_, err := d.Execute(context.Background(), req, nil)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the request error surfaced", err)
+	}
+	for node, f := range fakes {
+		if node != owner && f.Calls() != 0 {
+			t.Fatalf("request error was re-routed to %s", node)
+		}
+	}
+}
+
+func TestDispatcherAllWorkersDown(t *testing.T) {
+	d, fakes := newFakeCluster(t, "http://w1", "http://w2")
+	for _, f := range fakes {
+		f.down.Store(true)
+	}
+	_, err := d.Execute(context.Background(), testRequest(5), nil)
+	if !errors.Is(err, engine.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	for node, f := range fakes {
+		if f.Calls() != 1 {
+			t.Fatalf("worker %s tried %d times, want exactly 1", node, f.Calls())
+		}
+	}
+}
+
+func TestDispatcherNoWorkers(t *testing.T) {
+	if _, err := NewDispatcher(nil, DispatcherOptions{}); err == nil {
+		t.Fatalf("NewDispatcher accepted an empty worker list")
+	}
+	if _, err := NewDispatcher([]string{"w", "w"}, DispatcherOptions{
+		Health: HealthOptions{Interval: time.Hour},
+	}); err == nil {
+		t.Fatalf("NewDispatcher accepted a duplicate worker")
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Fetched is one worker's response to a fan-out request: its decoded
+// JSON body, or the error that prevented it.
+type Fetched struct {
+	Body json.RawMessage `json:"body,omitempty"`
+	Err  string          `json:"error,omitempty"`
+}
+
+// FanOutJSON GETs path on every node concurrently and returns each
+// node's JSON body (or error) keyed by node. It never fails as a whole
+// — a dead worker shows up as its own error entry, which is exactly
+// what an aggregated listing wants to display.
+func FanOutJSON(ctx context.Context, client *http.Client, nodes []string, path string) map[string]Fetched {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	out := make(map[string]Fetched, len(nodes))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			f := fetchJSON(ctx, client, strings.TrimRight(node, "/")+path)
+			mu.Lock()
+			out[node] = f
+			mu.Unlock()
+		}(node)
+	}
+	wg.Wait()
+	return out
+}
+
+func fetchJSON(ctx context.Context, client *http.Client, url string) Fetched {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Fetched{Err: err.Error()}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Fetched{Err: err.Error()}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return Fetched{Err: err.Error()}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Fetched{Err: fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))}
+	}
+	if !json.Valid(raw) {
+		return Fetched{Err: "invalid JSON response"}
+	}
+	return Fetched{Body: raw}
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NodeStatus is one worker's health as the gateway sees it.
+type NodeStatus struct {
+	Node  string `json:"node"`
+	Alive bool   `json:"alive"`
+	// Error is the most recent probe/execution failure; cleared when
+	// the node comes back.
+	Error string `json:"error,omitempty"`
+	// CheckedAt is the time of the last probe (zero before the first
+	// one completes).
+	CheckedAt time.Time `json:"checked_at,omitzero"`
+}
+
+// HealthOptions tune the prober.
+type HealthOptions struct {
+	// Interval between probe rounds (default 2s).
+	Interval time.Duration
+	// Timeout of one probe request (default 1s).
+	Timeout time.Duration
+	// Client defaults to http.DefaultClient with Timeout applied per
+	// request context.
+	Client *http.Client
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// Health probes each worker's GET /v1/healthz on a fixed interval and
+// remembers who answers. Nodes start alive (optimistically — before the
+// first probe completes the dispatcher would otherwise have nowhere to
+// send work), and a dispatcher that watches an execution fail with
+// ErrUnavailable can MarkDead a node immediately instead of waiting for
+// the next probe round. A dead node keeps being probed and rejoins the
+// rotation as soon as it answers again.
+type Health struct {
+	opts HealthOptions
+
+	mu     sync.Mutex
+	status map[string]*NodeStatus
+	// diedAt records the last MarkDead per node, so a probe success
+	// captured *before* the node died cannot resurrect it when its
+	// result is folded in after the MarkDead (the dispatcher's report
+	// is fresher than an in-flight probe).
+	diedAt map[string]time.Time
+
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+}
+
+// NewHealth builds a prober over the node set and starts it.
+func NewHealth(nodes []string, opts HealthOptions) *Health {
+	h := &Health{
+		opts:   opts.withDefaults(),
+		status: make(map[string]*NodeStatus, len(nodes)),
+		diedAt: make(map[string]time.Time, len(nodes)),
+		done:   make(chan struct{}),
+	}
+	for _, n := range nodes {
+		h.status[n] = &NodeStatus{Node: n, Alive: true}
+	}
+	h.wg.Add(1)
+	go h.loop()
+	return h
+}
+
+// Close stops the prober.
+func (h *Health) Close() {
+	h.stop.Do(func() { close(h.done) })
+	h.wg.Wait()
+}
+
+func (h *Health) loop() {
+	defer h.wg.Done()
+	h.probeAll() // first round immediately, not one interval late
+	t := time.NewTicker(h.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-t.C:
+			h.probeAll()
+		}
+	}
+}
+
+// probeAll checks every node concurrently and folds the results in.
+func (h *Health) probeAll() {
+	h.mu.Lock()
+	nodes := make([]string, 0, len(h.status))
+	for n := range h.status {
+		nodes = append(nodes, n)
+	}
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			started := time.Now()
+			err := h.probe(node)
+			h.mu.Lock()
+			if st := h.status[node]; st != nil {
+				// A success observed before a MarkDead is stale — the
+				// node answered, then died. Discard it; the next probe
+				// round decides.
+				if err == nil && h.diedAt[node].After(started) {
+					h.mu.Unlock()
+					return
+				}
+				st.Alive = err == nil
+				st.CheckedAt = time.Now()
+				if err != nil {
+					st.Error = err.Error()
+				} else {
+					st.Error = ""
+				}
+			}
+			h.mu.Unlock()
+		}(node)
+	}
+	wg.Wait()
+}
+
+// probe performs one healthz request.
+func (h *Health) probe(node string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), h.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(node, "/")+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{node: node, status: resp.Status}
+	}
+	return nil
+}
+
+type statusError struct {
+	node   string
+	status string
+}
+
+func (e *statusError) Error() string { return "healthz of " + e.node + " returned " + e.status }
+
+// Alive reports whether the node answered its last probe (unknown nodes
+// are dead).
+func (h *Health) Alive(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.status[node]
+	return ok && st.Alive
+}
+
+// MarkDead flags a node down immediately — dispatcher feedback for an
+// execution that failed with ErrUnavailable, faster than the next probe
+// round. The prober will resurrect the node when it answers again.
+func (h *Health) MarkDead(node string, reason error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.status[node]; ok {
+		st.Alive = false
+		h.diedAt[node] = time.Now()
+		if reason != nil {
+			st.Error = reason.Error()
+		}
+	}
+}
+
+// Snapshot returns every node's status, sorted by node name.
+func (h *Health) Snapshot() []NodeStatus {
+	h.mu.Lock()
+	out := make([]NodeStatus, 0, len(h.status))
+	for _, st := range h.status {
+		out = append(out, *st)
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}

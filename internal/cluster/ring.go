@@ -1,0 +1,156 @@
+// Package cluster shards discovery jobs across a fleet of redsserver
+// workers. A consistent-hash Ring maps each job's dataset content hash
+// to a worker, so repeated jobs over the same dataset land on the same
+// process and keep its metamodel cache hot; a Health prober tracks
+// which workers answer; and a Dispatcher implements engine.Executor on
+// top of both, re-routing executions away from dead workers. The
+// cmd/redsgateway binary wires a Dispatcher into an ordinary
+// engine.Engine, which turns the gateway into the cluster's
+// orchestration tier.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over named nodes. Each node occupies
+// `replicas` pseudo-random points on a 64-bit circle (derived from
+// SHA-256 of "node#i", so placement is deterministic across processes
+// and restarts); a key is owned by the first node point clockwise from
+// the key's own hash. Adding or removing one node moves only the keys
+// adjacent to its points — in expectation a 1/n fraction of the
+// keyspace — which is exactly what a metamodel-cache-affine router
+// wants: a worker joining or dying must not reshuffle every dataset's
+// home. All methods are safe for concurrent use.
+type Ring struct {
+	replicas int
+
+	mu     sync.RWMutex
+	points []ringPoint // sorted by hash
+	nodes  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring with the given virtual-replica count per node
+// (0 defaults to 128, a standard balance/competition trade-off) over
+// the initial node set.
+func NewRing(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = 128
+	}
+	r := &Ring{replicas: replicas, nodes: make(map[string]bool)}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// hash64 maps a string to a point on the circle via SHA-256 (stable
+// across architectures and Go versions, unlike maphash).
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node and its points (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the current node set, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Lookup returns the node owning key, or ok=false on an empty ring.
+func (r *Ring) Lookup(key string) (string, bool) {
+	c := r.Candidates(key, 1)
+	if len(c) == 0 {
+		return "", false
+	}
+	return c[0], true
+}
+
+// Candidates returns up to n distinct nodes in ring order starting from
+// the key's owner — the preference list a dispatcher walks when the
+// owner is down. The order is a deterministic function of (key, node
+// set): every gateway over the same worker list fails over to the same
+// successor.
+func (r *Ring) Candidates(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// String describes the ring for logs.
+func (r *Ring) String() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fmt.Sprintf("ring(%d nodes × %d replicas)", len(r.nodes), r.replicas)
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real routing keys (dataset content hashes are hex
+		// strings, but any string works — the ring hashes it again).
+		keys[i] = fmt.Sprintf("dataset-hash-%06d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	a := NewRing(128, nodes...)
+	// Same node set added in a different order must place every key
+	// identically — placement is a pure function of (key, node set), so
+	// independent gateways agree without coordination.
+	b := NewRing(128, nodes[2], nodes[0], nodes[1])
+	for _, key := range ringKeys(2000) {
+		na, ok := a.Lookup(key)
+		if !ok {
+			t.Fatalf("lookup on non-empty ring failed")
+		}
+		nb, _ := b.Lookup(key)
+		if na != nb {
+			t.Fatalf("placement differs between identical rings: %s vs %s for %s", na, nb, key)
+		}
+	}
+	// And it must be stable across repeated lookups.
+	for _, key := range ringKeys(100) {
+		first, _ := a.Lookup(key)
+		for i := 0; i < 5; i++ {
+			if got, _ := a.Lookup(key); got != first {
+				t.Fatalf("lookup of %s is not stable: %s then %s", key, first, got)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(128, nodes...)
+	keys := ringKeys(20000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		n, _ := r.Lookup(k)
+		counts[n]++
+	}
+	// With 128 virtual nodes each worker should get a share within a
+	// factor ~2 of fair; grossly skewed placement would defeat sharding.
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 || counts[n] > fair*2 {
+			t.Errorf("node %s owns %d keys, want within [%d, %d] of fair %d", n, counts[n], fair/2, fair*2, fair)
+		}
+	}
+}
+
+// TestRingChurnOnJoin asserts the consistent-hashing contract: adding
+// one node to an n-node ring moves about 1/(n+1) of the keys — and
+// statistically at most 2/(n+1) — and every moved key moves TO the new
+// node (no unrelated shuffling).
+func TestRingChurnOnJoin(t *testing.T) {
+	const n = 8
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	r := NewRing(128, nodes...)
+	keys := ringKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	const newNode = "http://worker-new:8080"
+	r.Add(newNode)
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Lookup(k)
+		if after != before[k] {
+			moved++
+			if after != newNode {
+				t.Fatalf("key %s moved %s→%s, not to the joining node", k, before[k], after)
+			}
+		}
+	}
+	expected := len(keys) / (n + 1)
+	if moved > 2*expected {
+		t.Errorf("join moved %d/%d keys, statistically at most %d (2× expected %d) allowed", moved, len(keys), 2*expected, expected)
+	}
+	if moved == 0 {
+		t.Errorf("join moved no keys at all — the new node owns nothing")
+	}
+}
+
+// TestRingChurnOnLeave is the mirror image: removing a node relocates
+// only the keys it owned; everyone else's placement is untouched.
+func TestRingChurnOnLeave(t *testing.T) {
+	const n = 8
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	r := NewRing(128, nodes...)
+	keys := ringKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	victim := nodes[3]
+	r.Remove(victim)
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Lookup(k)
+		if before[k] == victim {
+			if after == victim {
+				t.Fatalf("key %s still routes to the removed node", k)
+			}
+			moved++
+		} else if after != before[k] {
+			t.Fatalf("key %s moved %s→%s although its owner did not leave", k, before[k], after)
+		}
+	}
+	expected := len(keys) / n
+	if moved > 2*expected {
+		t.Errorf("leave moved %d keys, statistically at most %d allowed", moved, 2*expected)
+	}
+}
+
+func TestRingCandidates(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := NewRing(64, nodes...)
+	for _, key := range ringKeys(500) {
+		cands := r.Candidates(key, len(nodes))
+		if len(cands) != len(nodes) {
+			t.Fatalf("candidates(%s) = %v, want all %d nodes", key, cands, len(nodes))
+		}
+		seen := make(map[string]bool)
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("candidates(%s) repeats %s: %v", key, c, cands)
+			}
+			seen[c] = true
+		}
+		owner, _ := r.Lookup(key)
+		if cands[0] != owner {
+			t.Fatalf("candidates(%s)[0] = %s, want the owner %s", key, cands[0], owner)
+		}
+	}
+	if got := r.Candidates("k", 2); len(got) != 2 {
+		t.Fatalf("capped candidates = %v, want 2", got)
+	}
+	empty := NewRing(8)
+	if got := empty.Candidates("k", 3); got != nil {
+		t.Fatalf("empty ring returned candidates %v", got)
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(16, "a", "b")
+	r.Add("a")
+	if r.Len() != 2 {
+		t.Fatalf("double add changed node count: %d", r.Len())
+	}
+	pointsPerNode := len(r.points) / 2
+	if pointsPerNode != 16 {
+		t.Fatalf("points per node = %d, want 16", pointsPerNode)
+	}
+	r.Remove("c") // unknown
+	r.Remove("b")
+	r.Remove("b")
+	if r.Len() != 1 || len(r.points) != 16 {
+		t.Fatalf("after removals: %d nodes, %d points, want 1/16", r.Len(), len(r.points))
+	}
+}

@@ -46,6 +46,20 @@ type FunctionInfo struct {
 	Threshold  float64 `json:"threshold,omitempty"`
 }
 
+// HandlerOption customizes NewHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	execServer *ExecServer
+}
+
+// WithExecutionAPI mounts the internal execution API (the worker side
+// of RemoteExecutor, see ExecServer) on the same handler and folds its
+// counters into /v1/healthz.
+func WithExecutionAPI(es *ExecServer) HandlerOption {
+	return func(c *handlerConfig) { c.execServer = es }
+}
+
 // NewHandler returns the /v1 HTTP API over an engine:
 //
 //	POST   /v1/jobs          submit a discovery job
@@ -59,8 +73,15 @@ type FunctionInfo struct {
 // Every error response — including the router's own 404/405 — uses the
 // apiError envelope. The full request/response reference lives in
 // docs/API.md.
-func NewHandler(e *Engine) http.Handler {
+func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	mux := http.NewServeMux()
+	if cfg.execServer != nil {
+		cfg.execServer.register(mux)
+	}
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req apiJobRequest
 		dec := json.NewDecoder(r.Body)
@@ -157,15 +178,24 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"functions": out})
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		hits, misses := e.CacheStats()
+		cs := e.CacheStats()
 		rec := e.Recovery()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":             true,
-			"cache_hits":     hits,
-			"cache_misses":   misses,
-			"jobs":           e.JobCount(),
-			"jobs_recovered": rec.Recovered,
-		})
+		body := map[string]any{
+			"ok":              true,
+			"cache_hits":      cs.Hits,
+			"cache_misses":    cs.Misses,
+			"cache_evictions": cs.Evictions,
+			"cache_entries":   cs.Entries,
+			"cache_bytes":     cs.Bytes,
+			"jobs":            e.JobCount(),
+			"jobs_recovered":  rec.Recovered,
+		}
+		if cfg.execServer != nil {
+			started, active := cfg.execServer.Executions()
+			body["executions"] = started
+			body["executions_active"] = active
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	return jsonErrors(mux)
 }

@@ -3,12 +3,49 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"github.com/reds-go/reds/internal/metamodel"
 )
 
-// modelCache is an LRU cache of trained metamodels. Keys follow the
-// scheme built in cachedTrainer (run.go):
+// CacheStats are cumulative metamodel-cache counters, exposed on
+// /v1/healthz.
+type CacheStats struct {
+	// Hits and Misses count lookups. A caller that waited on another's
+	// in-flight training counts as a hit (it did not train); an entry
+	// past its TTL counts as a miss.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the byte budget or expired by
+	// the TTL.
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes describe the current contents (Bytes is the sum
+	// of the entries' approximate model sizes).
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// defaultModelBytes is the weight of a cached model that does not report
+// its own size. It is deliberately pessimistic (1 MiB) so unknown model
+// types cannot silently blow the budget.
+const defaultModelBytes = 1 << 20
+
+// modelSizeBytes estimates a trained model's in-memory footprint. The
+// shipped model families (rf.Forest, gbt.Model, svm.Model) implement
+// metamodel.MemorySizer; anything else is charged defaultModelBytes.
+func modelSizeBytes(m metamodel.Model) int64 {
+	if s, ok := m.(metamodel.MemorySizer); ok {
+		if n := s.ApproxMemoryBytes(); n > 0 {
+			return n
+		}
+	}
+	return defaultModelBytes
+}
+
+// modelCache is an LRU cache of trained metamodels, bounded by the
+// approximate total size of the cached models rather than their count
+// (a tuned 500-tree forest and a 20-vector SVM are not the same cost to
+// keep). Keys follow the scheme built in cachedTrainer (run.go):
 //
 //	<dataset SHA-256>|<family>|tuned=<bool>|seed=<train seed>
 //
@@ -21,20 +58,28 @@ import (
 // over the same data skip retraining entirely — the dominant cost for
 // tuned trainers. Concurrent requests for the same key are deduplicated
 // singleflight-style: the first caller trains, the rest block and share
-// the result.
+// the result. An optional TTL expires entries a fixed time after
+// training, so long-lived workers eventually drop models for datasets
+// nobody asks about anymore even when the byte budget never fills.
 type modelCache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[string]*list.Element
-	order    *list.List // front = most recent
-	inflight map[string]*trainCall
-	hits     int64
-	misses   int64
+	mu        sync.Mutex
+	maxBytes  int64
+	ttl       time.Duration
+	now       func() time.Time // injectable for TTL tests
+	entries   map[string]*list.Element
+	order     *list.List // front = most recent
+	inflight  map[string]*trainCall
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheEntry struct {
-	key   string
-	model metamodel.Model
+	key       string
+	model     metamodel.Model
+	size      int64
+	trainedAt time.Time
 }
 
 type trainCall struct {
@@ -43,12 +88,14 @@ type trainCall struct {
 	err   error
 }
 
-func newModelCache(capacity int) *modelCache {
-	if capacity < 1 {
-		capacity = 1
+func newModelCache(maxBytes int64, ttl time.Duration) *modelCache {
+	if maxBytes < 1 {
+		maxBytes = 256 << 20
 	}
 	return &modelCache{
-		capacity: capacity,
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		now:      time.Now,
 		entries:  make(map[string]*list.Element),
 		order:    list.New(),
 		inflight: make(map[string]*trainCall),
@@ -62,10 +109,16 @@ func newModelCache(capacity int) *modelCache {
 func (c *modelCache) getOrTrain(key string, train func() (metamodel.Model, error)) (m metamodel.Model, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		c.mu.Unlock()
-		return el.Value.(*cacheEntry).model, true, nil
+		e := el.Value.(*cacheEntry)
+		if c.ttl > 0 && c.now().Sub(e.trainedAt) >= c.ttl {
+			c.removeLocked(el)
+			c.evictions++
+		} else {
+			c.order.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			return e.model, true, nil
+		}
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.hits++
@@ -90,28 +143,47 @@ func (c *modelCache) getOrTrain(key string, train func() (metamodel.Model, error
 	return call.model, false, call.err
 }
 
-// insert adds the entry and evicts the least recently used beyond
-// capacity. Caller holds mu.
+// insert adds the entry and evicts least-recently-used entries until
+// the byte budget holds again. The newly inserted entry itself is never
+// evicted — a single model larger than the whole budget is cached
+// alone rather than thrashing. Caller holds mu.
 func (c *modelCache) insert(key string, m metamodel.Model) {
+	size := modelSizeBytes(m)
 	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.model, e.size, e.trainedAt = m, size, c.now()
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).model = m
-		return
+	} else {
+		el := c.order.PushFront(&cacheEntry{key: key, model: m, size: size, trainedAt: c.now()})
+		c.entries[key] = el
+		c.bytes += size
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, model: m})
-	c.entries[key] = el
-	for c.order.Len() > c.capacity {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
+	for c.bytes > c.maxBytes && c.order.Len() > 1 {
+		c.removeLocked(c.order.Back())
+		c.evictions++
 	}
 }
 
-// Stats returns cumulative hit and miss counts.
-func (c *modelCache) Stats() (hits, misses int64) {
+// removeLocked drops one entry and its byte weight. Caller holds mu.
+func (c *modelCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+}
+
+// Stats returns cumulative counters and the current contents.
+func (c *modelCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Bytes:     c.bytes,
+	}
 }
 
 // Len returns the number of cached models.

@@ -25,9 +25,19 @@ type Options struct {
 	// unbounded memory growth. On recovery the queue is grown to fit
 	// every re-enqueued job regardless of this bound.
 	QueueSize int
-	// CacheSize is the LRU metamodel cache capacity in trained models
-	// (default 32).
-	CacheSize int
+
+	// Executor is the execution layer jobs are handed to. nil defaults
+	// to an in-process LocalExecutor built from CacheBytes/CacheTTL. A
+	// RemoteExecutor or a cluster.Dispatcher turns the same engine into
+	// the orchestration tier of a multi-process deployment.
+	Executor Executor
+	// CacheBytes bounds the default LocalExecutor's metamodel cache by
+	// approximate model size (default 256 MiB). Ignored when Executor is
+	// set.
+	CacheBytes int64
+	// CacheTTL expires the default LocalExecutor's cached models this
+	// long after training (0 = never). Ignored when Executor is set.
+	CacheTTL time.Duration
 
 	// Store persists jobs and results across restarts. nil defaults to
 	// a fresh in-memory store, which preserves the historical behavior:
@@ -55,8 +65,11 @@ func (o Options) withDefaults() Options {
 	if o.QueueSize <= 0 {
 		o.QueueSize = 64
 	}
-	if o.CacheSize <= 0 {
-		o.CacheSize = 32
+	if o.Executor == nil {
+		o.Executor = NewLocalExecutor(LocalExecutorOptions{
+			CacheBytes: o.CacheBytes,
+			CacheTTL:   o.CacheTTL,
+		})
 	}
 	if o.SweepInterval <= 0 {
 		o.SweepInterval = time.Minute
@@ -78,12 +91,13 @@ type RecoveryStats struct {
 	Orphaned int
 }
 
-// Engine schedules discovery jobs onto a bounded worker pool and mirrors
-// every lifecycle transition into its Store. All methods are safe for
-// concurrent use.
+// Engine is the orchestration layer of the service: it schedules
+// discovery jobs onto a bounded worker pool, hands each one to its
+// Executor, and mirrors every lifecycle transition into its Store. All
+// methods are safe for concurrent use.
 type Engine struct {
 	opts     Options
-	cache    *modelCache
+	exec     Executor
 	store    store.Store
 	recovery RecoveryStats
 	queue    chan *job
@@ -127,7 +141,7 @@ func New(opts Options) (*Engine, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		opts:   opts,
-		cache:  newModelCache(opts.CacheSize),
+		exec:   opts.Executor,
 		store:  st,
 		ctx:    ctx,
 		cancel: cancel,
@@ -353,7 +367,7 @@ func (e *Engine) execute(j *job) {
 	j.mu.Unlock()
 	e.persist(rec)
 
-	result, err := e.run(j)
+	result, err := e.exec.Execute(j.ctx, j.req, j.setProgress)
 
 	j.mu.Lock()
 	j.finishedAt = time.Now()
@@ -564,8 +578,19 @@ func (e *Engine) Cancel(id JobID) bool {
 	return !terminal
 }
 
-// CacheStats returns cumulative metamodel cache hits and misses.
-func (e *Engine) CacheStats() (hits, misses int64) { return e.cache.Stats() }
+// CacheStats returns the executor's cumulative metamodel cache
+// counters, when the executor has a cache (LocalExecutor does; a
+// RemoteExecutor or dispatcher reports zeros — the caches live on the
+// workers and show up on their /v1/healthz instead).
+func (e *Engine) CacheStats() CacheStats {
+	if cs, ok := e.exec.(interface{ CacheStats() CacheStats }); ok {
+		return cs.CacheStats()
+	}
+	return CacheStats{}
+}
+
+// Executor returns the execution layer the engine dispatches jobs to.
+func (e *Engine) Executor() Executor { return e.exec }
 
 // JobCount returns the number of jobs the engine currently knows,
 // without materializing snapshots (TTL-swept jobs are gone).

@@ -138,9 +138,9 @@ func TestMultiVariantRanking(t *testing.T) {
 	}
 	// Each metamodel family trains once and is shared by its SD
 	// variants: 2 families × 2 SD algorithms → 2 misses, 2 hits.
-	hits, misses := e.CacheStats()
-	if misses != 2 || hits != 2 {
-		t.Errorf("cache stats = %d hits / %d misses, want 2/2 (family-shared training)", hits, misses)
+	cs := e.CacheStats()
+	if cs.Misses != 2 || cs.Hits != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 2/2 (family-shared training)", cs.Hits, cs.Misses)
 	}
 }
 
@@ -236,9 +236,9 @@ func TestMetamodelCacheHit(t *testing.T) {
 	if res1.Best.Rule != res2.Best.Rule {
 		t.Errorf("cached rerun changed the scenario: %q vs %q", res1.Best.Rule, res2.Best.Rule)
 	}
-	hits, misses := e.CacheStats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	cs := e.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/1", cs.Hits, cs.Misses)
 	}
 
 	// A different seed must not share the cache entry.
@@ -309,7 +309,8 @@ func TestQueueBackpressure(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newModelCache(2)
+	// Budget fits two mock models (1 MiB default weight each).
+	c := newModelCache(2<<20, 0)
 	for _, key := range []string{"a", "b", "c", "a"} {
 		c.getOrTrain(key, func() (metamodel.Model, error) { return mockModel{}, nil })
 	}
@@ -317,9 +318,15 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Fatalf("cache len = %d, want 2", c.Len())
 	}
 	// "b" was evicted by "c"; "a" was re-trained after eviction.
-	hits, misses := c.Stats()
-	if hits != 0 || misses != 4 {
-		t.Fatalf("stats = %d/%d, want 0 hits / 4 misses", hits, misses)
+	cs := c.Stats()
+	if cs.Hits != 0 || cs.Misses != 4 {
+		t.Fatalf("stats = %d/%d, want 0 hits / 4 misses", cs.Hits, cs.Misses)
+	}
+	if cs.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (b then the stale a)", cs.Evictions)
+	}
+	if cs.Bytes != 2<<20 || cs.Entries != 2 {
+		t.Fatalf("contents = %d entries / %d bytes, want 2 / %d", cs.Entries, cs.Bytes, 2<<20)
 	}
 }
 
@@ -327,3 +334,65 @@ type mockModel struct{}
 
 func (mockModel) PredictProb([]float64) float64  { return 0 }
 func (mockModel) PredictLabel([]float64) float64 { return 0 }
+
+// sizedModel reports an explicit approximate size.
+type sizedModel struct {
+	mockModel
+	size int64
+}
+
+func (m sizedModel) ApproxMemoryBytes() int64 { return m.size }
+
+func TestCacheSizeWeightedEviction(t *testing.T) {
+	c := newModelCache(100, 0)
+	add := func(key string, size int64) {
+		c.getOrTrain(key, func() (metamodel.Model, error) { return sizedModel{size: size}, nil })
+	}
+	add("small-1", 40)
+	add("small-2", 40)
+	if cs := c.Stats(); cs.Entries != 2 || cs.Bytes != 80 {
+		t.Fatalf("contents = %+v, want 2 entries / 80 bytes", cs)
+	}
+	// A 90-byte model displaces both small ones: eviction is by weight,
+	// not count.
+	add("big", 90)
+	cs := c.Stats()
+	if cs.Entries != 1 || cs.Bytes != 90 || cs.Evictions != 2 {
+		t.Fatalf("after big insert: %+v, want 1 entry / 90 bytes / 2 evictions", cs)
+	}
+	if _, hit, _ := c.getOrTrain("big", nil); !hit {
+		t.Fatalf("big model was evicted by its own insert")
+	}
+	// An oversized model is cached alone rather than thrashing.
+	add("huge", 1000)
+	if cs := c.Stats(); cs.Entries != 1 || cs.Bytes != 1000 {
+		t.Fatalf("oversized model not cached alone: %+v", cs)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := newModelCache(1<<20, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.getOrTrain("k", func() (metamodel.Model, error) { return sizedModel{size: 10}, nil })
+	if _, hit, _ := c.getOrTrain("k", nil); !hit {
+		t.Fatalf("fresh entry missed")
+	}
+	now = now.Add(61 * time.Second)
+	trained := false
+	c.getOrTrain("k", func() (metamodel.Model, error) {
+		trained = true
+		return sizedModel{size: 10}, nil
+	})
+	if !trained {
+		t.Fatalf("expired entry served from cache")
+	}
+	cs := c.Stats()
+	if cs.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (TTL expiry)", cs.Evictions)
+	}
+	if cs.Hits != 1 || cs.Misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/2", cs.Hits, cs.Misses)
+	}
+}

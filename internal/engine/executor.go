@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Progress is a point-in-time view of a request's execution: the most
+// recently entered pipeline stage plus the labeling and variant
+// counters. Executors report it through the Execute callback; the
+// engine folds it into job snapshots, and the internal execution API
+// serves it to polling gateways.
+type Progress struct {
+	// Stage is the most recently entered pipeline stage across the
+	// request's variants ("simulate", "train", "sample", "label",
+	// "discover").
+	Stage string `json:"stage,omitempty"`
+	// LabelDone / LabelTotal aggregate pseudo-labeling progress over all
+	// variants.
+	LabelDone  int `json:"label_done"`
+	LabelTotal int `json:"label_total"`
+	// VariantsDone / VariantsTotal count finished variant sub-tasks.
+	VariantsDone  int `json:"variants_done"`
+	VariantsTotal int `json:"variants_total"`
+}
+
+// Executor is the execution layer of the engine: it runs one discovery
+// request end to end and returns its result. The orchestration layer
+// (Engine) owns everything around that call — the queue, the job
+// lifecycle, persistence, TTL GC — and stays identical whether requests
+// execute in-process (LocalExecutor), on a remote worker
+// (RemoteExecutor), or across a consistent-hash cluster
+// (internal/cluster.Dispatcher).
+type Executor interface {
+	// Execute runs the request to completion under ctx. onProgress, when
+	// non-nil, receives monotone progress snapshots; it must be fast and
+	// safe for concurrent use (executors may report from several
+	// goroutines, but calls for one execution are serialized).
+	// Cancelling ctx stops the execution at its next cancellation point
+	// and returns ctx.Err().
+	Execute(ctx context.Context, req Request, onProgress func(Progress)) (*Result, error)
+}
+
+// ErrUnavailable marks execution errors caused by the executing worker
+// being unreachable or having lost the execution (crash, restart,
+// network partition) — as opposed to the request itself failing. A
+// dispatcher may safely re-route an execution that failed with
+// errors.Is(err, ErrUnavailable) to another worker; any other error is
+// a verdict about the request and must not be retried elsewhere.
+var ErrUnavailable = errors.New("worker unavailable")
+
+// ShardKey returns the consistent-hash routing key of the request: the
+// SHA-256 content hash of the training data the request will run on.
+// Requests over the same data map to the same key — and therefore to
+// the same worker under consistent-hash routing — which keeps that
+// worker's metamodel cache hot (repeated metamodel training over one
+// dataset dominates REDS workloads). Inline datasets hash their
+// content; function requests hash the tuple that determines the
+// simulated training set (function, n, sampler, seed), with the
+// engine's defaults applied so equivalent requests share a key.
+func (r Request) ShardKey() string {
+	if r.Dataset != nil {
+		return r.Dataset.Hash()
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("fn=%s|n=%d|sampler=%s|seed=%d",
+		r.Function, r.effectiveN(), r.effectiveSampler(), r.effectiveSeed())))
+	return hex.EncodeToString(sum[:])
+}
+
+// The effective* accessors are the single home of the request defaults,
+// shared by execution (run.go) and routing (ShardKey): if a default
+// drifted between the two, equivalent requests would silently hash to
+// different shard keys than the data they train on, defeating the
+// cache-affinity routing.
+
+// effectiveSeed is the seed the pipeline actually runs with.
+func (r Request) effectiveSeed() int64 {
+	if r.Seed == 0 {
+		return 1
+	}
+	return r.Seed
+}
+
+// effectiveN is the number of simulations drawn from a function source.
+func (r Request) effectiveN() int {
+	if r.N == 0 {
+		return 400
+	}
+	return r.N
+}
+
+// effectiveL is the pseudo-label sample size.
+func (r Request) effectiveL() int {
+	if r.L == 0 {
+		return 10000
+	}
+	return r.L
+}
+
+// effectiveSampler is the sampler name with the default applied (the
+// empty string already resolves to LHS in samplerByName; this exists so
+// ShardKey hashes the same name the pipeline uses).
+func (r Request) effectiveSampler() string {
+	if r.Sampler == "" {
+		return "lhs"
+	}
+	return r.Sampler
+}
+
+// LocalExecutorOptions configure the in-process execution layer.
+type LocalExecutorOptions struct {
+	// CacheBytes bounds the metamodel LRU cache by the approximate
+	// in-memory size of the cached models (default 256 MiB). A single
+	// model larger than the budget is still cached, alone.
+	CacheBytes int64
+	// CacheTTL expires cached models this long after they were trained
+	// (0 = never). Expired entries count as misses and as evictions.
+	CacheTTL time.Duration
+}
+
+func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 256 << 20
+	}
+	return o
+}
+
+// LocalExecutor runs requests in-process: metamodel training (through
+// the size-weighted LRU cache), parallel pseudo-labeling and the SD
+// stage all happen on the calling process's worker pools. It is the
+// execution layer the engine used before the orchestration/execution
+// split, now behind the Executor seam.
+type LocalExecutor struct {
+	cache *modelCache
+}
+
+// NewLocalExecutor returns an in-process executor with its own
+// metamodel cache.
+func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
+	opts = opts.withDefaults()
+	return &LocalExecutor{cache: newModelCache(opts.CacheBytes, opts.CacheTTL)}
+}
+
+// CacheStats returns cumulative metamodel cache counters.
+func (x *LocalExecutor) CacheStats() CacheStats { return x.cache.Stats() }
+
+// progressSink aggregates concurrent progress updates for one execution
+// and forwards each new snapshot to the callback. Updates mutate the
+// shared Progress under one mutex and the callback runs while it is
+// held, so snapshots reach the callback in a consistent, monotone
+// order; callbacks must therefore be fast and must not re-enter the
+// executor.
+type progressSink struct {
+	mu sync.Mutex
+	p  Progress
+	fn func(Progress)
+}
+
+func newProgressSink(fn func(Progress)) *progressSink {
+	return &progressSink{fn: fn}
+}
+
+func (s *progressSink) update(mutate func(*Progress)) {
+	s.mu.Lock()
+	mutate(&s.p)
+	if s.fn != nil {
+		s.fn(s.p)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The internal execution API is the wire between a gateway's
+// RemoteExecutor and a worker's LocalExecutor. It is deliberately tiny
+// — execution only, no job lifecycle: the gateway owns the job (queue
+// position, persistence, TTL), the worker only runs the pipeline and
+// reports progress.
+//
+//	POST   /internal/v1/execute       start an execution   → 202 {"id": ...}
+//	GET    /internal/v1/execute/{id}  status + progress (+ result when done)
+//	DELETE /internal/v1/execute/{id}  cancel and/or release the execution
+//
+// The API shares redsserver's listener; it is "internal" in the sense
+// that only gateways should call it (like /v1 it has no auth yet — see
+// the ROADMAP's AuthN/Z item).
+
+// execStatusResponse is the wire form of one execution's state, shared
+// by the server (ExecServer) and the client (RemoteExecutor).
+type execStatusResponse struct {
+	ID       string   `json:"id"`
+	Status   Status   `json:"status"`
+	Progress Progress `json:"progress"`
+	// Result is set once Status is done; Error once it is failed.
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// ExecServerOptions tune the worker side of the internal execution API.
+type ExecServerOptions struct {
+	// Retention keeps finished executions around for late polls before
+	// they are garbage-collected (default 5 minutes). A gateway that
+	// received the terminal poll response acknowledges with DELETE and
+	// frees the entry immediately; retention only covers gateways that
+	// die between polls.
+	Retention time.Duration
+}
+
+func (o ExecServerOptions) withDefaults() ExecServerOptions {
+	if o.Retention <= 0 {
+		o.Retention = 5 * time.Minute
+	}
+	return o
+}
+
+// ExecServer runs the worker side of the internal execution API over an
+// Executor (a LocalExecutor in redsserver). Every accepted POST starts
+// the execution immediately on its own goroutine — admission control is
+// the gateway's job (its engine queue bounds how many executions it
+// dispatches), so the worker deliberately has no second queue.
+type ExecServer struct {
+	exec Executor
+	opts ExecServerOptions
+	// bootID makes execution ids unique per process. Without it, a
+	// worker restarted between two gateway polls could reassign a plain
+	// counter id to a different request and serve the wrong execution's
+	// status — and eventually the wrong result — to the old poller.
+	// With it, the old id 404s and the gateway re-routes.
+	bootID string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	execs   map[string]*execution
+	nextID  uint64
+	started int64
+	active  int64
+	closed  bool
+}
+
+// execution is the server-side state of one dispatched request.
+type execution struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	status     Status
+	progress   Progress
+	result     *Result
+	err        error
+	finishedAt time.Time
+}
+
+// NewExecServer returns an execution server over exec. Close it to
+// cancel in-flight executions and wait for them.
+func NewExecServer(exec Executor, opts ExecServerOptions) *ExecServer {
+	ctx, cancel := context.WithCancel(context.Background())
+	nonce := make([]byte, 4)
+	if _, err := rand.Read(nonce); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to the boot time, which still differs across restarts.
+		binary.BigEndian.PutUint32(nonce, uint32(time.Now().UnixNano()))
+	}
+	return &ExecServer{
+		exec:   exec,
+		opts:   opts.withDefaults(),
+		bootID: hex.EncodeToString(nonce),
+		ctx:    ctx,
+		cancel: cancel,
+		execs:  make(map[string]*execution),
+	}
+}
+
+// Executions returns how many executions were ever accepted and how
+// many are running right now.
+func (s *ExecServer) Executions() (started, active int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started, s.active
+}
+
+// Close cancels every in-flight execution and waits for them to stop.
+func (s *ExecServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Handler returns the internal API as a standalone handler (redsserver
+// mounts it through engine.WithExecutionAPI instead, sharing the public
+// mux and error envelope).
+func (s *ExecServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.register(mux)
+	return jsonErrors(mux)
+}
+
+// register mounts the internal routes on a mux.
+func (s *ExecServer) register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /internal/v1/execute", s.handleStart)
+	mux.HandleFunc("GET /internal/v1/execute/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /internal/v1/execute/{id}", s.handleCancel)
+}
+
+func (s *ExecServer) handleStart(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, errBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errInternal, fmt.Errorf("execution server is shutting down"))
+		return
+	}
+	s.sweepLocked()
+	s.nextID++
+	id := fmt.Sprintf("exec-%s-%06d", s.bootID, s.nextID)
+	ctx, cancel := context.WithCancel(s.ctx)
+	ex := &execution{id: id, cancel: cancel, status: StatusRunning}
+	s.execs[id] = ex
+	s.started++
+	s.active++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.run(ex, req, ctx)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+// run executes the request and records its terminal state.
+func (s *ExecServer) run(ex *execution, req Request, ctx context.Context) {
+	defer s.wg.Done()
+	defer ex.cancel()
+	result, err := s.exec.Execute(ctx, req, func(p Progress) {
+		ex.mu.Lock()
+		ex.progress = p
+		ex.mu.Unlock()
+	})
+
+	ex.mu.Lock()
+	ex.finishedAt = time.Now()
+	switch {
+	case ctx.Err() != nil:
+		ex.status = StatusCanceled
+	case err != nil:
+		ex.status = StatusFailed
+		ex.err = err
+	default:
+		ex.status = StatusDone
+		ex.result = result
+	}
+	ex.mu.Unlock()
+
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+}
+
+func (s *ExecServer) lookup(id string) (*execution, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	ex, ok := s.execs[id]
+	return ex, ok
+}
+
+// sweepLocked garbage-collects finished executions past retention — the
+// safety net for gateways that never sent the DELETE acknowledgement.
+// Caller holds s.mu.
+func (s *ExecServer) sweepLocked() {
+	cutoff := time.Now().Add(-s.opts.Retention)
+	for id, ex := range s.execs {
+		ex.mu.Lock()
+		expired := ex.status.Terminal() && !ex.finishedAt.IsZero() && ex.finishedAt.Before(cutoff)
+		ex.mu.Unlock()
+		if expired {
+			delete(s.execs, id)
+		}
+	}
+}
+
+func (s *ExecServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ex, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("unknown execution %s", id))
+		return
+	}
+	ex.mu.Lock()
+	resp := execStatusResponse{ID: ex.id, Status: ex.status, Progress: ex.progress, Result: ex.result}
+	if ex.err != nil {
+		resp.Error = ex.err.Error()
+	}
+	ex.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCancel cancels a running execution; for a terminal one it acts
+// as the gateway's acknowledgement and releases the entry.
+func (s *ExecServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ex, ok := s.execs[id]
+	terminal := false
+	if ok {
+		ex.mu.Lock()
+		terminal = ex.status.Terminal()
+		if terminal {
+			delete(s.execs, id)
+		}
+		ex.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("unknown execution %s", id))
+		return
+	}
+	ex.cancel()
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": !terminal})
+}

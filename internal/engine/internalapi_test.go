@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestWorker spins up the worker side of the internal execution API
+// over a fresh LocalExecutor.
+func newTestWorker(t *testing.T) (*httptest.Server, *ExecServer) {
+	t.Helper()
+	es := NewExecServer(NewLocalExecutor(LocalExecutorOptions{}), ExecServerOptions{})
+	srv := httptest.NewServer(es.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		es.Close()
+	})
+	return srv, es
+}
+
+// normalizeResult zeroes the fields that legitimately differ between
+// two runs of the same request (wall-clock time, cache temperature) so
+// the rest can be compared byte-for-byte.
+func normalizeResult(t *testing.T, res *Result) []byte {
+	t.Helper()
+	cp := *res
+	cp.ElapsedSeconds = 0
+	cp.Best.CacheHit = false
+	cp.Variants = append([]VariantResult(nil), res.Variants...)
+	for i := range cp.Variants {
+		cp.Variants[i].CacheHit = false
+	}
+	raw, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return raw
+}
+
+func TestRemoteExecutorRoundTrip(t *testing.T) {
+	srv, es := newTestWorker(t)
+	remote := &RemoteExecutor{BaseURL: srv.URL, PollInterval: 5 * time.Millisecond}
+
+	req := Request{Dataset: testDataset(250, rand.New(rand.NewSource(8))), L: 2000, Seed: 4}
+	var last Progress
+	res, err := remote.Execute(context.Background(), req, func(p Progress) { last = p })
+	if err != nil {
+		t.Fatalf("remote execute: %v", err)
+	}
+
+	// Byte-identical to the single-process path, modulo timing fields.
+	local, err := NewLocalExecutor(LocalExecutorOptions{}).Execute(context.Background(), req, nil)
+	if err != nil {
+		t.Fatalf("local execute: %v", err)
+	}
+	got, want := normalizeResult(t, res), normalizeResult(t, local)
+	if string(got) != string(want) {
+		t.Fatalf("remote result differs from local:\nremote: %.200s\nlocal:  %.200s", got, want)
+	}
+
+	if last.VariantsDone != 1 || last.LabelDone != 2000 {
+		t.Fatalf("final progress = %+v, want completed counters", last)
+	}
+	if started, active := es.Executions(); started != 1 || active != 0 {
+		t.Fatalf("executions = %d started / %d active, want 1/0", started, active)
+	}
+}
+
+func TestRemoteExecutorRequestErrorIsNotUnavailable(t *testing.T) {
+	srv, _ := newTestWorker(t)
+	remote := &RemoteExecutor{BaseURL: srv.URL, PollInterval: 5 * time.Millisecond}
+	// Validation failure on the worker: a verdict about the request, so
+	// the dispatcher must not re-route it.
+	_, err := remote.Execute(context.Background(), Request{Function: "no-such-function"}, nil)
+	if err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want a plain request error", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-function") {
+		t.Fatalf("error does not carry the worker's message: %v", err)
+	}
+}
+
+func TestRemoteExecutorWorkerDown(t *testing.T) {
+	srv, _ := newTestWorker(t)
+	srv.Close() // worker is gone before the POST
+	remote := &RemoteExecutor{BaseURL: srv.URL, PollInterval: 5 * time.Millisecond}
+	_, err := remote.Execute(context.Background(), Request{Function: "morris", L: 500}, nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRemoteExecutorWorkerDiesMidExecution(t *testing.T) {
+	srv, es := newTestWorker(t)
+	remote := &RemoteExecutor{BaseURL: srv.URL, PollInterval: 5 * time.Millisecond}
+
+	req := Request{Dataset: testDataset(300, rand.New(rand.NewSource(9))), L: 400000, Seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := remote.Execute(context.Background(), req, nil)
+		done <- err
+	}()
+
+	// Wait until the worker accepted the execution, then kill it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if started, _ := es.Executions(); started > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never accepted the execution")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.CloseClientConnections()
+	srv.Close()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("err = %v, want ErrUnavailable after worker death", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("execute did not return after worker death")
+	}
+	es.Close() // stop the orphaned in-process pipeline
+}
+
+func TestRemoteExecutorCancellation(t *testing.T) {
+	srv, es := newTestWorker(t)
+	remote := &RemoteExecutor{BaseURL: srv.URL, PollInterval: 5 * time.Millisecond}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// L is large enough to cancel mid-labeling but small enough that the
+	// pipeline's non-cancellable sections (training, sampling) stay
+	// short even under -race on a loaded machine.
+	req := Request{Dataset: testDataset(300, rand.New(rand.NewSource(10))), L: 400000, Seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := remote.Execute(ctx, req, nil)
+		done <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if started, _ := es.Executions(); started > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never accepted the execution")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Let the POST response finish so the client is in its polling loop
+	// (a cancel mid-POST is a different, also-correct path: the worker
+	// orphan is reclaimed by retention GC, which this test is not
+	// about).
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("execute did not return after cancel")
+	}
+	// The DELETE propagated: the worker-side execution stops too (at
+	// its next cancellation point — labeling checks every chunk, but
+	// training and sampling do not, hence the generous deadline).
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		if _, active := es.Executions(); active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker-side execution still active after remote cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestExecServerUnknownExecution(t *testing.T) {
+	srv, _ := newTestWorker(t)
+	remote := &RemoteExecutor{BaseURL: srv.URL}
+	_, err := remote.poll(context.Background(), "exec-999999")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("poll of unknown id: err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestExecServerRetentionSweep(t *testing.T) {
+	// Retention must comfortably exceed the polling cadence so the test
+	// reliably observes the terminal status before the sweep fires.
+	const retention = 2 * time.Second
+	es := NewExecServer(NewLocalExecutor(LocalExecutorOptions{}), ExecServerOptions{Retention: retention})
+	defer es.Close()
+	srv := httptest.NewServer(es.Handler())
+	defer srv.Close()
+	remote := &RemoteExecutor{BaseURL: srv.URL}
+
+	body, _ := json.Marshal(Request{Function: "morris", N: 60, L: 300})
+	id, err := remote.start(context.Background(), body)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// Wait for the execution to finish, without DELETE-acknowledging.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := remote.poll(context.Background(), id)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if st.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("execution never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Past retention, the entry is garbage-collected on the next sweep.
+	time.Sleep(retention + 100*time.Millisecond)
+	if _, err := remote.poll(context.Background(), id); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("swept execution still served: err = %v", err)
+	}
+}

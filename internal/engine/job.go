@@ -1,10 +1,20 @@
 // Package engine is the concurrent scenario-discovery engine behind
-// cmd/redsserver: a job queue plus a bounded worker pool that runs whole
-// REDS pipelines (metamodel training → parallel pseudo-labeling →
-// subgroup discovery) with per-stage progress, cooperative cancellation,
-// an LRU metamodel cache keyed by dataset content, and multi-variant
-// fan-out (several metamodel families × SD algorithms per request)
-// ranked by scenario quality.
+// cmd/redsserver and cmd/redsgateway, split into two layers:
+//
+//   - the orchestration layer (Engine): a job queue plus a bounded
+//     worker pool with lifecycle tracking, store persistence and TTL
+//     GC — everything around running a request;
+//   - the execution layer (the Executor interface): actually running
+//     one request end to end. LocalExecutor runs whole REDS pipelines
+//     in-process (metamodel training → parallel pseudo-labeling →
+//     subgroup discovery) with per-stage progress, cooperative
+//     cancellation, a size-weighted LRU metamodel cache keyed by
+//     dataset content, and multi-variant fan-out (several metamodel
+//     families × SD algorithms per request) ranked by scenario
+//     quality. RemoteExecutor runs the same contract on another
+//     process through the internal execution API (ExecServer), and
+//     internal/cluster.Dispatcher consistent-hash-routes it across a
+//     fleet of workers.
 //
 // # Durability
 //
@@ -34,7 +44,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/reds-go/reds/internal/box"
@@ -231,21 +240,17 @@ type job struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 
-	// Progress counters are atomics so labeling workers can bump them
-	// without taking mu.
-	labelDone    atomic.Int64
-	labelTotal   atomic.Int64
-	variantsDone atomic.Int64
-
-	mu            sync.Mutex
-	status        Status
-	stage         string
-	variantsTotal int
-	result        *Result
-	err           error
-	submittedAt   time.Time
-	startedAt     time.Time
-	finishedAt    time.Time
+	mu     sync.Mutex
+	status Status
+	// progress is the most recent executor report; the executor
+	// serializes its callbacks, so each report replaces the previous one
+	// wholesale.
+	progress    Progress
+	result      *Result
+	err         error
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
 }
 
 func (j *job) snapshot() Snapshot {
@@ -256,11 +261,11 @@ func (j *job) snapshot() Snapshot {
 		ID:            j.id,
 		Status:        j.status,
 		Request:       req,
-		Stage:         j.stage,
-		LabelDone:     int(j.labelDone.Load()),
-		LabelTotal:    int(j.labelTotal.Load()),
-		VariantsDone:  int(j.variantsDone.Load()),
-		VariantsTotal: j.variantsTotal,
+		Stage:         j.progress.Stage,
+		LabelDone:     j.progress.LabelDone,
+		LabelTotal:    j.progress.LabelTotal,
+		VariantsDone:  j.progress.VariantsDone,
+		VariantsTotal: j.progress.VariantsTotal,
 		SubmittedAt:   j.submittedAt,
 	}
 	if req.Dataset != nil {
@@ -310,8 +315,10 @@ func (j *job) transitionLocked() store.Record {
 	return rec
 }
 
-func (j *job) setStage(stage string) {
+// setProgress replaces the job's progress with the executor's latest
+// report.
+func (j *job) setProgress(p Progress) {
 	j.mu.Lock()
-	j.stage = stage
+	j.progress = p
 	j.mu.Unlock()
 }

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RemoteExecutor runs requests on a redsserver worker through the
+// internal execution API: POST starts the execution, GET polls progress
+// until a terminal status, DELETE cancels (and acknowledges terminal
+// polls so the worker can release the entry early).
+//
+// Failures split into two classes the caller can tell apart:
+//
+//   - the worker is unreachable or has lost the execution (connection
+//     errors, 5xx, an unknown execution id after a worker restart) —
+//     wrapped in ErrUnavailable, safe for a dispatcher to re-route;
+//   - the request itself failed on the worker (a failed execution, a
+//     400) — returned as a plain error that must not be retried
+//     elsewhere.
+type RemoteExecutor struct {
+	// BaseURL is the worker's root, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+	// Client defaults to a client with a 10s per-request timeout. The
+	// timeout bounds individual polls, not the whole execution.
+	Client *http.Client
+	// PollInterval is the progress-polling period (default 150ms).
+	PollInterval time.Duration
+}
+
+func (r *RemoteExecutor) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return defaultRemoteClient
+}
+
+var defaultRemoteClient = &http.Client{Timeout: 10 * time.Second}
+
+func (r *RemoteExecutor) pollInterval() time.Duration {
+	if r.PollInterval > 0 {
+		return r.PollInterval
+	}
+	return 150 * time.Millisecond
+}
+
+func (r *RemoteExecutor) execURL(id string) string {
+	u := strings.TrimRight(r.BaseURL, "/") + "/internal/v1/execute"
+	if id != "" {
+		u += "/" + id
+	}
+	return u
+}
+
+// Execute implements Executor over the internal HTTP API.
+func (r *RemoteExecutor) Execute(ctx context.Context, req Request, onProgress func(Progress)) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("engine: encoding remote request: %w", err)
+	}
+	id, err := r.start(ctx, body)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Canceled mid-POST. The worker may or may not have accepted
+			// the execution; if it did, its retention GC reclaims the
+			// orphan (we never learned the id to DELETE it).
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+
+	t := time.NewTicker(r.pollInterval())
+	defer t.Stop()
+	var last Progress
+	for {
+		select {
+		case <-ctx.Done():
+			r.release(id)
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+		st, err := r.poll(ctx, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				r.release(id)
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		if onProgress != nil && st.Progress != last {
+			last = st.Progress
+			onProgress(st.Progress)
+		}
+		switch st.Status {
+		case StatusDone:
+			r.release(id)
+			if st.Result == nil {
+				return nil, fmt.Errorf("engine: worker %s reported done without a result: %w", r.BaseURL, ErrUnavailable)
+			}
+			return st.Result, nil
+		case StatusFailed:
+			r.release(id)
+			if st.Error == "" {
+				st.Error = "remote execution failed"
+			}
+			return nil, errors.New(st.Error)
+		case StatusCanceled:
+			// The worker canceled without us asking (it is shutting
+			// down); from the gateway's view the worker went away.
+			return nil, fmt.Errorf("engine: worker %s canceled the execution: %w", r.BaseURL, ErrUnavailable)
+		}
+	}
+}
+
+// start POSTs the request and returns the execution id.
+func (r *RemoteExecutor) start(ctx context.Context, body []byte) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.execURL(""), bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("engine: building remote request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client().Do(hreq)
+	if err != nil {
+		return "", fmt.Errorf("engine: starting execution on %s: %v: %w", r.BaseURL, err, ErrUnavailable)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusBadRequest {
+		return "", fmt.Errorf("engine: worker %s rejected the request: %s", r.BaseURL, readAPIError(resp.Body))
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("engine: worker %s returned %s: %w", r.BaseURL, resp.Status, ErrUnavailable)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID == "" {
+		return "", fmt.Errorf("engine: undecodable accept from %s: %w", r.BaseURL, ErrUnavailable)
+	}
+	return out.ID, nil
+}
+
+// poll GETs the execution's current state.
+func (r *RemoteExecutor) poll(ctx context.Context, id string) (*execStatusResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.execURL(id), nil)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building poll request: %w", err)
+	}
+	resp, err := r.client().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("engine: polling %s on %s: %v: %w", id, r.BaseURL, err, ErrUnavailable)
+	}
+	defer drainClose(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		// The worker restarted and lost the execution (its retention GC
+		// cannot race us: we poll far more often than the 5m window).
+		return nil, fmt.Errorf("engine: worker %s no longer knows execution %s: %w", r.BaseURL, id, ErrUnavailable)
+	case resp.StatusCode != http.StatusOK:
+		return nil, fmt.Errorf("engine: poll of %s on %s returned %s: %w", id, r.BaseURL, resp.Status, ErrUnavailable)
+	}
+	var st execStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("engine: undecodable poll response from %s: %w", r.BaseURL, ErrUnavailable)
+	}
+	return &st, nil
+}
+
+// release cancels/acknowledges the execution so the worker frees it
+// promptly. Best-effort: the worker's retention GC covers lost DELETEs,
+// and the caller's ctx may already be dead, so this uses its own short
+// deadline.
+func (r *RemoteExecutor) release(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, r.execURL(id), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := r.client().Do(hreq); err == nil {
+		drainClose(resp.Body)
+	}
+}
+
+// readAPIError extracts the message of an apiError envelope, falling
+// back to the raw body.
+func readAPIError(body io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(body, 4096))
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Message != "" {
+		return env.Error.Message
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}

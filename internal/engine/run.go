@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -116,19 +117,13 @@ func buildVariants(req Request) []variantSpec {
 	return out
 }
 
-// run executes one job end to end: resolve the training data, fan the
+// Execute implements Executor: resolve the training data, fan the
 // variant grid out as concurrent sub-tasks, rank the outcomes.
-func (e *Engine) run(j *job) (*Result, error) {
-	req := j.req
+func (x *LocalExecutor) Execute(ctx context.Context, req Request, onProgress func(Progress)) (*Result, error) {
+	sink := newProgressSink(onProgress)
 	start := time.Now()
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	l := req.L
-	if l == 0 {
-		l = 10000
-	}
+	seed := req.effectiveSeed()
+	l := req.effectiveL()
 	smp, err := samplerByName(req.Sampler)
 	if err != nil {
 		return nil, err
@@ -140,25 +135,21 @@ func (e *Engine) run(j *job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		n := req.N
-		if n == 0 {
-			n = 400
-		}
-		j.setStage("simulate")
-		train = funcs.Generate(f, n, smp, rand.New(rand.NewSource(seed)))
+		sink.update(func(p *Progress) { p.Stage = "simulate" })
+		train = funcs.Generate(f, req.effectiveN(), smp, rand.New(rand.NewSource(seed)))
 	} else {
 		train = req.Dataset
 	}
-	if err := j.ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	hash := train.Hash()
 
 	variants := buildVariants(req)
-	j.mu.Lock()
-	j.variantsTotal = len(variants)
-	j.mu.Unlock()
-	j.labelTotal.Store(int64(l * len(variants)))
+	sink.update(func(p *Progress) {
+		p.VariantsTotal = len(variants)
+		p.LabelTotal = l * len(variants)
+	})
 
 	// Training seeds are per metamodel *family*, not per variant, so the
 	// SD variants of one family share a single cache entry (the
@@ -183,8 +174,8 @@ func (e *Engine) run(j *job) (*Result, error) {
 		wg.Add(1)
 		go func(vi int, v variantSpec) {
 			defer wg.Done()
-			defer j.variantsDone.Add(1)
-			results[vi] = e.runVariant(j, train, hash, smp, l, v, variantConfig{
+			defer sink.update(func(p *Progress) { p.VariantsDone++ })
+			results[vi] = x.runVariant(ctx, req, sink, train, hash, smp, l, v, variantConfig{
 				pipelineSeed: seed + int64(vi+1)*variantSeedStride,
 				trainSeed:    familySeed[v.metamodel],
 				labelWorkers: labelWorkers,
@@ -192,7 +183,7 @@ func (e *Engine) run(j *job) (*Result, error) {
 		}(vi, v)
 	}
 	wg.Wait()
-	if err := j.ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -221,17 +212,17 @@ type variantConfig struct {
 	labelWorkers int
 }
 
-// runVariant executes one metamodel × SD combination of a job. The
-// metamodel is fetched from (or trained into) the engine cache; the
-// pipeline runs under the job's context with progress wired into the
-// job's counters.
-func (e *Engine) runVariant(j *job, train *dataset.Dataset, hash string, smp sample.Sampler, l int, v variantSpec, cfg variantConfig) VariantResult {
+// runVariant executes one metamodel × SD combination of a request. The
+// metamodel is fetched from (or trained into) the executor's cache; the
+// pipeline runs under the execution context with progress wired into
+// the sink.
+func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progressSink, train *dataset.Dataset, hash string, smp sample.Sampler, l int, v variantSpec, cfg variantConfig) VariantResult {
 	out := VariantResult{Metamodel: v.metamodel, SD: v.sd}
 	trainer := &cachedTrainer{
-		cache: e.cache,
-		key:   fmt.Sprintf("%s|%s|tuned=%v|seed=%d", hash, v.metamodel, j.req.Tuned, cfg.trainSeed),
+		cache: x.cache,
+		key:   fmt.Sprintf("%s|%s|tuned=%v|seed=%d", hash, v.metamodel, req.Tuned, cfg.trainSeed),
 		seed:  cfg.trainSeed,
-		inner: trainerByName(v.metamodel, train.M(), j.req.Tuned),
+		inner: trainerByName(v.metamodel, train.M(), req.Tuned),
 	}
 	var prev atomic.Int64
 	r := &core.REDS{
@@ -239,28 +230,31 @@ func (e *Engine) runVariant(j *job, train *dataset.Dataset, hash string, smp sam
 		Sampler:    smp,
 		L:          l,
 		SD:         sdByName(v.sd, cfg.labelWorkers),
-		ProbLabels: j.req.ProbLabels,
+		ProbLabels: req.ProbLabels,
 		Hooks: &core.Hooks{
 			LabelWorkers: cfg.labelWorkers,
-			OnStage:      func(s core.Stage) { j.setStage(string(s)) },
+			OnStage: func(s core.Stage) {
+				sink.update(func(p *Progress) { p.Stage = string(s) })
+			},
 			OnLabelProgress: func(done, total int) {
 				// Reports may arrive out of order across labeling
 				// workers; fold them into a monotone per-variant count
-				// so the job-level sum stays exact.
+				// so the execution-level sum stays exact.
 				for {
 					old := prev.Load()
 					if int64(done) <= old {
 						return
 					}
 					if prev.CompareAndSwap(old, int64(done)) {
-						j.labelDone.Add(int64(done) - old)
+						delta := int(int64(done) - old)
+						sink.update(func(p *Progress) { p.LabelDone += delta })
 						return
 					}
 				}
 			},
 		},
 	}
-	res, err := r.DiscoverContext(j.ctx, train, train, rand.New(rand.NewSource(cfg.pipelineSeed)))
+	res, err := r.DiscoverContext(ctx, train, train, rand.New(rand.NewSource(cfg.pipelineSeed)))
 	out.CacheHit = trainer.hit.Load()
 	if err != nil {
 		out.Error = err.Error()

@@ -2,9 +2,11 @@ package store
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -309,5 +311,76 @@ func TestFSSweepSurvivesReopen(t *testing.T) {
 	}
 	if _, ok, _ := re.GetResult("job-old"); ok {
 		t.Fatalf("swept result resurrected")
+	}
+}
+
+// TestFSFsyncIntervalDurableAfterClose exercises the batched-fsync mode
+// end to end: appends are acknowledged without a per-append sync, the
+// background flusher (or Close at the latest) syncs them, and a reopen
+// serves the full state back.
+func TestFSFsyncIntervalDurableAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+
+	s := mustOpen(t, dir, FSOptions{FsyncInterval: 10 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		if err := s.PutJob(rec(fmt.Sprintf("job-%03d", i), "pending", t0)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := s.PutResult("job-001", json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatalf("put result: %v", err)
+	}
+	// Give the flusher a couple of windows, then close (which performs
+	// the final error-checked sync regardless).
+	time.Sleep(30 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, err := re.List()
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(recs) != 50 {
+		t.Fatalf("reopened %d records, want 50", len(recs))
+	}
+	if raw, ok, _ := re.GetResult("job-001"); !ok || string(raw) != `{"ok":true}` {
+		t.Fatalf("result lost across batched-fsync close: ok=%v raw=%s", ok, raw)
+	}
+}
+
+// TestFSFsyncIntervalConcurrent hammers a batched-fsync store from
+// several goroutines while the flusher runs — meaningful under -race.
+func TestFSFsyncIntervalConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	s := mustOpen(t, dir, FSOptions{FsyncInterval: time.Millisecond, CompactEvery: 64})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("job-%d-%03d", w, i)
+				if err := s.PutJob(rec(id, "pending", t0)); err != nil {
+					t.Errorf("put %s: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, _ := re.List()
+	if len(recs) != 200 {
+		t.Fatalf("reopened %d records, want 200", len(recs))
 	}
 }

@@ -131,6 +131,18 @@ func (m *Model) PredictLabel(x []float64) float64 {
 // NumTrees returns the number of boosted trees.
 func (m *Model) NumTrees() int { return len(m.trees) }
 
+// ApproxMemoryBytes implements metamodel.MemorySizer: nodes dominate
+// the ensemble's footprint (a node is three float64 and three ints — 48
+// bytes plus padding/slice overhead, rounded to 56).
+func (m *Model) ApproxMemoryBytes() int64 {
+	const bytesPerNode = 56
+	var n int64
+	for i := range m.trees {
+		n += int64(len(m.trees[i].nodes)) * bytesPerNode
+	}
+	return n + int64(len(m.gains))*8
+}
+
 // Importance returns the gain-based feature importance (XGBoost's "total
 // gain"), normalized to sum to 1.
 func (m *Model) Importance() []float64 {

@@ -34,6 +34,17 @@ type Trainer interface {
 	Train(d *dataset.Dataset, rng *rand.Rand) (Model, error)
 }
 
+// MemorySizer is optionally implemented by models that can estimate
+// their own in-memory footprint. The engine's metamodel cache weighs
+// LRU entries by this size (a tuned 500-tree forest should not cost the
+// same cache budget as a 20-vector SVM); models without it are charged
+// a pessimistic default.
+type MemorySizer interface {
+	// ApproxMemoryBytes estimates the model's resident size in bytes.
+	// It only needs to be proportional to reality, not exact.
+	ApproxMemoryBytes() int64
+}
+
 // PredictProbBatch evaluates PredictProb on every point, parallelized
 // across GOMAXPROCS workers. REDS labels 10^4-10^5 points per run, which
 // makes this the hot path of the whole pipeline.

@@ -139,6 +139,18 @@ func (f *Forest) PredictLabel(x []float64) float64 {
 // NumTrees returns the number of trees in the forest.
 func (f *Forest) NumTrees() int { return len(f.trees) }
 
+// ApproxMemoryBytes implements metamodel.MemorySizer: nodes dominate a
+// forest's footprint (a treeNode is two float64 and three ints — 40
+// bytes plus padding/slice overhead, rounded to 48).
+func (f *Forest) ApproxMemoryBytes() int64 {
+	const bytesPerNode = 48
+	var n int64
+	for _, t := range f.trees {
+		n += int64(len(t.nodes))*bytesPerNode + int64(len(t.gains))*8
+	}
+	return n
+}
+
 // Importance returns the gain-based feature importance: per-feature
 // variance-reduction gains summed across all trees, normalized to sum
 // to 1 (all zeros for a stump-only forest). Useful for checking which

@@ -67,6 +67,18 @@ func (m *Model) PredictProb(x []float64) float64 {
 // NumSupport returns the number of support vectors.
 func (m *Model) NumSupport() int { return len(m.supportX) }
 
+// ApproxMemoryBytes implements metamodel.MemorySizer: the retained
+// support vectors dominate (one row of float64s each, plus the
+// coefficient and slice headers, rounded into 8 bytes per value + 32
+// per vector).
+func (m *Model) ApproxMemoryBytes() int64 {
+	var n int64
+	for _, sv := range m.supportX {
+		n += int64(len(sv))*8 + 32
+	}
+	return n + int64(len(m.coef))*8
+}
+
 func rbf(a, b []float64, gamma float64) float64 {
 	d := 0.0
 	for j := range a {

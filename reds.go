@@ -253,8 +253,9 @@ var Irrelevant = metrics.Irrelevant
 // scenario quality.
 type Engine = engine.Engine
 
-// EngineOptions configure worker count, queue bound, cache capacity and
-// the durable job store (Store/TTL/SweepInterval).
+// EngineOptions configure worker count, queue bound, the execution
+// layer (Executor, or cache budget/TTL for the default in-process one)
+// and the durable job store (Store/TTL/SweepInterval).
 type EngineOptions = engine.Options
 
 // NewEngine starts an engine and its worker pool, recovering any jobs a
@@ -307,6 +308,39 @@ type JobVariantResult = engine.VariantResult
 // NewAPIHandler returns the /v1 HTTP JSON API over an engine — the
 // handler cmd/redsserver serves.
 var NewAPIHandler = engine.NewHandler
+
+// --- Execution layer (orchestration/execution split, cmd/redsgateway) ---
+
+// JobExecutor is the execution layer behind the engine: it runs one
+// request end to end. The engine (orchestration) stays identical
+// whether jobs execute in-process, on a remote worker, or across a
+// consistent-hash cluster (internal/cluster.Dispatcher in
+// cmd/redsgateway).
+type JobExecutor = engine.Executor
+
+// JobProgress is an executor's point-in-time progress report.
+type JobProgress = engine.Progress
+
+// LocalExecutor runs requests in-process with a size-weighted LRU
+// metamodel cache — the executor cmd/redsserver uses.
+type LocalExecutor = engine.LocalExecutor
+
+// NewLocalExecutor builds the in-process execution layer.
+var NewLocalExecutor = engine.NewLocalExecutor
+
+// LocalExecutorOptions bound the metamodel cache by approximate model
+// bytes and an optional TTL.
+type LocalExecutorOptions = engine.LocalExecutorOptions
+
+// RemoteExecutor runs requests on a redsserver worker through the
+// internal execution API (progress polling, cancellation, failover
+// classification via ErrWorkerUnavailable).
+type RemoteExecutor = engine.RemoteExecutor
+
+// ErrWorkerUnavailable marks execution failures caused by an
+// unreachable worker — safe to re-route — as opposed to failures of the
+// request itself.
+var ErrWorkerUnavailable = engine.ErrUnavailable
 
 // --- Convenience ---
 

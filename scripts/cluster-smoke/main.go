@@ -1,0 +1,226 @@
+// Command cluster-smoke is the CI multi-process integration check: it
+// builds the real redsserver and redsgateway binaries, boots two
+// workers and one gateway as separate OS processes, submits jobs with
+// distinct dataset keys through the gateway, and asserts that
+//
+//   - every job completes with a result,
+//   - both workers received traffic (their /v1/healthz execution
+//     counters are non-zero — consistent hashing spread the keys), and
+//   - the gateway's aggregated healthz sees both workers alive.
+//
+// Run it from the repository root:
+//
+//	go run ./scripts/cluster-smoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+const (
+	worker1Addr = "127.0.0.1:18080"
+	worker2Addr = "127.0.0.1:18081"
+	gatewayAddr = "127.0.0.1:18090"
+	jobCount    = 6
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cluster-smoke: ")
+	if err := run(); err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	log.Printf("PASS")
+}
+
+func run() error {
+	bin, err := os.MkdirTemp("", "reds-smoke-bin-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+
+	log.Printf("building binaries")
+	for _, target := range []string{"redsserver", "redsgateway"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, target), "./cmd/"+target)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", target, err)
+		}
+	}
+
+	procs := []*exec.Cmd{
+		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker1Addr, "-workers", "2"),
+		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker2Addr, "-workers", "2"),
+		exec.Command(filepath.Join(bin, "redsgateway"), "-addr", gatewayAddr,
+			"-workers", fmt.Sprintf("http://%s,http://%s", worker1Addr, worker2Addr),
+			"-health.interval", "500ms", "-poll.interval", "50ms"),
+	}
+	for _, p := range procs {
+		p.Stdout, p.Stderr = os.Stderr, os.Stderr
+		if err := p.Start(); err != nil {
+			return fmt.Errorf("starting %s: %w", p.Path, err)
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+	}()
+
+	for _, base := range []string{"http://" + worker1Addr, "http://" + worker2Addr, "http://" + gatewayAddr} {
+		if err := waitHealthy(base, 30*time.Second); err != nil {
+			return err
+		}
+	}
+	log.Printf("2 workers + gateway healthy")
+
+	// Distinct seeds → distinct shard keys → with two workers and six
+	// keys, both sides of the ring get traffic with overwhelming
+	// probability (the placement is deterministic, so this cannot flake
+	// run to run).
+	ids := make([]string, 0, jobCount)
+	for seed := 1; seed <= jobCount; seed++ {
+		id, err := submit(fmt.Sprintf(`{"function":"morris","n":120,"l":2000,"seed":%d}`, seed))
+		if err != nil {
+			return fmt.Errorf("submitting job (seed %d): %w", seed, err)
+		}
+		ids = append(ids, id)
+	}
+	log.Printf("submitted %d jobs through the gateway", len(ids))
+
+	for _, id := range ids {
+		if err := waitDone(id, 120*time.Second); err != nil {
+			return err
+		}
+		var result struct {
+			DatasetHash string `json:"dataset_hash"`
+		}
+		if err := getJSON(fmt.Sprintf("http://%s/v1/jobs/%s/result", gatewayAddr, id), &result); err != nil {
+			return fmt.Errorf("result of %s: %w", id, err)
+		}
+		if result.DatasetHash == "" {
+			return fmt.Errorf("job %s: result has no dataset hash", id)
+		}
+	}
+	log.Printf("all %d jobs done with results", len(ids))
+
+	for _, base := range []string{"http://" + worker1Addr, "http://" + worker2Addr} {
+		var hz struct {
+			Executions int64 `json:"executions"`
+		}
+		if err := getJSON(base+"/v1/healthz", &hz); err != nil {
+			return fmt.Errorf("healthz of %s: %w", base, err)
+		}
+		if hz.Executions == 0 {
+			return fmt.Errorf("worker %s received no executions — sharding routed everything elsewhere", base)
+		}
+		log.Printf("worker %s executed %d jobs", base, hz.Executions)
+	}
+
+	var ghz struct {
+		OK      bool `json:"ok"`
+		Workers []struct {
+			Node  string `json:"node"`
+			Alive bool   `json:"alive"`
+		} `json:"workers"`
+	}
+	if err := getJSON(fmt.Sprintf("http://%s/v1/healthz", gatewayAddr), &ghz); err != nil {
+		return fmt.Errorf("gateway healthz: %w", err)
+	}
+	if !ghz.OK || len(ghz.Workers) != 2 {
+		return fmt.Errorf("gateway healthz not ok: %+v", ghz)
+	}
+	for _, w := range ghz.Workers {
+		if !w.Alive {
+			return fmt.Errorf("gateway sees worker %s dead", w.Node)
+		}
+	}
+	return nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never became healthy: %v", base, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func submit(body string) (string, error) {
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/jobs", gatewayAddr), "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, raw)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil || out.ID == "" {
+		return "", fmt.Errorf("undecodable submit response: %s", raw)
+	}
+	return out.ID, nil
+}
+
+func waitDone(id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var snap struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := getJSON(fmt.Sprintf("http://%s/v1/jobs/%s", gatewayAddr, id), &snap); err != nil {
+			return fmt.Errorf("polling %s: %w", id, err)
+		}
+		switch snap.Status {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("job %s ended %s: %s", id, snap.Status, snap.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after %v", id, snap.Status, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %.200s", url, resp.Status, raw)
+	}
+	return json.Unmarshal(raw, v)
+}
