@@ -391,3 +391,60 @@ func BenchmarkPredictBatch50kParallel4(b *testing.B) {
 		}
 	}
 }
+
+// --- Pseudo-label stage: batch fast path vs per-point reference ---
+
+// benchPaperForest trains the paper-scale random forest (ntree=500,
+// the R randomForest default behind the paper's caret setup; the
+// repo's Trainer default is 100 for speed) on the usual 400×10
+// training workload.
+func benchPaperForest(b *testing.B) reds.Metamodel {
+	b.Helper()
+	d := benchTrain(400, 10, 14)
+	model, err := (&reds.RandomForest{NTrees: 500}).Train(d, rand.New(rand.NewSource(15)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return model
+}
+
+// BenchmarkLabelStage100k measures the optimized pseudo-label stage at
+// the paper's L=10^5: flat-allocation Latin hypercube sampling plus
+// flattened batch inference (metamodel.BatchModel).
+func BenchmarkLabelStage100k(b *testing.B) {
+	model := benchPaperForest(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reds.PseudoLabel(context.Background(), model, reds.LatinHypercube{}, 100000, 10, 16, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLabelStage100kReference measures the stage as it ran before
+// the batch fast path: row-by-row sample allocation and the per-point
+// prediction closure.
+func BenchmarkLabelStage100kReference(b *testing.B) {
+	model := benchPaperForest(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(16))
+		pts := make([][]float64, 100000)
+		for p := range pts {
+			pts[p] = make([]float64, 10)
+		}
+		for j := 0; j < 10; j++ {
+			perm := rng.Perm(len(pts))
+			for p := range pts {
+				pts[p][j] = (float64(perm[p]) + rng.Float64()) / float64(len(pts))
+			}
+		}
+		y, err := reds.PredictBatchParallel(context.Background(), pts, model.PredictLabel, reds.BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reds.NewDataset(pts, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

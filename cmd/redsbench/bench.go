@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"github.com/reds-go/reds/internal/bi"
+	"github.com/reds-go/reds/internal/core"
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/gbt"
 	"github.com/reds-go/reds/internal/metamodel"
@@ -75,6 +77,12 @@ func componentBenchmarks() []struct {
 		panic(err)
 	}
 	pts := sample.LatinHypercube{}.Sample(50000, 10, rand.New(rand.NewSource(16)))
+	// The paper-scale forest (ntree=500, the R randomForest default
+	// behind the paper's caret setup) for the pseudo-label stage pair.
+	rfPaper, err := (&rf.Trainer{NTrees: 500}).Train(benchData(400, 10, 14), rand.New(rand.NewSource(15)))
+	if err != nil {
+		panic(err)
+	}
 
 	return []struct {
 		name string
@@ -139,6 +147,41 @@ func componentBenchmarks() []struct {
 		{"gbt_train_reference", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := (&gbt.Trainer{Reference: true}).Train(mmTrain, rand.New(rand.NewSource(8))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The full pseudo-label stage (Algorithm 4, lines 3-6) at the
+		// paper's L=10^5 on the paper-scale rf: the batch component runs
+		// flat-allocation LHS + flattened batch inference; the reference
+		// runs the pre-PR5 stage (row-allocated sampling, per-point
+		// prediction closure). Identical outputs, measured at whatever
+		// GOMAXPROCS the host gives (CI and the committed snapshots use 1).
+		{"label_batch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PseudoLabel(context.Background(), rfPaper, sample.LatinHypercube{}, 100000, 10, 17, false, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"label_batch_reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(17))
+				lpts := make([][]float64, 100000)
+				for p := range lpts {
+					lpts[p] = make([]float64, 10)
+				}
+				for j := 0; j < 10; j++ {
+					perm := rng.Perm(len(lpts))
+					for p := range lpts {
+						lpts[p][j] = (float64(perm[p]) + rng.Float64()) / float64(len(lpts))
+					}
+				}
+				y, err := metamodel.PredictBatchParallel(context.Background(), lpts, rfPaper.PredictLabel, metamodel.BatchOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dataset.New(lpts, y); err != nil {
 					b.Fatal(err)
 				}
 			}

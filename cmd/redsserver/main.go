@@ -50,6 +50,8 @@ func main() {
 	queue := flag.Int("queue", 64, "max pending jobs before submissions are rejected")
 	cacheBytes := flag.Int64("cache.bytes", 256<<20, "metamodel cache budget in approximate model bytes")
 	cacheTTL := flag.Duration("cache.ttl", 0, "expiry of cached metamodels after training (0: never)")
+	labelCacheBytes := flag.Int64("labelcache.bytes", 256<<20, "pseudo-label dataset cache budget in approximate bytes")
+	labelCacheTTL := flag.Duration("labelcache.ttl", 0, "expiry of cached pseudo-labeled datasets (0: never)")
 	storeDir := flag.String("store.dir", "", "directory for the durable job store (empty: in-memory only)")
 	storeTTL := flag.Duration("store.ttl", 0, "retention of finished jobs before garbage collection (0: keep forever)")
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
@@ -72,8 +74,10 @@ func main() {
 	// One executor serves both the engine's own jobs and gateway-
 	// dispatched executions, so they share the metamodel cache.
 	executor := engine.NewLocalExecutor(engine.LocalExecutorOptions{
-		CacheBytes: *cacheBytes,
-		CacheTTL:   *cacheTTL,
+		CacheBytes:      *cacheBytes,
+		CacheTTL:        *cacheTTL,
+		LabelCacheBytes: *labelCacheBytes,
+		LabelCacheTTL:   *labelCacheTTL,
 	})
 	eng, err := engine.New(engine.Options{
 		Workers:       *workers,

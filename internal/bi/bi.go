@@ -18,7 +18,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/reds-go/reds/internal/box"
 	"github.com/reds-go/reds/internal/dataset"
@@ -35,6 +38,12 @@ type BI struct {
 	Depth int
 	// MaxIters caps the refinement rounds as a safety net (default 64).
 	MaxIters int
+	// Workers caps the pool evaluating a beam box's M refinement
+	// candidates concurrently (default GOMAXPROCS; 1 = serial). The
+	// engine passes each variant's worker budget here. Results are
+	// identical at any worker count: candidates are gathered in
+	// dimension order.
+	Workers int
 }
 
 // WRAcc returns the weighted relative accuracy of b on d.
@@ -86,10 +95,24 @@ func (a *BI) Discover(train, val *dataset.Dataset, _ *rand.Rand) (*sd.Result, er
 	p0 := train.PositiveShare()
 	nf := float64(train.N())
 
-	// Scratch reused across all candidate evaluations.
+	workers := a.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+
+	// Scratch reused across all candidate evaluations. viol/vdim are
+	// computed once per beam box and then only read, so the dimension
+	// workers share them; each worker owns one tie-group buffer.
 	viol := make([]int, train.N())
 	vdim := make([]int, train.N())
-	groups := make([]group, 0, train.N())
+	bufs := make([][]group, workers)
+	for w := range bufs {
+		bufs[w] = make([]group, 0, train.N())
+	}
+	slots := make([]scored, m)
 
 	beam := []scored{{box.Full(m), 0}} // full box has WRAcc 0
 
@@ -100,16 +123,45 @@ func (a *BI) Discover(train, val *dataset.Dataset, _ *rand.Rand) (*sd.Result, er
 			// othersContain scan: a point is eligible for refining dim j
 			// iff it violates no bound of cur, or only the bound on j.
 			countViolations(train, cur.b, viol, vdim)
-			for j := 0; j < m; j++ {
-				nb, ok := bestInterval(cols[j], train.Y, orders[j], cur.b, j, p0, viol, vdim, &groups)
-				if !ok {
-					continue
-				}
-				if nb.Restricted() > depth {
-					continue
+			// The M per-dimension refinements of one beam box are
+			// independent: fan them across the pool, gather into fixed
+			// slots, append in dimension order — byte-identical to the
+			// serial scan at any worker count.
+			evalDim := func(j int, buf *[]group) {
+				slots[j] = scored{}
+				nb, ok := bestInterval(cols[j], train.Y, orders[j], cur.b, j, p0, viol, vdim, buf)
+				if !ok || nb.Restricted() > depth {
+					return
 				}
 				w := intervalWRAcc(cols[j], train.Y, orders[j], j, nb, p0, viol, vdim)
-				candidates = append(candidates, scored{nb, w / nf})
+				slots[j] = scored{nb, w / nf}
+			}
+			if workers <= 1 {
+				for j := 0; j < m; j++ {
+					evalDim(j, &bufs[0])
+				}
+			} else {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for {
+							j := int(next.Add(1)) - 1
+							if j >= m {
+								return
+							}
+							evalDim(j, &bufs[w])
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			for j := 0; j < m; j++ {
+				if slots[j].b != nil {
+					candidates = append(candidates, slots[j])
+				}
 			}
 		}
 		// Keep the top bs distinct boxes.

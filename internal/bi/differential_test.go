@@ -84,3 +84,42 @@ func TestFastIntervalMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// TestBIParallelMatchesSerial asserts the beam-candidate worker pool
+// returns the exact result of the serial scan — same boxes, same
+// statistics — across beam sizes. Run under -race this also exercises
+// the shared viol/vdim scratch and the per-worker group buffers.
+func TestBIParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 500, 8
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			if j%2 == 0 {
+				row[j] = math.Floor(rng.Float64()*6) / 6 // ties
+			} else {
+				row[j] = rng.Float64()
+			}
+		}
+		x[i] = row
+		if row[0] < 0.5 && row[1] > 0.3 {
+			y[i] = 1
+		}
+	}
+	d := dataset.MustNew(x, y)
+	for _, bs := range []int{1, 3} {
+		serial, err := (&BI{BeamSize: bs, Workers: 1}).Discover(d, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := (&BI{BeamSize: bs, Workers: 4}).Discover(d, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("beam size %d: parallel result differs from serial", bs)
+		}
+	}
+}

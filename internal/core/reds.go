@@ -74,6 +74,16 @@ type REDS struct {
 	// selected box comparable to conventional PRIM's. Exposed for the
 	// ablation study (redsbench -exp ablation).
 	ValidateOnPseudo bool
+	// LabelStage, when non-nil, replaces the sample and label stages
+	// (Algorithm 4, lines 3-6): it must return the pseudo-labeled
+	// dataset mined downstream, with dim-wide rows and the Discrete
+	// mask already set. The engine uses this seam to share one
+	// pseudo-labeled dataset across the variants of a job and to serve
+	// it from its byte-weighted cache; the returned dataset may
+	// therefore be shared and must be treated as immutable. When set,
+	// the pipeline RNG is not consumed by sampling — the stage owns its
+	// own seeding.
+	LabelStage func(ctx context.Context, model metamodel.Model, dim int) (*dataset.Dataset, error)
 	// Hooks observe the pipeline (stage transitions, labeling
 	// progress). Nil means no observation.
 	Hooks *Hooks
@@ -145,17 +155,29 @@ func (r *REDS) DiscoverContext(ctx context.Context, train, val *dataset.Dataset,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r.Hooks.stage(StageSample)
-	pts := smp.Sample(l, train.M(), rng)
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	var dnew *dataset.Dataset
+	if r.LabelStage != nil {
+		// The stage owns both sampling and labeling; it reports its own
+		// labeling progress through whatever hooks its creator wired in.
+		r.Hooks.stage(StageSample)
+		r.Hooks.stage(StageLabel)
+		dnew, err = r.LabelStage(ctx, model, train.M())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		r.Hooks.stage(StageSample)
+		pts := smp.Sample(l, train.M(), rng)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.Hooks.stage(StageLabel)
+		dnew, err = r.labelPointsCtx(ctx, model, pts)
+		if err != nil {
+			return nil, err
+		}
+		dnew.Discrete = train.Discrete
 	}
-	r.Hooks.stage(StageLabel)
-	dnew, err := r.labelPointsCtx(ctx, model, pts)
-	if err != nil {
-		return nil, err
-	}
-	dnew.Discrete = train.Discrete
 	switch {
 	case r.ValidateOnPseudo:
 		val = dnew
@@ -187,36 +209,63 @@ func (r *REDS) DiscoverSemiSupervised(train *dataset.Dataset, pool [][]float64, 
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("core: empty unlabeled pool")
 	}
+	for i, row := range pool {
+		if len(row) != train.M() {
+			return nil, fmt.Errorf("core: malformed pool: row %d has %d columns, want %d", i, len(row), train.M())
+		}
+	}
 	model, err := r.Metamodel.Train(train, rng)
 	if err != nil {
 		return nil, fmt.Errorf("core: training metamodel %s: %w", r.Metamodel.Name(), err)
 	}
-	dnew := r.labelPoints(model, pool)
+	dnew, err := r.labelPointsCtx(context.Background(), model, pool)
+	if err != nil {
+		return nil, fmt.Errorf("core: pseudo-labeling pool: %w", err)
+	}
 	dnew.Discrete = train.Discrete
 	return r.SD.Discover(dnew, train, rng)
 }
 
-// labelPoints applies lines 4-6 of Algorithm 4.
-func (r *REDS) labelPoints(model metamodel.Model, pts [][]float64) *dataset.Dataset {
-	d, _ := r.labelPointsCtx(context.Background(), model, pts)
-	return d
-}
-
-// labelPointsCtx is labelPoints with cancellation and progress: the
-// points are sharded across a worker pool and ctx is checked per chunk.
+// labelPointsCtx applies lines 4-6 of Algorithm 4 with cancellation
+// and progress: the points are sharded across a worker pool, ctx is
+// checked per chunk, and models with a metamodel.BatchModel fast path
+// are evaluated through it.
 func (r *REDS) labelPointsCtx(ctx context.Context, model metamodel.Model, pts [][]float64) (*dataset.Dataset, error) {
-	predict := model.PredictLabel
-	if r.ProbLabels {
-		predict = model.PredictProb
-	}
 	opts := metamodel.BatchOptions{}
 	if r.Hooks != nil {
 		opts.Progress = r.Hooks.OnLabelProgress
 		opts.Workers = r.Hooks.LabelWorkers
 	}
-	y, err := metamodel.PredictBatchParallel(ctx, pts, predict, opts)
+	var y []float64
+	var err error
+	if r.ProbLabels {
+		y, err = metamodel.PredictProbBatchCtx(ctx, model, pts, opts)
+	} else {
+		y, err = metamodel.PredictLabelBatchCtx(ctx, model, pts, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &dataset.Dataset{X: pts, Y: y}, nil
+}
+
+// PseudoLabel runs the sample and label stages (Algorithm 4, lines
+// 3-6) as a standalone step: draw l points of width dim from smp,
+// seeded independently of any pipeline RNG, and label them with the
+// trained model (probabilities when probLabels, hard labels
+// otherwise). Factoring the stage out of the pipeline is what makes
+// its result shareable — the engine calls it once per metamodel
+// family and serves every variant (and cache-hitting repeat job) the
+// same dataset. Labeling progress and the worker budget come from
+// hooks; ctx cancels between chunks.
+func PseudoLabel(ctx context.Context, model metamodel.Model, smp sample.Sampler, l, dim int, seed int64, probLabels bool, hooks *Hooks) (*dataset.Dataset, error) {
+	if smp == nil {
+		smp = sample.LatinHypercube{}
+	}
+	pts := smp.Sample(l, dim, rand.New(rand.NewSource(seed)))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &REDS{ProbLabels: probLabels, Hooks: hooks}
+	return r.labelPointsCtx(ctx, model, pts)
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/funcs"
 	"github.com/reds-go/reds/internal/gbt"
+	"github.com/reds-go/reds/internal/metamodel"
 	"github.com/reds-go/reds/internal/metrics"
 	"github.com/reds-go/reds/internal/prim"
 	"github.com/reds-go/reds/internal/rf"
@@ -164,4 +166,95 @@ type recordingSD struct{ n int }
 func (r *recordingSD) Discover(train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result, error) {
 	r.n = train.N()
 	return (&prim.Peeler{}).Discover(train, val, rng)
+}
+
+// TestSemiSupervisedRejectsRaggedPool asserts pool validation errors
+// surface instead of panicking deep in the labeling stage (the pool is
+// labeled through the batch kernels, which index rows by the training
+// width).
+func TestSemiSupervisedRejectsRaggedPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	train := funcs.Generate(funcs.Hart3, 60, sample.LatinHypercube{}, rng)
+	r := &REDS{Metamodel: &rf.Trainer{NTrees: 5}, SD: &prim.Peeler{}}
+	pool := sample.LatinHypercube{}.Sample(50, train.M(), rng)
+	pool[20] = pool[20][:1]
+	if _, err := r.DiscoverSemiSupervised(train, pool, rng); err == nil {
+		t.Fatal("ragged pool must error, not panic or mislabel")
+	}
+}
+
+// TestPseudoLabelDeterministicAndShared asserts the standalone stage
+// is a pure function of (model, sampler, l, dim, seed, probLabels) —
+// the property that licenses caching it — and that prob vs hard labels
+// differ only in Y.
+func TestPseudoLabelDeterministicAndShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	train := funcs.Generate(funcs.Hart3, 80, sample.LatinHypercube{}, rng)
+	model, err := (&rf.Trainer{NTrees: 20}).Train(train, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PseudoLabel(context.Background(), model, sample.LatinHypercube{}, 500, train.M(), 99, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PseudoLabel(context.Background(), model, sample.LatinHypercube{}, 500, train.M(), 99, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same seed produced different pseudo-labeled datasets")
+	}
+	p, err := PseudoLabel(context.Background(), model, sample.LatinHypercube{}, 500, train.M(), 99, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Y {
+		if p.X[i][0] != a.X[i][0] {
+			t.Fatal("prob variant sampled different points")
+		}
+		if p.Y[i] != 0 && p.Y[i] != 1 {
+			return // saw a genuine probability: good
+		}
+	}
+	t.Log("all probability labels were 0/1 (acceptable for a crisp model)")
+}
+
+// TestLabelStageSeam asserts a custom LabelStage replaces the sample
+// and label stages: the SD stage mines exactly the dataset the seam
+// returned.
+func TestLabelStageSeam(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	train := funcs.Generate(funcs.F2, 150, sample.LatinHypercube{}, rng)
+	model, err := (&rf.Trainer{NTrees: 20}).Train(train, rand.New(rand.NewSource(34)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := PseudoLabel(context.Background(), model, sample.LatinHypercube{}, 2000, train.M(), 35, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	r := &REDS{
+		Metamodel: &rf.Trainer{NTrees: 20},
+		SD:        &prim.Peeler{},
+		L:         7, // would be an absurd pseudo-sample; the seam must win
+		LabelStage: func(ctx context.Context, m metamodel.Model, dim int) (*dataset.Dataset, error) {
+			calls++
+			if dim != train.M() {
+				t.Fatalf("seam got dim %d, want %d", dim, train.M())
+			}
+			return fixed, nil
+		},
+	}
+	res, err := r.Discover(train, train, rand.New(rand.NewSource(36)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("LabelStage called %d times, want 1", calls)
+	}
+	if res.Final() == nil {
+		t.Fatal("no final box")
+	}
 }

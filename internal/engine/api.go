@@ -179,16 +179,22 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		cs := e.CacheStats()
+		ls := e.LabelCacheStats()
 		rec := e.Recovery()
 		body := map[string]any{
-			"ok":              true,
-			"cache_hits":      cs.Hits,
-			"cache_misses":    cs.Misses,
-			"cache_evictions": cs.Evictions,
-			"cache_entries":   cs.Entries,
-			"cache_bytes":     cs.Bytes,
-			"jobs":            e.JobCount(),
-			"jobs_recovered":  rec.Recovered,
+			"ok":                    true,
+			"cache_hits":            cs.Hits,
+			"cache_misses":          cs.Misses,
+			"cache_evictions":       cs.Evictions,
+			"cache_entries":         cs.Entries,
+			"cache_bytes":           cs.Bytes,
+			"label_cache_hits":      ls.Hits,
+			"label_cache_misses":    ls.Misses,
+			"label_cache_evictions": ls.Evictions,
+			"label_cache_entries":   ls.Entries,
+			"label_cache_bytes":     ls.Bytes,
+			"jobs":                  e.JobCount(),
+			"jobs_recovered":        rec.Recovered,
 		}
 		if cfg.execServer != nil {
 			started, active := cfg.execServer.Executions()

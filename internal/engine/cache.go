@@ -2,27 +2,184 @@ package engine
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 	"time"
 
+	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/metamodel"
 )
 
-// CacheStats are cumulative metamodel-cache counters, exposed on
-// /v1/healthz.
+// CacheStats are cumulative counters of one byte-weighted cache (the
+// metamodel cache and the pseudo-label cache each report their own),
+// exposed on /v1/healthz.
 type CacheStats struct {
 	// Hits and Misses count lookups. A caller that waited on another's
-	// in-flight training counts as a hit (it did not train); an entry
-	// past its TTL counts as a miss.
+	// in-flight computation counts as a hit (it did not compute); an
+	// entry past its TTL counts as a miss.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
 	// Evictions counts entries dropped by the byte budget or expired by
 	// the TTL.
 	Evictions int64 `json:"evictions"`
 	// Entries and Bytes describe the current contents (Bytes is the sum
-	// of the entries' approximate model sizes).
+	// of the entries' approximate sizes).
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+}
+
+// byteCache is an LRU cache bounded by the approximate total byte size
+// of the cached values rather than their count, with singleflight
+// deduplication of concurrent computations and an optional TTL. It is
+// the shared machinery behind the metamodel cache and the
+// pseudo-label dataset cache.
+type byteCache[V any] struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	ttl       time.Duration
+	now       func() time.Time // injectable for TTL tests
+	entries   map[string]*list.Element
+	order     *list.List // front = most recent
+	inflight  map[string]*call[V]
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry[V any] struct {
+	key        string
+	value      V
+	size       int64
+	computedAt time.Time
+}
+
+type call[V any] struct {
+	done  chan struct{}
+	value V
+	size  int64
+	err   error
+}
+
+func newByteCache[V any](maxBytes int64, ttl time.Duration) *byteCache[V] {
+	if maxBytes < 1 {
+		maxBytes = 256 << 20
+	}
+	return &byteCache[V]{
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		now:      time.Now,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*call[V]),
+	}
+}
+
+// getOrCompute returns the cached value for key, or runs compute once
+// — even under concurrent callers — and caches its result with the
+// byte weight compute reports. hit reports whether the value came from
+// the cache (a caller that waited on another's in-flight computation
+// counts as a hit: it did not compute). A waiter whose in-flight
+// computation failed with a context error retries the computation
+// itself — the canceled caller's deadline must not poison an
+// unrelated caller that shares the key (the pseudo-label stage
+// computes under the first job's context; a second job waiting on it
+// survives the first job's cancellation).
+func (c *byteCache[V]) getOrCompute(key string, compute func() (V, int64, error)) (v V, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			e := el.Value.(*entry[V])
+			if c.ttl > 0 && c.now().Sub(e.computedAt) >= c.ttl {
+				c.removeLocked(el)
+				c.evictions++
+			} else {
+				c.order.MoveToFront(el)
+				c.hits++
+				c.mu.Unlock()
+				return e.value, true, nil
+			}
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-cl.done
+			if cl.err != nil && (errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded)) {
+				continue // the computing caller was canceled, not us: retry
+			}
+			// Counted only now: a waiter whose computation was canceled
+			// re-enters the loop and may end up computing itself, and
+			// must not have already booked a hit for that lookup.
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return cl.value, true, cl.err
+		}
+		cl := &call[V]{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.misses++
+		c.mu.Unlock()
+
+		cl.value, cl.size, cl.err = compute()
+		close(cl.done)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if cl.err == nil {
+			c.insert(key, cl.value, cl.size)
+		}
+		c.mu.Unlock()
+		return cl.value, false, cl.err
+	}
+}
+
+// insert adds the entry and evicts least-recently-used entries until
+// the byte budget holds again. The newly inserted entry itself is never
+// evicted — a single value larger than the whole budget is cached
+// alone rather than thrashing. Caller holds mu.
+func (c *byteCache[V]) insert(key string, v V, size int64) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry[V])
+		c.bytes += size - e.size
+		e.value, e.size, e.computedAt = v, size, c.now()
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&entry[V]{key: key, value: v, size: size, computedAt: c.now()})
+		c.entries[key] = el
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes && c.order.Len() > 1 {
+		c.removeLocked(c.order.Back())
+		c.evictions++
+	}
+}
+
+// removeLocked drops one entry and its byte weight. Caller holds mu.
+func (c *byteCache[V]) removeLocked(el *list.Element) {
+	e := el.Value.(*entry[V])
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+}
+
+// Stats returns cumulative counters and the current contents.
+func (c *byteCache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// Len returns the number of cached values.
+func (c *byteCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
 }
 
 // defaultModelBytes is the weight of a cached model that does not report
@@ -42,9 +199,8 @@ func modelSizeBytes(m metamodel.Model) int64 {
 	return defaultModelBytes
 }
 
-// modelCache is an LRU cache of trained metamodels, bounded by the
-// approximate total size of the cached models rather than their count
-// (a tuned 500-tree forest and a 20-vector SVM are not the same cost to
+// modelCache is the byte-weighted LRU cache of trained metamodels (a
+// tuned 500-tree forest and a 20-vector SVM are not the same cost to
 // keep). Keys follow the scheme built in cachedTrainer (run.go):
 //
 //	<dataset SHA-256>|<family>|tuned=<bool>|seed=<train seed>
@@ -62,133 +218,80 @@ func modelSizeBytes(m metamodel.Model) int64 {
 // training, so long-lived workers eventually drop models for datasets
 // nobody asks about anymore even when the byte budget never fills.
 type modelCache struct {
-	mu        sync.Mutex
-	maxBytes  int64
-	ttl       time.Duration
-	now       func() time.Time // injectable for TTL tests
-	entries   map[string]*list.Element
-	order     *list.List // front = most recent
-	inflight  map[string]*trainCall
-	bytes     int64
-	hits      int64
-	misses    int64
-	evictions int64
-}
-
-type cacheEntry struct {
-	key       string
-	model     metamodel.Model
-	size      int64
-	trainedAt time.Time
-}
-
-type trainCall struct {
-	done  chan struct{}
-	model metamodel.Model
-	err   error
+	c *byteCache[metamodel.Model]
 }
 
 func newModelCache(maxBytes int64, ttl time.Duration) *modelCache {
-	if maxBytes < 1 {
-		maxBytes = 256 << 20
-	}
-	return &modelCache{
-		maxBytes: maxBytes,
-		ttl:      ttl,
-		now:      time.Now,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
-		inflight: make(map[string]*trainCall),
-	}
+	return &modelCache{c: newByteCache[metamodel.Model](maxBytes, ttl)}
 }
 
 // getOrTrain returns the cached model for key, or runs train once —
-// even under concurrent callers — and caches its result. hit reports
-// whether the model came from the cache (a caller that waited on
-// another's in-flight training counts as a hit: it did not train).
-func (c *modelCache) getOrTrain(key string, train func() (metamodel.Model, error)) (m metamodel.Model, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		e := el.Value.(*cacheEntry)
-		if c.ttl > 0 && c.now().Sub(e.trainedAt) >= c.ttl {
-			c.removeLocked(el)
-			c.evictions++
-		} else {
-			c.order.MoveToFront(el)
-			c.hits++
-			c.mu.Unlock()
-			return e.model, true, nil
+// even under concurrent callers — and caches its result.
+func (c *modelCache) getOrTrain(key string, train func() (metamodel.Model, error)) (metamodel.Model, bool, error) {
+	return c.c.getOrCompute(key, func() (metamodel.Model, int64, error) {
+		m, err := train()
+		if err != nil {
+			return nil, 0, err
 		}
-	}
-	if call, ok := c.inflight[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		<-call.done
-		return call.model, true, call.err
-	}
-	call := &trainCall{done: make(chan struct{})}
-	c.inflight[key] = call
-	c.misses++
-	c.mu.Unlock()
-
-	call.model, call.err = train()
-	close(call.done)
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if call.err == nil {
-		c.insert(key, call.model)
-	}
-	c.mu.Unlock()
-	return call.model, false, call.err
-}
-
-// insert adds the entry and evicts least-recently-used entries until
-// the byte budget holds again. The newly inserted entry itself is never
-// evicted — a single model larger than the whole budget is cached
-// alone rather than thrashing. Caller holds mu.
-func (c *modelCache) insert(key string, m metamodel.Model) {
-	size := modelSizeBytes(m)
-	if el, ok := c.entries[key]; ok {
-		e := el.Value.(*cacheEntry)
-		c.bytes += size - e.size
-		e.model, e.size, e.trainedAt = m, size, c.now()
-		c.order.MoveToFront(el)
-	} else {
-		el := c.order.PushFront(&cacheEntry{key: key, model: m, size: size, trainedAt: c.now()})
-		c.entries[key] = el
-		c.bytes += size
-	}
-	for c.bytes > c.maxBytes && c.order.Len() > 1 {
-		c.removeLocked(c.order.Back())
-		c.evictions++
-	}
-}
-
-// removeLocked drops one entry and its byte weight. Caller holds mu.
-func (c *modelCache) removeLocked(el *list.Element) {
-	e := el.Value.(*cacheEntry)
-	c.order.Remove(el)
-	delete(c.entries, e.key)
-	c.bytes -= e.size
+		return m, modelSizeBytes(m), nil
+	})
 }
 
 // Stats returns cumulative counters and the current contents.
-func (c *modelCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.order.Len(),
-		Bytes:     c.bytes,
-	}
-}
+func (c *modelCache) Stats() CacheStats { return c.c.Stats() }
 
 // Len returns the number of cached models.
-func (c *modelCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+func (c *modelCache) Len() int { return c.c.Len() }
+
+// datasetBytes is the byte weight of a cached pseudo-labeled dataset:
+// the flat rows, the labels, and the row headers. The lazily derived
+// columnar views (which a cached dataset shared by several variants
+// will typically materialize) roughly double the X weight again, so
+// they are charged up front.
+func datasetBytes(d *dataset.Dataset) int64 {
+	cells := int64(d.N()) * int64(d.M())
+	const sliceHeader = 24
+	return cells*8*2 + // X cells + columnar view
+		int64(d.N())*8 + // Y
+		int64(d.N()+d.M())*sliceHeader + // row + column headers
+		int64(d.N())*int64(d.M())*8 // sorted index orders
 }
+
+// labelCache is the byte-weighted LRU cache of pseudo-labeled
+// datasets. At L = 10^5 a single entry is ~10 MiB before the columnar
+// views — pseudo-labeled data dominates a busy worker's memory, which
+// is why the cache is byte-bounded like the model cache rather than
+// counted. Keys (built in run.go) extend the model-cache key with
+// everything else that determines the dataset:
+//
+//	<model cache key>|sampler=<name>|L=<l>|lseed=<label seed>|prob=<bool>
+//
+// so the rf×prim, rf×bumping and rf×bi variants of one job — same
+// family, same label seed — share one labeling, and repeat jobs over
+// the same data skip the stage entirely. Cached datasets are served to
+// several variants at once and must be treated as immutable (their
+// lazy columnar views are internally synchronized, and shared for
+// free).
+type labelCache struct {
+	c *byteCache[*dataset.Dataset]
+}
+
+func newLabelCache(maxBytes int64, ttl time.Duration) *labelCache {
+	return &labelCache{c: newByteCache[*dataset.Dataset](maxBytes, ttl)}
+}
+
+// getOrLabel returns the cached pseudo-labeled dataset for key, or
+// runs label once — even under concurrent variants — and caches its
+// result.
+func (c *labelCache) getOrLabel(key string, label func() (*dataset.Dataset, error)) (*dataset.Dataset, bool, error) {
+	return c.c.getOrCompute(key, func() (*dataset.Dataset, int64, error) {
+		d, err := label()
+		if err != nil {
+			return nil, 0, err
+		}
+		return d, datasetBytes(d), nil
+	})
+}
+
+// Stats returns cumulative counters and the current contents.
+func (c *labelCache) Stats() CacheStats { return c.c.Stats() }

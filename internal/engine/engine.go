@@ -589,6 +589,16 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{}
 }
 
+// LabelCacheStats returns the executor's cumulative pseudo-label
+// dataset cache counters, under the same executor-locality caveat as
+// CacheStats.
+func (e *Engine) LabelCacheStats() CacheStats {
+	if cs, ok := e.exec.(interface{ LabelCacheStats() CacheStats }); ok {
+		return cs.LabelCacheStats()
+	}
+	return CacheStats{}
+}
+
 // Executor returns the execution layer the engine dispatches jobs to.
 func (e *Engine) Executor() Executor { return e.exec }
 

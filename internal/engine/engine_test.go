@@ -373,7 +373,7 @@ func TestCacheSizeWeightedEviction(t *testing.T) {
 func TestCacheTTLExpiry(t *testing.T) {
 	c := newModelCache(1<<20, time.Minute)
 	now := time.Unix(1000, 0)
-	c.now = func() time.Time { return now }
+	c.c.now = func() time.Time { return now }
 
 	c.getOrTrain("k", func() (metamodel.Model, error) { return sizedModel{size: 10}, nil })
 	if _, hit, _ := c.getOrTrain("k", nil); !hit {

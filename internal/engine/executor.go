@@ -121,33 +121,53 @@ type LocalExecutorOptions struct {
 	// CacheTTL expires cached models this long after they were trained
 	// (0 = never). Expired entries count as misses and as evictions.
 	CacheTTL time.Duration
+	// LabelCacheBytes bounds the pseudo-label dataset cache by the
+	// approximate in-memory size of the cached datasets (default 256
+	// MiB — at the default L=10^4 that is hundreds of labelings; at
+	// L=10^5, a couple dozen).
+	LabelCacheBytes int64
+	// LabelCacheTTL expires cached pseudo-labeled datasets this long
+	// after labeling (0 = never).
+	LabelCacheTTL time.Duration
 }
 
 func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
 	if o.CacheBytes <= 0 {
 		o.CacheBytes = 256 << 20
 	}
+	if o.LabelCacheBytes <= 0 {
+		o.LabelCacheBytes = 256 << 20
+	}
 	return o
 }
 
 // LocalExecutor runs requests in-process: metamodel training (through
-// the size-weighted LRU cache), parallel pseudo-labeling and the SD
-// stage all happen on the calling process's worker pools. It is the
-// execution layer the engine used before the orchestration/execution
-// split, now behind the Executor seam.
+// the size-weighted LRU cache), parallel pseudo-labeling (through the
+// batch-inference fast path and the pseudo-label dataset cache) and
+// the SD stage all happen on the calling process's worker pools. It is
+// the execution layer the engine used before the orchestration/
+// execution split, now behind the Executor seam.
 type LocalExecutor struct {
-	cache *modelCache
+	cache  *modelCache
+	labels *labelCache
 }
 
 // NewLocalExecutor returns an in-process executor with its own
-// metamodel cache.
+// metamodel and pseudo-label caches.
 func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
 	opts = opts.withDefaults()
-	return &LocalExecutor{cache: newModelCache(opts.CacheBytes, opts.CacheTTL)}
+	return &LocalExecutor{
+		cache:  newModelCache(opts.CacheBytes, opts.CacheTTL),
+		labels: newLabelCache(opts.LabelCacheBytes, opts.LabelCacheTTL),
+	}
 }
 
 // CacheStats returns cumulative metamodel cache counters.
 func (x *LocalExecutor) CacheStats() CacheStats { return x.cache.Stats() }
+
+// LabelCacheStats returns cumulative pseudo-label dataset cache
+// counters.
+func (x *LocalExecutor) LabelCacheStats() CacheStats { return x.labels.Stats() }
 
 // progressSink aggregates concurrent progress updates for one execution
 // and forwards each new snapshot to the callback. Updates mutate the

@@ -178,6 +178,10 @@ type VariantResult struct {
 	Trajectory []metrics.PRPoint `json:"trajectory,omitempty"`
 	// CacheHit reports whether the metamodel came from the engine cache.
 	CacheHit bool `json:"cache_hit"`
+	// LabelCacheHit reports whether the pseudo-labeled dataset came
+	// from the engine's label cache (another variant of the same family
+	// — or an earlier job — had already labeled it).
+	LabelCacheHit bool `json:"label_cache_hit"`
 	// Error is set when this variant failed; the job can still succeed
 	// on the surviving variants.
 	Error string `json:"error,omitempty"`

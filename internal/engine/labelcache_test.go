@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestLabelCacheSharedAcrossVariants asserts that the SD variants of
+// one metamodel family share a single pseudo-labeling: one miss, the
+// other variants hit, and every variant mines the same dataset (their
+// label-stage counters still add up). Run under -race this is also the
+// shared-cache race test for multi-variant fan-out.
+func TestLabelCacheSharedAcrossVariants(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	defer e.Close()
+
+	d := testDataset(300, rand.New(rand.NewSource(2)))
+	id, err := e.Submit(Request{Dataset: d, L: 2000, Seed: 3, SD: []string{"prim", "bumping", "bi"}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	snap := waitTerminal(t, e, id, 120*time.Second)
+	if snap.Status != StatusDone {
+		t.Fatalf("status = %s (err %q), want done", snap.Status, snap.Error)
+	}
+	if snap.LabelDone != snap.LabelTotal || snap.LabelTotal != 3*2000 {
+		t.Fatalf("label progress %d/%d, want 6000/6000", snap.LabelDone, snap.LabelTotal)
+	}
+	res, err := e.Result(id)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	hits := 0
+	for _, v := range res.Variants {
+		if v.Error != "" {
+			t.Fatalf("variant %s/%s failed: %s", v.Metamodel, v.SD, v.Error)
+		}
+		if v.LabelCacheHit {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("label cache hits across variants = %d, want 2 (one labeling, two reuses)", hits)
+	}
+	ls := e.LabelCacheStats()
+	if ls.Misses != 1 || ls.Hits != 2 {
+		t.Fatalf("label cache stats = %+v, want 1 miss / 2 hits", ls)
+	}
+	if ls.Entries != 1 || ls.Bytes <= 0 {
+		t.Fatalf("label cache contents = %+v, want one weighted entry", ls)
+	}
+}
+
+// TestLabelCacheRepeatJob asserts a repeat job over the same data and
+// configuration skips the labeling stage entirely — and that changing
+// anything in the key (here L) does not.
+func TestLabelCacheRepeatJob(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	defer e.Close()
+
+	d := testDataset(300, rand.New(rand.NewSource(4)))
+	run := func(l int) *Result {
+		id, err := e.Submit(Request{Dataset: d, L: l, Seed: 5})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if snap := waitTerminal(t, e, id, 60*time.Second); snap.Status != StatusDone {
+			t.Fatalf("status = %s (err %q), want done", snap.Status, snap.Error)
+		}
+		res, err := e.Result(id)
+		if err != nil {
+			t.Fatalf("result: %v", err)
+		}
+		return res
+	}
+	first := run(2000)
+	if first.Best.LabelCacheHit {
+		t.Fatalf("first job reported a label cache hit")
+	}
+	second := run(2000)
+	if !second.Best.LabelCacheHit {
+		t.Fatalf("repeat job did not hit the label cache")
+	}
+	if first.Best.Rule != second.Best.Rule || first.Best.WRAcc != second.Best.WRAcc {
+		t.Fatalf("cached rerun differs: %q (%v) vs %q (%v)",
+			first.Best.Rule, first.Best.WRAcc, second.Best.Rule, second.Best.WRAcc)
+	}
+	if third := run(3000); third.Best.LabelCacheHit {
+		t.Fatalf("job with different L hit the label cache")
+	}
+	ls := e.LabelCacheStats()
+	if ls.Misses != 2 || ls.Hits != 1 {
+		t.Fatalf("label cache stats = %+v, want 2 misses / 1 hit", ls)
+	}
+}
+
+// TestLabelCacheConcurrentJobs races several identical jobs through a
+// multi-worker engine: the singleflight must label once and share the
+// dataset, and -race must stay quiet over the shared entry.
+func TestLabelCacheConcurrentJobs(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 4})
+	defer e.Close()
+
+	d := testDataset(300, rand.New(rand.NewSource(6)))
+	var ids []JobID
+	for i := 0; i < 4; i++ {
+		id, err := e.Submit(Request{Dataset: d, L: 2000, Seed: 7, SD: []string{"prim", "bi"}})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	var rules []string
+	for _, id := range ids {
+		if snap := waitTerminal(t, e, id, 120*time.Second); snap.Status != StatusDone {
+			t.Fatalf("job %s: status = %s (err %q)", id, snap.Status, snap.Error)
+		}
+		res, err := e.Result(id)
+		if err != nil {
+			t.Fatalf("result: %v", err)
+		}
+		rules = append(rules, res.Best.Rule)
+	}
+	for _, r := range rules[1:] {
+		if r != rules[0] {
+			t.Fatalf("concurrent identical jobs disagree: %q vs %q", rules[0], r)
+		}
+	}
+	ls := e.LabelCacheStats()
+	if ls.Misses != 1 {
+		t.Fatalf("label cache misses = %d, want 1 (singleflight across jobs)", ls.Misses)
+	}
+	if want := int64(4*2 - 1); ls.Hits != want {
+		t.Fatalf("label cache hits = %d, want %d", ls.Hits, want)
+	}
+}

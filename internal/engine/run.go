@@ -27,6 +27,12 @@ import (
 // variantSeedStride separates the RNG streams of a job's variants.
 const variantSeedStride = 1009
 
+// labelSeedOffset derives a metamodel family's pseudo-label sampling
+// seed from its training seed. It is not a multiple of (or congruent
+// mod) variantSeedStride, so label seeds never collide with any
+// family's training seed or any variant's pipeline seed.
+const labelSeedOffset = 577
+
 func knownMetamodel(name string) bool {
 	switch name {
 	case "rf", "xgb", "svm":
@@ -63,15 +69,16 @@ func trainerByName(name string, m int, tuned bool) metamodel.Trainer {
 	}
 }
 
-// sdByName builds the subgroup-discovery stage, handing PRIM-family
-// algorithms the variant's worker budget: peeling fans its per-dimension
-// candidate evaluation out, bumping its bootstrap replicas.
+// sdByName builds the subgroup-discovery stage, handing each algorithm
+// the variant's worker budget: peeling fans its per-dimension candidate
+// evaluation out, bumping its bootstrap replicas, BI its beam
+// refinement candidates.
 func sdByName(name string, workers int) sd.Discoverer {
 	switch name {
 	case "bumping":
 		return &prim.Bumping{Workers: workers}
 	case "bi":
-		return &bi.BI{}
+		return &bi.BI{Workers: workers}
 	default: // "prim"
 		return &prim.Peeler{Workers: workers}
 	}
@@ -225,37 +232,69 @@ func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progr
 		inner: trainerByName(v.metamodel, train.M(), req.Tuned),
 	}
 	var prev atomic.Int64
+	hooks := &core.Hooks{
+		LabelWorkers: cfg.labelWorkers,
+		OnStage: func(s core.Stage) {
+			sink.update(func(p *Progress) { p.Stage = string(s) })
+		},
+		OnLabelProgress: func(done, total int) {
+			// Reports may arrive out of order across labeling
+			// workers; fold them into a monotone per-variant count
+			// so the execution-level sum stays exact.
+			for {
+				old := prev.Load()
+				if int64(done) <= old {
+					return
+				}
+				if prev.CompareAndSwap(old, int64(done)) {
+					delta := int(int64(done) - old)
+					sink.update(func(p *Progress) { p.LabelDone += delta })
+					return
+				}
+			}
+		},
+	}
+	// The pseudo-label stage is shared: its sampling seed derives from
+	// the family's training seed (not the variant's pipeline seed), so
+	// every SD variant of one family asks the label cache for the same
+	// key and labels once. The cache key extends the model key with
+	// everything else that determines the dataset.
+	labelSeed := cfg.trainSeed + labelSeedOffset
+	labelKey := fmt.Sprintf("%s|sampler=%s|L=%d|lseed=%d|prob=%v",
+		trainer.key, req.effectiveSampler(), l, labelSeed, req.ProbLabels)
+	var labelHit atomic.Bool
 	r := &core.REDS{
 		Metamodel:  trainer,
 		Sampler:    smp,
 		L:          l,
 		SD:         sdByName(v.sd, cfg.labelWorkers),
 		ProbLabels: req.ProbLabels,
-		Hooks: &core.Hooks{
-			LabelWorkers: cfg.labelWorkers,
-			OnStage: func(s core.Stage) {
-				sink.update(func(p *Progress) { p.Stage = string(s) })
-			},
-			OnLabelProgress: func(done, total int) {
-				// Reports may arrive out of order across labeling
-				// workers; fold them into a monotone per-variant count
-				// so the execution-level sum stays exact.
-				for {
-					old := prev.Load()
-					if int64(done) <= old {
-						return
-					}
-					if prev.CompareAndSwap(old, int64(done)) {
-						delta := int(int64(done) - old)
-						sink.update(func(p *Progress) { p.LabelDone += delta })
-						return
-					}
+		LabelStage: func(ctx context.Context, model metamodel.Model, dim int) (*dataset.Dataset, error) {
+			d, hit, err := x.labels.getOrLabel(labelKey, func() (*dataset.Dataset, error) {
+				d, err := core.PseudoLabel(ctx, model, smp, l, dim, labelSeed, req.ProbLabels, hooks)
+				if err != nil {
+					return nil, err
 				}
-			},
+				d.Discrete = train.Discrete
+				return d, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			labelHit.Store(hit)
+			if hit {
+				// The stage is already done (another variant or an
+				// earlier job labeled it): report its full share so the
+				// job-level counters still add up.
+				hooks.OnLabelProgress(l, l)
+			}
+			return d, nil
 		},
+		Hooks: hooks,
 	}
 	res, err := r.DiscoverContext(ctx, train, train, rand.New(rand.NewSource(cfg.pipelineSeed)))
 	out.CacheHit = trainer.hit.Load()
+	out.LabelCacheHit = labelHit.Load()
 	if err != nil {
 		out.Error = err.Error()
 		return out

@@ -9,8 +9,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/flattree"
 	"github.com/reds-go/reds/internal/metamodel"
 )
 
@@ -103,6 +105,12 @@ type Model struct {
 	eta   float64
 	base  float64 // initial log-odds
 	gains []float64
+
+	// flat is the contiguous node-table compilation of the trees that
+	// batch inference traverses (see flat.go and internal/flattree),
+	// derived once on first use.
+	flatOnce sync.Once
+	flat     *flattree.Table
 }
 
 // Margin returns the raw additive score (log-odds) at x.
@@ -133,9 +141,11 @@ func (m *Model) NumTrees() int { return len(m.trees) }
 
 // ApproxMemoryBytes implements metamodel.MemorySizer: nodes dominate
 // the ensemble's footprint (a node is three float64 and three ints — 48
-// bytes plus padding/slice overhead, rounded to 56).
+// bytes plus padding/slice overhead, rounded to 56), plus the flat
+// node table batch inference compiles — charged up front, like rf's,
+// because every engine-cached model materializes it for labeling.
 func (m *Model) ApproxMemoryBytes() int64 {
-	const bytesPerNode = 56
+	const bytesPerNode = 56 + flattree.NodeBytes
 	var n int64
 	for i := range m.trees {
 		n += int64(len(m.trees[i].nodes)) * bytesPerNode

@@ -110,3 +110,67 @@ func TestBatchEmptyInput(t *testing.T) {
 		t.Fatalf("empty batch: out=%v err=%v", out, err)
 	}
 }
+
+// chunkRecordingModel implements BatchModel and records the chunks the
+// batch path hands it, so the dispatch itself is testable without a
+// real flattened ensemble.
+type chunkRecordingModel struct {
+	mu     sync.Mutex
+	chunks []int
+}
+
+func (m *chunkRecordingModel) PredictProb(x []float64) float64  { return x[0] }
+func (m *chunkRecordingModel) PredictLabel(x []float64) float64 { return 1 - x[0] }
+
+func (m *chunkRecordingModel) PredictProbBatchInto(dst []float64, pts [][]float64) {
+	m.record(len(pts))
+	for i, x := range pts {
+		dst[i] = x[0]
+	}
+}
+
+func (m *chunkRecordingModel) PredictLabelBatchInto(dst []float64, pts [][]float64) {
+	m.record(len(pts))
+	for i, x := range pts {
+		dst[i] = 1 - x[0]
+	}
+}
+
+func (m *chunkRecordingModel) record(n int) {
+	m.mu.Lock()
+	m.chunks = append(m.chunks, n)
+	m.mu.Unlock()
+}
+
+// TestBatchModelDispatch asserts PredictProbBatchCtx/PredictLabelBatchCtx
+// route every point through the vectorized kernel exactly once, in
+// bounded chunks with the uneven tail intact, at any worker count.
+func TestBatchModelDispatch(t *testing.T) {
+	pts := randPoints(2*batchChunk+37, 2, rand.New(rand.NewSource(5)))
+	for _, workers := range []int{1, 3} {
+		m := &chunkRecordingModel{}
+		probs, err := PredictProbBatchCtx(context.Background(), m, pts, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := PredictLabelBatchCtx(context.Background(), m, pts, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range pts {
+			if probs[i] != x[0] || labels[i] != 1-x[0] {
+				t.Fatalf("workers=%d: point %d misrouted: prob %v label %v", workers, i, probs[i], labels[i])
+			}
+		}
+		total := 0
+		for _, c := range m.chunks {
+			if c < 1 || c > batchChunk {
+				t.Fatalf("workers=%d: kernel got a chunk of %d points (max %d)", workers, c, batchChunk)
+			}
+			total += c
+		}
+		if total != 2*len(pts) {
+			t.Fatalf("workers=%d: kernel saw %d points across both calls, want %d", workers, total, 2*len(pts))
+		}
+	}
+}

@@ -34,6 +34,26 @@ type Trainer interface {
 	Train(d *dataset.Dataset, rng *rand.Rand) (Model, error)
 }
 
+// BatchModel is optionally implemented by models with a vectorized
+// fast path: instead of walking the model once per point through the
+// Model interface, a whole slice of points is evaluated in one call
+// over flattened model state (rf and gbt compile their ensembles into
+// contiguous node tables, svm evaluates its kernel in blocks over a
+// flattened support-vector matrix). Implementations must be
+// byte-identical to the per-point methods — the differential tests in
+// rf, gbt and svm assert it — so callers may pick either path freely.
+type BatchModel interface {
+	// PredictProbBatchInto fills dst[i] with PredictProb(pts[i]).
+	// len(dst) must equal len(pts). Safe for concurrent calls on
+	// disjoint dst/pts slices.
+	PredictProbBatchInto(dst []float64, pts [][]float64)
+	// PredictLabelBatchInto fills dst[i] with PredictLabel(pts[i]),
+	// using the model's native decision boundary (not a fixed 0.5
+	// threshold on probabilities — gbt and svm threshold their raw
+	// margin, exactly like their per-point PredictLabel).
+	PredictLabelBatchInto(dst []float64, pts [][]float64)
+}
+
 // MemorySizer is optionally implemented by models that can estimate
 // their own in-memory footprint. The engine's metamodel cache weighs
 // LRU entries by this size (a tuned 500-tree forest should not cost the
@@ -47,16 +67,38 @@ type MemorySizer interface {
 
 // PredictProbBatch evaluates PredictProb on every point, parallelized
 // across GOMAXPROCS workers. REDS labels 10^4-10^5 points per run, which
-// makes this the hot path of the whole pipeline.
+// makes this the hot path of the whole pipeline. Models implementing
+// BatchModel are evaluated through their vectorized fast path.
 func PredictProbBatch(m Model, pts [][]float64) []float64 {
-	out, _ := PredictBatchParallel(context.Background(), pts, m.PredictProb, BatchOptions{})
+	out, _ := PredictProbBatchCtx(context.Background(), m, pts, BatchOptions{})
 	return out
 }
 
-// PredictLabelBatch evaluates PredictLabel on every point in parallel.
+// PredictLabelBatch evaluates PredictLabel on every point in parallel,
+// through the model's BatchModel fast path when it has one.
 func PredictLabelBatch(m Model, pts [][]float64) []float64 {
-	out, _ := PredictBatchParallel(context.Background(), pts, m.PredictLabel, BatchOptions{})
+	out, _ := PredictLabelBatchCtx(context.Background(), m, pts, BatchOptions{})
 	return out
+}
+
+// PredictProbBatchCtx is PredictProbBatch with cancellation, progress
+// and worker control: it detects a BatchModel and hands its vectorized
+// kernel to PredictBatchParallel, falling back to the per-point
+// closure otherwise.
+func PredictProbBatchCtx(ctx context.Context, m Model, pts [][]float64, opts BatchOptions) ([]float64, error) {
+	if bm, ok := m.(BatchModel); ok {
+		opts.BatchInto = bm.PredictProbBatchInto
+	}
+	return PredictBatchParallel(ctx, pts, m.PredictProb, opts)
+}
+
+// PredictLabelBatchCtx is the PredictLabel counterpart of
+// PredictProbBatchCtx.
+func PredictLabelBatchCtx(ctx context.Context, m Model, pts [][]float64, opts BatchOptions) ([]float64, error) {
+	if bm, ok := m.(BatchModel); ok {
+		opts.BatchInto = bm.PredictLabelBatchInto
+	}
+	return PredictBatchParallel(ctx, pts, m.PredictLabel, opts)
 }
 
 // batchChunk is the unit of work handed to one prediction worker. It
@@ -72,6 +114,13 @@ type BatchOptions struct {
 	// the running total of labeled points. It may be called concurrently
 	// from several workers and must be safe for that.
 	Progress func(done, total int)
+	// BatchInto, when non-nil, replaces the per-point closure: each
+	// worker evaluates whole chunks through it (dst[i] receives the
+	// prediction for pts[i]). PredictProbBatchCtx/PredictLabelBatchCtx
+	// set it from the model's BatchModel implementation; chunking,
+	// cancellation and progress behave exactly as on the per-point
+	// path.
+	BatchInto func(dst []float64, pts [][]float64)
 }
 
 // PredictBatchSerial evaluates f on every point on the calling
@@ -109,6 +158,17 @@ func PredictBatchParallel(ctx context.Context, pts [][]float64, f func([]float64
 			opts.Progress(int(done.Add(int64(n))), len(pts))
 		}
 	}
+	// evalChunk fills out[lo:hi] through the vectorized kernel when the
+	// caller provided one, per point otherwise.
+	evalChunk := func(lo, hi int) {
+		if opts.BatchInto != nil {
+			opts.BatchInto(out[lo:hi], pts[lo:hi])
+			return
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = f(pts[i])
+		}
+	}
 	if workers <= 1 {
 		for lo := 0; lo < len(pts); lo += batchChunk {
 			if err := ctx.Err(); err != nil {
@@ -118,9 +178,7 @@ func PredictBatchParallel(ctx context.Context, pts [][]float64, f func([]float64
 			if hi > len(pts) {
 				hi = len(pts)
 			}
-			for i := lo; i < hi; i++ {
-				out[i] = f(pts[i])
-			}
+			evalChunk(lo, hi)
 			report(hi - lo)
 		}
 		return out, nil
@@ -141,9 +199,7 @@ func PredictBatchParallel(ctx context.Context, pts [][]float64, f func([]float64
 				if hi > len(pts) {
 					hi = len(pts)
 				}
-				for i := lo; i < hi; i++ {
-					out[i] = f(pts[i])
-				}
+				evalChunk(lo, hi)
 				report(hi - lo)
 			}
 		}()

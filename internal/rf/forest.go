@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/flattree"
 	"github.com/reds-go/reds/internal/metamodel"
 )
 
@@ -41,6 +42,12 @@ func (t *Trainer) Name() string { return "rf" }
 // Forest is a trained random forest.
 type Forest struct {
 	trees []*tree
+
+	// flat is the contiguous node-table compilation of the trees that
+	// batch inference traverses (see flat.go and internal/flattree),
+	// derived once on first use.
+	flatOnce sync.Once
+	flat     *flattree.Table
 }
 
 // Train implements metamodel.Trainer. Trees are grown in parallel on
@@ -141,9 +148,13 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 
 // ApproxMemoryBytes implements metamodel.MemorySizer: nodes dominate a
 // forest's footprint (a treeNode is two float64 and three ints — 40
-// bytes plus padding/slice overhead, rounded to 48).
+// bytes plus padding/slice overhead, rounded to 48), plus the flat
+// node table batch inference compiles. The table is lazy, but every
+// forest the engine caches gets used for pseudo-labeling and
+// materializes it, so it is charged up front rather than letting
+// cached models silently outgrow the operator's byte budget.
 func (f *Forest) ApproxMemoryBytes() int64 {
-	const bytesPerNode = 48
+	const bytesPerNode = 48 + flattree.NodeBytes
 	var n int64
 	for _, t := range f.trees {
 		n += int64(len(t.nodes))*bytesPerNode + int64(len(t.gains))*8

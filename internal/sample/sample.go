@@ -40,11 +40,19 @@ func (Uniform) Sample(n, dim int, rng *rand.Rand) [][]float64 {
 // strata are matched across dimensions by independent random permutations.
 type LatinHypercube struct{}
 
-// Sample implements Sampler.
+// Sample implements Sampler. The returned rows are views into one flat
+// n×dim allocation: at the L = 10^4-10^5 points REDS pseudo-labels,
+// per-row allocations dominate the sampling stage's cost (L allocs, L
+// pointer-chased rows for the GC to trace and the predictor to miss);
+// the flat backing cuts that to two allocations and keeps consecutive
+// rows contiguous for the batch-inference kernels that stream them.
+// The RNG draw order is unchanged, so a given seed yields the exact
+// design it always did.
 func (LatinHypercube) Sample(n, dim int, rng *rand.Rand) [][]float64 {
+	flat := make([]float64, n*dim)
 	pts := make([][]float64, n)
 	for i := range pts {
-		pts[i] = make([]float64, dim)
+		pts[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
 	}
 	for j := 0; j < dim; j++ {
 		perm := rng.Perm(n)

@@ -204,3 +204,43 @@ func TestPropertyLHSMarginalUniform(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLatinHypercubeFlatBacking asserts the LHS design is backed by
+// one flat allocation — O(1) allocations instead of one per row — and
+// that the flat layout changed neither the drawn values nor the row
+// shape (rows are full-capacity views, so an append cannot silently
+// grow into a neighbor).
+func TestLatinHypercubeFlatBacking(t *testing.T) {
+	const n, dim = 1000, 7
+	// Reference: the pre-flat row-by-row construction, same RNG stream.
+	rng := rand.New(rand.NewSource(41))
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = make([]float64, dim)
+	}
+	for j := 0; j < dim; j++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			want[i][j] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	got := LatinHypercube{}.Sample(n, dim, rand.New(rand.NewSource(41)))
+	for i := range want {
+		if cap(got[i]) != dim {
+			t.Fatalf("row %d has cap %d, want full-capacity view of width %d", i, cap(got[i]), dim)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("point (%d,%d): flat %v != reference %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// rng.Perm allocates once per dimension; beyond that the design is
+	// two allocations (flat backing + row headers), not n+1.
+	allocs := testing.AllocsPerRun(5, func() {
+		LatinHypercube{}.Sample(n, dim, rand.New(rand.NewSource(42)))
+	})
+	if allocs > dim+8 {
+		t.Fatalf("Sample allocates %v times, want O(dim) not O(n)", allocs)
+	}
+}

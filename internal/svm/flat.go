@@ -1,0 +1,91 @@
+package svm
+
+import "math"
+
+// svBlock is the number of support vectors evaluated per block: a
+// block of 64 vectors of typical width stays L1-resident while the
+// chunk's points stream past it.
+const svBlock = 64
+
+// flatSVM is the support-vector matrix flattened into one contiguous
+// row-major allocation, the layout batch inference scans. The
+// per-vector slices of Model stay canonical; the flat copy is derived
+// once, lazily, on the first batch call.
+type flatSVM struct {
+	sv  []float64 // nsv × dim, row-major
+	dim int
+}
+
+// flatten compiles the contiguous support-vector matrix on first use.
+func (m *Model) flatten() *flatSVM {
+	m.flatOnce.Do(func() {
+		dim := 0
+		if len(m.supportX) > 0 {
+			dim = len(m.supportX[0])
+		}
+		f := &flatSVM{sv: make([]float64, 0, len(m.supportX)*dim), dim: dim}
+		for _, sv := range m.supportX {
+			f.sv = append(f.sv, sv...)
+		}
+		m.flat = f
+	})
+	return m.flat
+}
+
+// decisionBatchInto fills dst with the decision value of every point
+// by blocked kernel evaluation: support vectors are processed in
+// blocks that stay cache-resident across the chunk, accumulating onto
+// dst in ascending support-vector order — the exact floating-point
+// sequence of the per-point Decision.
+func (m *Model) decisionBatchInto(dst []float64, pts [][]float64) {
+	f := m.flatten()
+	for i := range dst {
+		dst[i] = -m.b
+	}
+	dim, gamma := f.dim, m.gamma
+	for lo := 0; lo < len(m.coef); lo += svBlock {
+		hi := lo + svBlock
+		if hi > len(m.coef) {
+			hi = len(m.coef)
+		}
+		block := f.sv[lo*dim : hi*dim]
+		coef := m.coef[lo:hi]
+		for i, x := range pts {
+			s := dst[i]
+			off := 0
+			for _, c := range coef {
+				row := block[off : off+dim]
+				d := 0.0
+				for j, v := range row {
+					diff := v - x[j]
+					d += diff * diff
+				}
+				s += c * math.Exp(-gamma*d)
+				off += dim
+			}
+			dst[i] = s
+		}
+	}
+}
+
+// PredictProbBatchInto implements metamodel.BatchModel with the same
+// fixed logistic link as PredictProb.
+func (m *Model) PredictProbBatchInto(dst []float64, pts [][]float64) {
+	m.decisionBatchInto(dst, pts)
+	for i, s := range dst {
+		dst[i] = 1 / (1 + math.Exp(-2*s))
+	}
+}
+
+// PredictLabelBatchInto implements metamodel.BatchModel with the same
+// decision > 0 boundary as PredictLabel.
+func (m *Model) PredictLabelBatchInto(dst []float64, pts [][]float64) {
+	m.decisionBatchInto(dst, pts)
+	for i, s := range dst {
+		if s > 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/reds-go/reds/internal/dataset"
+	"github.com/reds-go/reds/internal/metamodel"
+)
+
+func svmTrainData(n, m int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0]+row[1] > 1 {
+			y[i] = 1
+		}
+	}
+	return dataset.MustNew(x, y)
+}
+
+// TestSVMBatchMatchesPerPoint asserts the blocked kernel evaluation is
+// byte-identical to the per-point Decision-based path, with more
+// support vectors than one block so the blocking itself is exercised.
+func TestSVMBatchMatchesPerPoint(t *testing.T) {
+	d := svmTrainData(700, 4, 21)
+	trained, err := (&Trainer{C: 10}).Train(d, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := trained.(*Model)
+	if !ok {
+		t.Fatalf("training collapsed to a constant model: %T", trained)
+	}
+	if m.NumSupport() <= svBlock {
+		t.Fatalf("want > %d support vectors to exercise blocking, got %d", svBlock, m.NumSupport())
+	}
+	rng := rand.New(rand.NewSource(23))
+	pts := make([][]float64, 777)
+	for i := range pts {
+		row := make([]float64, d.M())
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		if i%5 == 4 {
+			row[rng.Intn(len(row))] = math.Inf(1) // rbf distance overflows to +Inf, exp to 0
+		}
+		pts[i] = row
+	}
+	probs := make([]float64, len(pts))
+	labels := make([]float64, len(pts))
+	m.PredictProbBatchInto(probs, pts)
+	m.PredictLabelBatchInto(labels, pts)
+	for i, x := range pts {
+		if want := m.PredictProb(x); probs[i] != want {
+			t.Fatalf("point %d: batch prob %v != per-point %v", i, probs[i], want)
+		}
+		if want := m.PredictLabel(x); labels[i] != want {
+			t.Fatalf("point %d: batch label %v != per-point %v", i, labels[i], want)
+		}
+	}
+	if _, ok := trained.(metamodel.BatchModel); !ok {
+		t.Fatal("svm.Model does not implement metamodel.BatchModel")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/metamodel"
@@ -38,6 +39,11 @@ type Model struct {
 	coef     []float64 // αᵢ yᵢ of the support vectors
 	b        float64
 	gamma    float64
+
+	// flat is the contiguous support-vector matrix batch inference
+	// scans (see flat.go), derived once on first use.
+	flatOnce sync.Once
+	flat     *flatSVM
 }
 
 // Decision returns the signed distance surrogate f(x).
@@ -70,11 +76,13 @@ func (m *Model) NumSupport() int { return len(m.supportX) }
 // ApproxMemoryBytes implements metamodel.MemorySizer: the retained
 // support vectors dominate (one row of float64s each, plus the
 // coefficient and slice headers, rounded into 8 bytes per value + 32
-// per vector).
+// per vector). The support-vector values are charged twice because
+// batch inference lazily duplicates them into a flat matrix (see
+// flat.go) — every engine-cached model ends up materializing it.
 func (m *Model) ApproxMemoryBytes() int64 {
 	var n int64
 	for _, sv := range m.supportX {
-		n += int64(len(sv))*8 + 32
+		n += int64(len(sv))*8*2 + 32
 	}
 	return n + int64(len(m.coef))*8
 }

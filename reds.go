@@ -152,6 +152,26 @@ var PredictBatchSerial = metamodel.PredictBatchSerial
 // cooperative cancellation; the hot path of pseudo-labeling.
 var PredictBatchParallel = metamodel.PredictBatchParallel
 
+// BatchMetamodel is the vectorized fast path a metamodel may offer:
+// whole slices of points evaluated over flattened model state,
+// byte-identical to the per-point methods. The shipped rf, gbt and svm
+// models all implement it.
+type BatchMetamodel = metamodel.BatchModel
+
+// PredictProbBatch evaluates P(y=1|x) for every point in parallel,
+// through the model's batch fast path when it has one.
+var PredictProbBatch = metamodel.PredictProbBatchCtx
+
+// PredictLabelBatch evaluates the hard 0/1 label for every point in
+// parallel, through the model's batch fast path when it has one.
+var PredictLabelBatch = metamodel.PredictLabelBatchCtx
+
+// PseudoLabel runs the sample and label stages of Algorithm 4 (lines
+// 3-6) standalone: draw l points and label them with a trained
+// metamodel. This is the cacheable unit the engine shares across a
+// job's variants.
+var PseudoLabel = core.PseudoLabel
+
 // --- Subgroup discovery ---
 
 // Discoverer is a subgroup-discovery algorithm: PRIM, PRIMBumping, BI or
