@@ -14,12 +14,19 @@
 // cluster.Dispatcher, so jobs submitted here get the full orchestration
 // treatment — bounded queue, lifecycle tracking, durable store,
 // TTL GC — while execution happens on the workers through their
-// internal API (POST /internal/v1/execute).
+// internal API (POST /internal/v1/execute). Each job's X-Request-Id
+// travels with the dispatch, so one id greps across gateway and worker
+// logs.
 //
 // Two endpoints aggregate across the fleet:
 //
 //	GET /v1/jobs     gateway jobs + each worker's own job list
 //	GET /v1/healthz  gateway liveness + ring state + per-worker health
+//
+// Observability (see docs/OBSERVABILITY.md): /metrics serves the
+// gateway's telemetry registry (engine, dispatcher, prober, store, HTTP
+// series) in Prometheus text format; -log.level/-log.format control the
+// structured logs; -debug.addr starts a pprof listener.
 package main
 
 import (
@@ -27,7 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +45,7 @@ import (
 	"github.com/reds-go/reds/internal/cluster"
 	"github.com/reds-go/reds/internal/engine"
 	"github.com/reds-go/reds/internal/engine/store"
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 func main() {
@@ -53,38 +61,58 @@ func main() {
 	storeTTL := flag.Duration("store.ttl", 0, "retention of finished jobs before garbage collection (0: keep forever)")
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
 	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
+	logLevel := flag.String("log.level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := flag.String("log.format", "json", "log output format: json or text")
+	debugAddr := flag.String("debug.addr", "", "listen address for the debug server (pprof + metrics); empty: disabled")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		slog.Error("redsgateway: bad logging flags", "error", err)
+		os.Exit(1)
+	}
+	logger = logger.With("service", "redsgateway")
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	workers := splitWorkers(*workersFlag)
 	if len(workers) == 0 {
-		log.Fatalf("redsgateway: -workers is required (comma-separated redsserver base URLs)")
+		fatal("-workers is required", errors.New("comma-separated redsserver base URLs"))
 	}
 	if *dispatch <= 0 {
 		*dispatch = 2 * len(workers)
 	}
+
+	// One registry per process: dispatcher, prober, engine, store and
+	// the HTTP middleware all record here; /metrics serves it.
+	reg := telemetry.NewRegistry()
 
 	client := &http.Client{Timeout: 15 * time.Second}
 	disp, err := cluster.NewDispatcher(workers, cluster.DispatcherOptions{
 		Replicas:     *replicas,
 		PollInterval: *pollInterval,
 		Client:       client,
+		Metrics:      reg,
 		Health: cluster.HealthOptions{
 			Interval: *healthInterval,
 			Timeout:  *healthTimeout,
 		},
 	})
 	if err != nil {
-		log.Fatalf("redsgateway: %v", err)
+		fatal("building dispatcher failed", err)
 	}
 
 	var st store.Store
 	if *storeDir != "" {
-		fs, err := store.OpenFS(*storeDir, store.FSOptions{FsyncInterval: *storeFsync})
+		fs, err := store.OpenFS(*storeDir, store.FSOptions{FsyncInterval: *storeFsync, Metrics: reg})
 		if err != nil {
-			log.Fatalf("redsgateway: opening job store: %v", err)
+			fatal("opening job store failed", err)
 		}
 		if n := fs.Skipped(); n > 0 {
-			log.Printf("redsgateway: job store replay skipped %d corrupt lines", n)
+			logger.Warn("job store replay skipped corrupt lines", "skipped", n, "dir", *storeDir)
 		}
 		st = fs
 	}
@@ -96,24 +124,42 @@ func main() {
 		Store:         st,
 		TTL:           *storeTTL,
 		SweepInterval: *storeSweep,
+		Metrics:       reg,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatalf("redsgateway: starting engine: %v", err)
+		fatal("starting engine failed", err)
 	}
 	if rec := eng.Recovery(); rec.Recovered > 0 {
-		log.Printf("redsgateway: recovered %d jobs from %s (%d re-enqueued, %d orphaned running jobs marked failed)",
-			rec.Recovered, *storeDir, rec.Reenqueued, rec.Orphaned)
+		logger.Info("recovered jobs from store", "dir", *storeDir,
+			"recovered", rec.Recovered, "reenqueued", rec.Reenqueued, "orphaned", rec.Orphaned)
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", gatewayHealthz(eng, disp))
 	mux.HandleFunc("GET /v1/jobs", gatewayJobs(eng, disp, client))
+	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("/", engine.NewHandler(eng))
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(mux),
+		Handler:           telemetry.Instrument(mux, reg, logger),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           telemetry.DebugHandler(reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "error", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -122,17 +168,20 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Printf("redsgateway: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 		eng.Close()
 		disp.Close()
 	}()
 
-	log.Printf("redsgateway: listening on %s, routing to %d workers: %s", *addr, len(workers), strings.Join(workers, ", "))
+	logger.Info("listening", "addr", *addr, "workers", strings.Join(workers, ", "))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("redsgateway: %v", err)
+		fatal("server failed", err)
 	}
 	<-shutdownDone
 }
@@ -154,7 +203,8 @@ func splitWorkers(s string) []string {
 // gatewayHealthz reports the gateway's own state plus the ring and every
 // worker's health (with its last healthz payload, fetched live). ok is
 // true while at least one worker is alive — a gateway with no workers
-// left cannot make progress.
+// left cannot make progress. The dispatched/failovers fields read the
+// same telemetry counters /metrics exposes.
 func gatewayHealthz(eng *engine.Engine, disp *cluster.Dispatcher) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		statuses := disp.Health().Snapshot()
@@ -201,12 +251,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
 }

@@ -17,11 +17,17 @@
 // reference):
 //
 //	POST   /v1/jobs              {"function":"morris","n":400,"l":50000}
-//	GET    /v1/jobs/{id}         status + per-stage progress
+//	GET    /v1/jobs/{id}         status + per-stage progress + timings
 //	GET    /v1/jobs/{id}/result  final box, rule, metrics, trajectory
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/functions         registered simulation functions
 //	GET    /v1/healthz           liveness + cache stats
+//	GET    /metrics              Prometheus text exposition
+//
+// Observability (see docs/OBSERVABILITY.md): every component records
+// into one telemetry registry exposed at /metrics; logs are structured
+// slog lines (-log.level, -log.format) carrying job and request IDs;
+// -debug.addr starts a separate listener with net/http/pprof.
 //
 // Unless -internal.disable is set, the server also exposes the internal
 // execution API under /internal/v1/execute, which lets a redsgateway
@@ -33,7 +39,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +48,7 @@ import (
 
 	"github.com/reds-go/reds/internal/engine"
 	"github.com/reds-go/reds/internal/engine/store"
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 func main() {
@@ -57,16 +64,35 @@ func main() {
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
 	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
 	internalOff := flag.Bool("internal.disable", false, "do not expose the internal execution API used by redsgateway")
+	logLevel := flag.String("log.level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := flag.String("log.format", "json", "log output format: json or text")
+	debugAddr := flag.String("debug.addr", "", "listen address for the debug server (pprof + metrics); empty: disabled")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		slog.Error("redsserver: bad logging flags", "error", err)
+		os.Exit(1)
+	}
+	logger = logger.With("service", "redsserver")
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
+	// One registry per process: engine, executor (and its caches), store
+	// and execution server all record here, and /metrics serves it.
+	reg := telemetry.NewRegistry()
 
 	var st store.Store
 	if *storeDir != "" {
-		fs, err := store.OpenFS(*storeDir, store.FSOptions{FsyncInterval: *storeFsync})
+		fs, err := store.OpenFS(*storeDir, store.FSOptions{FsyncInterval: *storeFsync, Metrics: reg})
 		if err != nil {
-			log.Fatalf("redsserver: opening job store: %v", err)
+			fatal("opening job store failed", err)
 		}
 		if n := fs.Skipped(); n > 0 {
-			log.Printf("redsserver: job store replay skipped %d corrupt lines", n)
+			logger.Warn("job store replay skipped corrupt lines", "skipped", n, "dir", *storeDir)
 		}
 		st = fs
 	}
@@ -78,6 +104,7 @@ func main() {
 		CacheTTL:        *cacheTTL,
 		LabelCacheBytes: *labelCacheBytes,
 		LabelCacheTTL:   *labelCacheTTL,
+		Metrics:         reg,
 	})
 	eng, err := engine.New(engine.Options{
 		Workers:       *workers,
@@ -86,25 +113,42 @@ func main() {
 		Store:         st,
 		TTL:           *storeTTL,
 		SweepInterval: *storeSweep,
+		Metrics:       reg,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatalf("redsserver: starting engine: %v", err)
+		fatal("starting engine failed", err)
 	}
 	if rec := eng.Recovery(); rec.Recovered > 0 {
-		log.Printf("redsserver: recovered %d jobs from %s (%d re-enqueued, %d orphaned running jobs marked failed)",
-			rec.Recovered, *storeDir, rec.Reenqueued, rec.Orphaned)
+		logger.Info("recovered jobs from store", "dir", *storeDir,
+			"recovered", rec.Recovered, "reenqueued", rec.Reenqueued, "orphaned", rec.Orphaned)
 	}
 
-	var handlerOpts []engine.HandlerOption
+	handlerOpts := []engine.HandlerOption{engine.WithMetrics(reg)}
 	var execSrv *engine.ExecServer
 	if !*internalOff {
-		execSrv = engine.NewExecServer(executor, engine.ExecServerOptions{})
+		execSrv = engine.NewExecServer(executor, engine.ExecServerOptions{Metrics: reg, Logger: logger})
 		handlerOpts = append(handlerOpts, engine.WithExecutionAPI(execSrv))
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(engine.NewHandler(eng, handlerOpts...)),
+		Handler:           telemetry.Instrument(engine.NewHandler(eng, handlerOpts...), reg, logger),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           telemetry.DebugHandler(reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "error", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -116,27 +160,22 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Printf("redsserver: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 		if execSrv != nil {
 			execSrv.Close()
 		}
 		eng.Close()
 	}()
 
-	log.Printf("redsserver: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("redsserver: %v", err)
+		fatal("server failed", err)
 	}
 	<-shutdownDone
-}
-
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
 }

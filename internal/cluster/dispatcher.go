@@ -5,10 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sync"
 	"time"
 
 	"github.com/reds-go/reds/internal/engine"
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // DispatcherOptions tune job routing.
@@ -26,6 +26,11 @@ type DispatcherOptions struct {
 	// ExecutorFor overrides how a worker name becomes an Executor —
 	// injectable for tests that want in-process fakes instead of HTTP.
 	ExecutorFor func(node string) engine.Executor
+	// Metrics is the registry for the dispatcher's instruments (per-
+	// worker dispatch counters, failovers, ring size/churn) and — unless
+	// Health.Metrics is set separately — the health prober's. nil gets a
+	// private registry.
+	Metrics *telemetry.Registry
 }
 
 // Dispatcher implements engine.Executor across a fleet of workers: each
@@ -42,9 +47,13 @@ type Dispatcher struct {
 	health *Health
 	execs  map[string]engine.Executor
 
-	mu         sync.Mutex
-	dispatched map[string]int64
-	failovers  int64
+	// The dispatch counters ARE the telemetry instruments
+	// (reds_cluster_dispatches_total{worker}, _failovers_total); Stats()
+	// reads them back, so the gateway healthz and /metrics cannot
+	// drift. The worker set is fixed at construction, so the children
+	// are pre-resolved off the Execute path.
+	dispatched map[string]*telemetry.Counter
+	failovers  *telemetry.Counter
 }
 
 // NewDispatcher builds a dispatcher over the worker base URLs.
@@ -62,21 +71,44 @@ func NewDispatcher(workers []string, opts DispatcherOptions) (*Dispatcher, error
 			return &engine.RemoteExecutor{BaseURL: node, Client: client, PollInterval: opts.PollInterval}
 		}
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	if opts.Health.Client == nil {
 		opts.Health.Client = client
 	}
+	if opts.Health.Metrics == nil {
+		opts.Health.Metrics = reg
+	}
 	execs := make(map[string]engine.Executor, len(workers))
+	dispatchVec := reg.CounterVec("reds_cluster_dispatches_total",
+		"Executions dispatched per worker (failover re-routes count on the new worker too).", "worker")
+	dispatched := make(map[string]*telemetry.Counter, len(workers))
 	for _, w := range workers {
 		if _, dup := execs[w]; dup {
 			return nil, fmt.Errorf("cluster: duplicate worker %s", w)
 		}
 		execs[w] = executorFor(w)
+		dispatched[w] = dispatchVec.With(w)
 	}
+	ring := NewRing(opts.Replicas, workers...)
+	// The initial Adds in NewRing are construction, not churn; expose
+	// only set changes after this baseline.
+	baseline := ring.Mutations()
+	reg.CounterFunc("reds_cluster_ring_changes_total",
+		"Consistent-hash ring node additions and removals since startup.",
+		func() float64 { return float64(ring.Mutations() - baseline) })
+	reg.GaugeFunc("reds_cluster_ring_size_workers",
+		"Workers currently on the consistent-hash ring.",
+		func() float64 { return float64(ring.Len()) })
 	return &Dispatcher{
-		ring:       NewRing(opts.Replicas, workers...),
+		ring:       ring,
 		health:     NewHealth(workers, opts.Health),
 		execs:      execs,
-		dispatched: make(map[string]int64, len(workers)),
+		dispatched: dispatched,
+		failovers: reg.Counter("reds_cluster_failovers_total",
+			"Executions re-routed to another worker after an unavailable one."),
 	}, nil
 }
 
@@ -93,15 +125,14 @@ func (d *Dispatcher) Health() *Health { return d.health }
 func (d *Dispatcher) Route(key string) (string, bool) { return d.ring.Lookup(key) }
 
 // Stats returns per-worker dispatch counts and the number of failover
-// re-routes so far.
+// re-routes so far, read from the same telemetry instruments /metrics
+// exposes.
 func (d *Dispatcher) Stats() (dispatched map[string]int64, failovers int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	out := make(map[string]int64, len(d.dispatched))
-	for k, v := range d.dispatched {
-		out[k] = v
+	for k, c := range d.dispatched {
+		out[k] = c.Value()
 	}
-	return out, d.failovers
+	return out, d.failovers.Value()
 }
 
 // Execute implements engine.Executor with consistent-hash routing and
@@ -135,12 +166,10 @@ func (d *Dispatcher) Execute(ctx context.Context, req engine.Request, onProgress
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		d.mu.Lock()
-		d.dispatched[node]++
+		d.dispatched[node].Inc()
 		if i > 0 {
-			d.failovers++
+			d.failovers.Inc()
 		}
-		d.mu.Unlock()
 
 		res, err := d.execs[node].Execute(ctx, req, onProgress)
 		if err == nil {

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // NodeStatus is one worker's health as the gateway sees it.
@@ -30,6 +32,10 @@ type HealthOptions struct {
 	// Client defaults to http.DefaultClient with Timeout applied per
 	// request context.
 	Client *http.Client
+	// Metrics is the registry for the prober's instruments
+	// (reds_cluster_probes_total{worker,result} and the alive-workers
+	// gauge). nil gets a private registry.
+	Metrics *telemetry.Registry
 }
 
 func (o HealthOptions) withDefaults() HealthOptions {
@@ -54,6 +60,8 @@ func (o HealthOptions) withDefaults() HealthOptions {
 // rotation as soon as it answers again.
 type Health struct {
 	opts HealthOptions
+	// mProbes counts probe outcomes per worker (result = ok|fail).
+	mProbes *telemetry.CounterVec
 
 	mu     sync.Mutex
 	status map[string]*NodeStatus
@@ -70,8 +78,15 @@ type Health struct {
 
 // NewHealth builds a prober over the node set and starts it.
 func NewHealth(nodes []string, opts HealthOptions) *Health {
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	h := &Health{
-		opts:   opts.withDefaults(),
+		opts: opts,
+		mProbes: reg.CounterVec("reds_cluster_probes_total",
+			"Health probe outcomes per worker (result = ok|fail).", "worker", "result"),
 		status: make(map[string]*NodeStatus, len(nodes)),
 		diedAt: make(map[string]time.Time, len(nodes)),
 		done:   make(chan struct{}),
@@ -79,6 +94,17 @@ func NewHealth(nodes []string, opts HealthOptions) *Health {
 	for _, n := range nodes {
 		h.status[n] = &NodeStatus{Node: n, Alive: true}
 	}
+	reg.GaugeFunc("reds_cluster_alive_workers",
+		"Workers whose most recent health probe succeeded.",
+		func() float64 {
+			var alive int
+			for _, st := range h.Snapshot() {
+				if st.Alive {
+					alive++
+				}
+			}
+			return float64(alive)
+		})
 	h.wg.Add(1)
 	go h.loop()
 	return h
@@ -121,6 +147,11 @@ func (h *Health) probeAll() {
 			defer wg.Done()
 			started := time.Now()
 			err := h.probe(node)
+			result := "ok"
+			if err != nil {
+				result = "fail"
+			}
+			h.mProbes.With(node, result).Inc()
 			h.mu.Lock()
 			if st := h.status[node]; st != nil {
 				// A success observed before a MarkDead is stale — the

@@ -33,6 +33,10 @@ type Ring struct {
 	mu     sync.RWMutex
 	points []ringPoint // sorted by hash
 	nodes  map[string]bool
+	// mutations counts set-changing Add/Remove calls — the churn signal
+	// behind reds_cluster_ring_changes_total (idempotent no-ops don't
+	// count; they move no keys).
+	mutations uint64
 }
 
 type ringPoint struct {
@@ -69,6 +73,7 @@ func (r *Ring) Add(node string) {
 		return
 	}
 	r.nodes[node] = true
+	r.mutations++
 	for i := 0; i < r.replicas; i++ {
 		r.points = append(r.points, ringPoint{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
 	}
@@ -83,6 +88,7 @@ func (r *Ring) Remove(node string) {
 		return
 	}
 	delete(r.nodes, node)
+	r.mutations++
 	kept := r.points[:0]
 	for _, p := range r.points {
 		if p.node != node {
@@ -102,6 +108,14 @@ func (r *Ring) Nodes() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Mutations returns how many Add/Remove calls actually changed the node
+// set since construction (including the initial Adds in NewRing).
+func (r *Ring) Mutations() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.mutations
 }
 
 // Len returns the number of nodes.

@@ -8,6 +8,7 @@ import (
 
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/funcs"
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // apiJobRequest is the wire form of a job submission: an engine Request
@@ -51,6 +52,7 @@ type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
 	execServer *ExecServer
+	metrics    *telemetry.Registry
 }
 
 // WithExecutionAPI mounts the internal execution API (the worker side
@@ -58,6 +60,11 @@ type handlerConfig struct {
 // counters into /v1/healthz.
 func WithExecutionAPI(es *ExecServer) HandlerOption {
 	return func(c *handlerConfig) { c.execServer = es }
+}
+
+// WithMetrics mounts Prometheus text exposition of reg at GET /metrics.
+func WithMetrics(reg *telemetry.Registry) HandlerOption {
+	return func(c *handlerConfig) { c.metrics = reg }
 }
 
 // NewHandler returns the /v1 HTTP API over an engine:
@@ -82,6 +89,9 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 	if cfg.execServer != nil {
 		cfg.execServer.register(mux)
 	}
+	if cfg.metrics != nil {
+		mux.Handle("GET /metrics", cfg.metrics.Handler())
+	}
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req apiJobRequest
 		dec := json.NewDecoder(r.Body)
@@ -102,7 +112,12 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 			}
 			req.Dataset = d
 		}
-		id, err := e.Submit(req.Request)
+		// The job continues the HTTP request's trace: the middleware
+		// (telemetry.Instrument) put the inbound or generated
+		// X-Request-Id on the context, and SubmitTraced carries it
+		// through the job's logs, snapshot and — over a RemoteExecutor
+		// — to the worker.
+		id, err := e.SubmitTraced(req.Request, telemetry.RequestID(r.Context()))
 		if err != nil {
 			status, code := http.StatusBadRequest, errBadRequest
 			if strings.Contains(err.Error(), "queue full") {
@@ -178,6 +193,10 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"functions": out})
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// The field names are the pre-telemetry wire contract; the values
+		// are read from the same registry instruments /metrics exposes
+		// (CacheStats is a view over the reds_cache_* series), so the two
+		// surfaces cannot drift apart.
 		cs := e.CacheStats()
 		ls := e.LabelCacheStats()
 		rec := e.Recovery()

@@ -9,6 +9,7 @@ import (
 
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/metamodel"
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // CacheStats are cumulative counters of one byte-weighted cache (the
@@ -34,18 +35,26 @@ type CacheStats struct {
 // deduplication of concurrent computations and an optional TTL. It is
 // the shared machinery behind the metamodel cache and the
 // pseudo-label dataset cache.
+//
+// Counters and size gauges are telemetry instruments registered under
+// reds_cache_*{cache=<label>}. They are the single source of truth:
+// Stats() (which /v1/healthz serves) reads the same registry
+// instruments /metrics exposes, so the two surfaces cannot drift.
 type byteCache[V any] struct {
-	mu        sync.Mutex
-	maxBytes  int64
-	ttl       time.Duration
-	now       func() time.Time // injectable for TTL tests
-	entries   map[string]*list.Element
-	order     *list.List // front = most recent
-	inflight  map[string]*call[V]
-	bytes     int64
-	hits      int64
-	misses    int64
-	evictions int64
+	mu       sync.Mutex
+	maxBytes int64
+	ttl      time.Duration
+	now      func() time.Time // injectable for TTL tests
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent
+	inflight map[string]*call[V]
+	bytes    int64
+
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	evictions   *telemetry.Counter
+	sizeEntries *telemetry.Gauge
+	sizeBytes   *telemetry.Gauge
 }
 
 type entry[V any] struct {
@@ -62,9 +71,15 @@ type call[V any] struct {
 	err   error
 }
 
-func newByteCache[V any](maxBytes int64, ttl time.Duration) *byteCache[V] {
+// newByteCache builds a cache whose instruments live in reg under the
+// given cache label ("model" or "label"). A nil reg gets a private
+// registry — instruments still work, nothing is exposed.
+func newByteCache[V any](maxBytes int64, ttl time.Duration, reg *telemetry.Registry, label string) *byteCache[V] {
 	if maxBytes < 1 {
 		maxBytes = 256 << 20
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
 	return &byteCache[V]{
 		maxBytes: maxBytes,
@@ -73,7 +88,24 @@ func newByteCache[V any](maxBytes int64, ttl time.Duration) *byteCache[V] {
 		entries:  make(map[string]*list.Element),
 		order:    list.New(),
 		inflight: make(map[string]*call[V]),
+		hits: reg.CounterVec("reds_cache_hits_total",
+			"Cache lookups served from the cache (including waits on an in-flight computation).", "cache").With(label),
+		misses: reg.CounterVec("reds_cache_misses_total",
+			"Cache lookups that had to compute (TTL-expired entries count as misses).", "cache").With(label),
+		evictions: reg.CounterVec("reds_cache_evictions_total",
+			"Cache entries dropped by the byte budget or expired by the TTL.", "cache").With(label),
+		sizeEntries: reg.GaugeVec("reds_cache_size_entries",
+			"Entries currently cached.", "cache").With(label),
+		sizeBytes: reg.GaugeVec("reds_cache_size_bytes",
+			"Approximate bytes currently cached.", "cache").With(label),
 	}
+}
+
+// syncSizeLocked mirrors the current entry count and byte total into
+// the size gauges. Caller holds mu.
+func (c *byteCache[V]) syncSizeLocked() {
+	c.sizeEntries.Set(float64(c.order.Len()))
+	c.sizeBytes.Set(float64(c.bytes))
 }
 
 // getOrCompute returns the cached value for key, or runs compute once
@@ -93,10 +125,10 @@ func (c *byteCache[V]) getOrCompute(key string, compute func() (V, int64, error)
 			e := el.Value.(*entry[V])
 			if c.ttl > 0 && c.now().Sub(e.computedAt) >= c.ttl {
 				c.removeLocked(el)
-				c.evictions++
+				c.evictions.Inc()
 			} else {
 				c.order.MoveToFront(el)
-				c.hits++
+				c.hits.Inc()
 				c.mu.Unlock()
 				return e.value, true, nil
 			}
@@ -110,14 +142,12 @@ func (c *byteCache[V]) getOrCompute(key string, compute func() (V, int64, error)
 			// Counted only now: a waiter whose computation was canceled
 			// re-enters the loop and may end up computing itself, and
 			// must not have already booked a hit for that lookup.
-			c.mu.Lock()
-			c.hits++
-			c.mu.Unlock()
+			c.hits.Inc()
 			return cl.value, true, cl.err
 		}
 		cl := &call[V]{done: make(chan struct{})}
 		c.inflight[key] = cl
-		c.misses++
+		c.misses.Inc()
 		c.mu.Unlock()
 
 		cl.value, cl.size, cl.err = compute()
@@ -150,8 +180,9 @@ func (c *byteCache[V]) insert(key string, v V, size int64) {
 	}
 	for c.bytes > c.maxBytes && c.order.Len() > 1 {
 		c.removeLocked(c.order.Back())
-		c.evictions++
+		c.evictions.Inc()
 	}
+	c.syncSizeLocked()
 }
 
 // removeLocked drops one entry and its byte weight. Caller holds mu.
@@ -160,16 +191,18 @@ func (c *byteCache[V]) removeLocked(el *list.Element) {
 	c.order.Remove(el)
 	delete(c.entries, e.key)
 	c.bytes -= e.size
+	c.syncSizeLocked()
 }
 
-// Stats returns cumulative counters and the current contents.
+// Stats returns cumulative counters and the current contents, read
+// from the same telemetry instruments /metrics exposes.
 func (c *byteCache[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 		Entries:   c.order.Len(),
 		Bytes:     c.bytes,
 	}
@@ -221,8 +254,8 @@ type modelCache struct {
 	c *byteCache[metamodel.Model]
 }
 
-func newModelCache(maxBytes int64, ttl time.Duration) *modelCache {
-	return &modelCache{c: newByteCache[metamodel.Model](maxBytes, ttl)}
+func newModelCache(maxBytes int64, ttl time.Duration, reg *telemetry.Registry) *modelCache {
+	return &modelCache{c: newByteCache[metamodel.Model](maxBytes, ttl, reg, "model")}
 }
 
 // getOrTrain returns the cached model for key, or runs train once —
@@ -276,8 +309,8 @@ type labelCache struct {
 	c *byteCache[*dataset.Dataset]
 }
 
-func newLabelCache(maxBytes int64, ttl time.Duration) *labelCache {
-	return &labelCache{c: newByteCache[*dataset.Dataset](maxBytes, ttl)}
+func newLabelCache(maxBytes int64, ttl time.Duration, reg *telemetry.Registry) *labelCache {
+	return &labelCache{c: newByteCache[*dataset.Dataset](maxBytes, ttl, reg, "label")}
 }
 
 // getOrLabel returns the cached pseudo-labeled dataset for key, or

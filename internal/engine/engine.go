@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reds-go/reds/internal/engine/store"
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // Options configure an Engine.
@@ -53,6 +55,18 @@ type Options struct {
 	// SweepInterval is the period of the TTL sweeper goroutine (default
 	// 1 minute; only used when TTL > 0).
 	SweepInterval time.Duration
+
+	// Metrics is the telemetry registry the engine's instruments live
+	// in (job lifecycle counters, queue depth/wait, job duration). nil
+	// gets a private registry: instruments keep working, nothing is
+	// exposed — which also keeps engines hermetic in tests. Pass the
+	// same registry to the executor and the store so one /metrics
+	// scrape covers the whole process.
+	Metrics *telemetry.Registry
+	// Logger receives the engine's structured logs (job lifecycle at
+	// info with job and request IDs, store failures at error). nil
+	// uses slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +118,17 @@ type Engine struct {
 	wg       sync.WaitGroup
 	ctx      context.Context
 	cancel   context.CancelFunc
+	log      *slog.Logger
+
+	// Lifecycle instruments. running backs the running-jobs gauge as a
+	// plain atomic because workers bump it on the execute hot path;
+	// queue depth is a GaugeFunc over len(e.queue) evaluated at scrape.
+	mSubmitted    *telemetry.Counter
+	mFinished     *telemetry.CounterVec // status = done|failed|canceled
+	mQueueWait    *telemetry.Histogram
+	mJobDuration  *telemetry.Histogram
+	mSweepDeleted *telemetry.Counter
+	running       atomic.Int64
 
 	mu     sync.Mutex
 	jobs   map[JobID]*job
@@ -138,6 +163,15 @@ func New(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("engine: listing store: %w", err)
 	}
 
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		opts:   opts,
@@ -145,13 +179,28 @@ func New(opts Options) (*Engine, error) {
 		store:  st,
 		ctx:    ctx,
 		cancel: cancel,
+		log:    logger,
 		jobs:   make(map[JobID]*job),
+		mSubmitted: reg.Counter("reds_engine_jobs_submitted_total",
+			"Jobs accepted by Submit."),
+		mFinished: reg.CounterVec("reds_engine_jobs_finished_total",
+			"Jobs that reached a terminal status.", "status"),
+		mQueueWait: reg.Histogram("reds_engine_queue_wait_seconds",
+			"Time jobs spent queued between submission and execution start.",
+			telemetry.ExponentialBuckets(0.001, 4, 12)),
+		mJobDuration: reg.Histogram("reds_engine_job_duration_seconds",
+			"Wall-clock execution time of finished jobs (excludes queue wait).",
+			telemetry.ExponentialBuckets(0.01, 2, 16)),
+		mSweepDeleted: reg.Counter("reds_engine_sweep_deleted_total",
+			"Terminal jobs deleted by the TTL sweeper."),
 	}
 	pending, err := e.recover(recs)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
+	reg.Counter("reds_engine_jobs_recovered_total",
+		"Jobs loaded from the store at startup.").Add(int64(e.recovery.Recovered))
 
 	queueCap := opts.QueueSize
 	if len(pending) > queueCap {
@@ -161,6 +210,17 @@ func New(opts Options) (*Engine, error) {
 	for _, j := range pending {
 		e.queue <- j
 	}
+	// Depth gauges read live state at scrape time; registered after the
+	// queue exists so the closures never see a nil channel.
+	reg.GaugeFunc("reds_engine_queue_depth_jobs",
+		"Jobs currently waiting in the queue.",
+		func() float64 { return float64(len(e.queue)) })
+	reg.GaugeFunc("reds_engine_running_jobs",
+		"Jobs currently executing.",
+		func() float64 { return float64(e.running.Load()) })
+	reg.GaugeFunc("reds_engine_tracked_jobs",
+		"Jobs the engine currently knows (all statuses, post-TTL-sweep).",
+		func() float64 { return float64(e.JobCount()) })
 
 	e.wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
@@ -303,7 +363,7 @@ func (e *Engine) sweepExpired() int {
 	if n > persisted {
 		raw, _ := json.Marshal(n)
 		if err := e.store.PutMeta(nextIDMetaKey, raw); err != nil {
-			log.Printf("engine: persisting id high-water mark: %v", err)
+			e.log.Error("persisting id high-water mark failed", "error", err)
 			return 0 // do not sweep past an unpersisted mark
 		}
 		e.mu.Lock()
@@ -314,7 +374,7 @@ func (e *Engine) sweepExpired() int {
 	}
 	ids, err := e.store.Sweep(time.Now().Add(-e.opts.TTL))
 	if err != nil {
-		log.Printf("engine: ttl sweep: %v", err)
+		e.log.Error("ttl sweep failed", "error", err)
 		return 0
 	}
 	if len(ids) == 0 {
@@ -335,6 +395,8 @@ func (e *Engine) sweepExpired() int {
 	}
 	e.order = kept
 	e.mu.Unlock()
+	e.mSweepDeleted.Add(int64(len(ids)))
+	e.log.Info("ttl sweep removed expired jobs", "deleted", len(ids))
 	return len(ids)
 }
 
@@ -343,7 +405,7 @@ func (e *Engine) sweepExpired() int {
 // stays authoritative for this process.
 func (e *Engine) persist(rec store.Record) {
 	if err := e.store.PutJob(rec); err != nil {
-		log.Printf("engine: persisting job %s: %v", rec.ID, err)
+		e.log.Error("persisting job failed", "job_id", rec.ID, "error", err)
 	}
 }
 
@@ -363,11 +425,23 @@ func (e *Engine) execute(j *job) {
 	}
 	j.status = StatusRunning
 	j.startedAt = time.Now()
+	if j.requestID == "" {
+		// Recovered pending jobs (and direct Submit calls) have no
+		// caller-provided trace id; start a fresh trace here so their
+		// spans are still correlatable in the logs.
+		j.requestID = telemetry.NewRequestID()
+	}
+	rid := j.requestID
+	queueWait := j.startedAt.Sub(j.submittedAt)
 	rec := j.transitionLocked()
 	j.mu.Unlock()
 	e.persist(rec)
+	e.mQueueWait.Observe(queueWait.Seconds())
+	e.running.Add(1)
+	e.log.Info("job started", "job_id", string(j.id), "request_id", rid,
+		"queue_wait_ms", queueWait.Milliseconds())
 
-	result, err := e.exec.Execute(j.ctx, j.req, j.setProgress)
+	result, err := e.exec.Execute(telemetry.WithRequestID(j.ctx, rid), j.req, j.setProgress)
 
 	j.mu.Lock()
 	j.finishedAt = time.Now()
@@ -381,9 +455,21 @@ func (e *Engine) execute(j *job) {
 		j.status = StatusDone
 		j.result = result
 	}
+	duration := j.finishedAt.Sub(j.startedAt)
 	rec = j.transitionLocked()
 	done := j.status == StatusDone
+	status := j.status
 	j.mu.Unlock()
+	e.running.Add(-1)
+	e.mFinished.With(string(status)).Inc()
+	e.mJobDuration.Observe(duration.Seconds())
+	if err != nil && status == StatusFailed {
+		e.log.Warn("job failed", "job_id", string(j.id), "request_id", rid,
+			"duration_ms", duration.Milliseconds(), "error", err)
+	} else {
+		e.log.Info("job finished", "job_id", string(j.id), "request_id", rid,
+			"status", string(status), "duration_ms", duration.Milliseconds())
+	}
 
 	// Result before record: once the record says done, the result is
 	// guaranteed to be in the store (a crash in between re-runs nothing
@@ -399,7 +485,8 @@ func (e *Engine) execute(j *job) {
 			err = e.store.PutResult(string(j.id), raw)
 		}
 		if err != nil {
-			log.Printf("engine: persisting result of %s (leaving stored record running): %v", j.id, err)
+			e.log.Error("persisting result failed, leaving stored record running",
+				"job_id", string(j.id), "error", err)
 			return
 		}
 	}
@@ -408,8 +495,18 @@ func (e *Engine) execute(j *job) {
 
 // Submit validates and enqueues a job, returning its ID. It fails when
 // the request is invalid, the queue is full, or the engine is closed.
-// The job is persisted as pending before Submit returns.
+// The job is persisted as pending before Submit returns. The job gets a
+// fresh request ID; use SubmitTraced to continue a caller's trace.
 func (e *Engine) Submit(req Request) (JobID, error) {
+	return e.SubmitTraced(req, "")
+}
+
+// SubmitTraced is Submit with an explicit request ID: the id travels
+// with the job through logs, the snapshot's request_id field, and —
+// over a RemoteExecutor — the X-Request-Id header to the worker, so one
+// grep correlates a request across gateway and worker processes. An
+// empty id gets a fresh one at execution start.
+func (e *Engine) SubmitTraced(req Request, requestID string) (JobID, error) {
 	if err := req.Validate(); err != nil {
 		return "", err
 	}
@@ -442,6 +539,7 @@ func (e *Engine) Submit(req Request) (JobID, error) {
 		cancel:      cancel,
 		status:      StatusPending,
 		submittedAt: time.Now(),
+		requestID:   requestID,
 	}
 	// Persist outside e.mu — an fsync (or a snapshot compaction) must
 	// not stall every concurrent status poll — but before enqueueing, so
@@ -456,7 +554,7 @@ func (e *Engine) Submit(req Request) (JobID, error) {
 		// Best-effort: drop the already-persisted pending record so a
 		// later boot does not resurrect a job nobody was told about.
 		if err := e.store.Delete(string(id)); err != nil {
-			log.Printf("engine: deleting rejected job %s: %v", id, err)
+			e.log.Error("deleting rejected job failed", "job_id", string(id), "error", err)
 		}
 		return "", reason
 	}
@@ -471,6 +569,8 @@ func (e *Engine) Submit(req Request) (JobID, error) {
 	e.jobs[id] = j
 	e.order = append(e.order, id)
 	e.mu.Unlock()
+	e.mSubmitted.Inc()
+	e.log.Debug("job submitted", "job_id", string(id), "request_id", requestID)
 	return id, nil
 }
 
@@ -626,6 +726,6 @@ func (e *Engine) Close() {
 	close(e.queue) // drains: workers skip canceled jobs
 	e.wg.Wait()
 	if err := e.store.Close(); err != nil {
-		log.Printf("engine: closing store: %v", err)
+		e.log.Error("closing store failed", "error", err)
 	}
 }

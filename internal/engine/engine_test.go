@@ -310,7 +310,7 @@ func TestQueueBackpressure(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	// Budget fits two mock models (1 MiB default weight each).
-	c := newModelCache(2<<20, 0)
+	c := newModelCache(2<<20, 0, nil)
 	for _, key := range []string{"a", "b", "c", "a"} {
 		c.getOrTrain(key, func() (metamodel.Model, error) { return mockModel{}, nil })
 	}
@@ -344,7 +344,7 @@ type sizedModel struct {
 func (m sizedModel) ApproxMemoryBytes() int64 { return m.size }
 
 func TestCacheSizeWeightedEviction(t *testing.T) {
-	c := newModelCache(100, 0)
+	c := newModelCache(100, 0, nil)
 	add := func(key string, size int64) {
 		c.getOrTrain(key, func() (metamodel.Model, error) { return sizedModel{size: size}, nil })
 	}
@@ -371,7 +371,7 @@ func TestCacheSizeWeightedEviction(t *testing.T) {
 }
 
 func TestCacheTTLExpiry(t *testing.T) {
-	c := newModelCache(1<<20, time.Minute)
+	c := newModelCache(1<<20, time.Minute, nil)
 	now := time.Unix(1000, 0)
 	c.c.now = func() time.Time { return now }
 

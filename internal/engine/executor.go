@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // Progress is a point-in-time view of a request's execution: the most
@@ -27,6 +29,33 @@ type Progress struct {
 	// VariantsDone / VariantsTotal count finished variant sub-tasks.
 	VariantsDone  int `json:"variants_done"`
 	VariantsTotal int `json:"variants_total"`
+	// Timings lists the pipeline spans closed so far, in completion
+	// order: "simulate", then per variant "train/<mm>", "sample/<mm>",
+	// "label/<mm>" and "discover/<mm>/<sd>". The slice is append-only
+	// and each published value is an immutable snapshot — safe to hand
+	// to concurrent readers. Because Progress travels through the
+	// internal execution API, a worker's spans surface unchanged in the
+	// gateway job's timings.
+	Timings []StageTiming `json:"timings,omitempty"`
+}
+
+// StageTiming is one closed span of a job's trace: a pipeline stage
+// (optionally qualified by variant, like "discover/rf/prim") and its
+// wall-clock duration. The engine prepends a "queue_wait" span for the
+// time between submission and execution start.
+type StageTiming struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+}
+
+// sameAs reports whether two progress snapshots are observably equal.
+// Spans are append-only, so comparing lengths is exact; this replaces
+// struct equality, which the Timings slice rules out.
+func (p Progress) sameAs(q Progress) bool {
+	return p.Stage == q.Stage &&
+		p.LabelDone == q.LabelDone && p.LabelTotal == q.LabelTotal &&
+		p.VariantsDone == q.VariantsDone && p.VariantsTotal == q.VariantsTotal &&
+		len(p.Timings) == len(q.Timings)
 }
 
 // Executor is the execution layer of the engine: it runs one discovery
@@ -129,6 +158,11 @@ type LocalExecutorOptions struct {
 	// LabelCacheTTL expires cached pseudo-labeled datasets this long
 	// after labeling (0 = never).
 	LabelCacheTTL time.Duration
+	// Metrics is the registry the executor's instruments live in: the
+	// per-stage latency histograms and both caches' counters. nil gets
+	// a private registry, which keeps instruments working (and tests
+	// hermetic) without exposition.
+	Metrics *telemetry.Registry
 }
 
 func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
@@ -150,15 +184,26 @@ func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
 type LocalExecutor struct {
 	cache  *modelCache
 	labels *labelCache
+	// stageSeconds is the per-stage latency histogram
+	// (reds_exec_stage_seconds{stage,metamodel,sd}); children are
+	// resolved per variant at execution start, off the hot path.
+	stageSeconds *telemetry.HistogramVec
 }
 
 // NewLocalExecutor returns an in-process executor with its own
 // metamodel and pseudo-label caches.
 func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &LocalExecutor{
-		cache:  newModelCache(opts.CacheBytes, opts.CacheTTL),
-		labels: newLabelCache(opts.LabelCacheBytes, opts.LabelCacheTTL),
+		cache:  newModelCache(opts.CacheBytes, opts.CacheTTL, reg),
+		labels: newLabelCache(opts.LabelCacheBytes, opts.LabelCacheTTL, reg),
+		stageSeconds: reg.HistogramVec("reds_exec_stage_seconds",
+			"Pipeline stage latency, labeled by stage (simulate, train, sample, label, discover) and variant.",
+			telemetry.ExponentialBuckets(0.001, 2, 16), "stage", "metamodel", "sd"),
 	}
 }
 
@@ -178,7 +223,12 @@ func (x *LocalExecutor) LabelCacheStats() CacheStats { return x.labels.Stats() }
 type progressSink struct {
 	mu sync.Mutex
 	p  Progress
-	fn func(Progress)
+	// spans is the sink's own append-only trace; p.Timings always
+	// points at an immutable copy of it, so callbacks (and whoever
+	// they hand the Progress to) can read the slice without holding
+	// the sink's lock.
+	spans []StageTiming
+	fn    func(Progress)
 }
 
 func newProgressSink(fn func(Progress)) *progressSink {
@@ -188,6 +238,22 @@ func newProgressSink(fn func(Progress)) *progressSink {
 func (s *progressSink) update(mutate func(*Progress)) {
 	s.mu.Lock()
 	mutate(&s.p)
+	if s.fn != nil {
+		s.fn(s.p)
+	}
+	s.mu.Unlock()
+}
+
+// addSpan appends a closed span to the trace and publishes the new
+// snapshot. Spans close at stage granularity (a handful per variant),
+// so the copy here is rare and small — the per-point labeling hot
+// path goes through update, which never touches Timings.
+func (s *progressSink) addSpan(t StageTiming) {
+	s.mu.Lock()
+	s.spans = append(s.spans, t)
+	cp := make([]StageTiming, len(s.spans))
+	copy(cp, s.spans)
+	s.p.Timings = cp
 	if s.fn != nil {
 		s.fn(s.p)
 	}

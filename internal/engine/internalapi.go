@@ -7,9 +7,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
+
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // The internal execution API is the wire between a gateway's
@@ -32,6 +35,10 @@ type execStatusResponse struct {
 	ID       string   `json:"id"`
 	Status   Status   `json:"status"`
 	Progress Progress `json:"progress"`
+	// RequestID is the trace id the execution runs under — the value of
+	// the X-Request-Id header the gateway sent, or a worker-generated id
+	// when the header was absent.
+	RequestID string `json:"request_id,omitempty"`
 	// Result is set once Status is done; Error once it is failed.
 	Result *Result `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
@@ -45,6 +52,13 @@ type ExecServerOptions struct {
 	// frees the entry immediately; retention only covers gateways that
 	// die between polls.
 	Retention time.Duration
+	// Metrics is the registry for the server's execution counters
+	// (reds_exec_executions_total, reds_exec_active_jobs). nil gets a
+	// private registry.
+	Metrics *telemetry.Registry
+	// Logger receives execution lifecycle logs with execution and
+	// request IDs. nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 func (o ExecServerOptions) withDefaults() ExecServerOptions {
@@ -62,6 +76,10 @@ func (o ExecServerOptions) withDefaults() ExecServerOptions {
 type ExecServer struct {
 	exec Executor
 	opts ExecServerOptions
+	log  *slog.Logger
+	// mStarted mirrors the started counter as a telemetry instrument;
+	// active is exposed as a GaugeFunc over Executions().
+	mStarted *telemetry.Counter
 	// bootID makes execution ids unique per process. Without it, a
 	// worker restarted between two gateway polls could reassign a plain
 	// counter id to a different request and serve the wrong execution's
@@ -83,8 +101,11 @@ type ExecServer struct {
 
 // execution is the server-side state of one dispatched request.
 type execution struct {
-	id     string
-	cancel context.CancelFunc
+	id string
+	// requestID is the trace id the execution runs under (immutable
+	// after handleStart).
+	requestID string
+	cancel    context.CancelFunc
 
 	mu         sync.Mutex
 	status     Status
@@ -104,14 +125,33 @@ func NewExecServer(exec Executor, opts ExecServerOptions) *ExecServer {
 		// to the boot time, which still differs across restarts.
 		binary.BigEndian.PutUint32(nonce, uint32(time.Now().UnixNano()))
 	}
-	return &ExecServer{
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &ExecServer{
 		exec:   exec,
-		opts:   opts.withDefaults(),
+		opts:   opts,
+		log:    logger,
 		bootID: hex.EncodeToString(nonce),
 		ctx:    ctx,
 		cancel: cancel,
 		execs:  make(map[string]*execution),
+		mStarted: reg.Counter("reds_exec_executions_total",
+			"Executions accepted over the internal execution API."),
 	}
+	reg.GaugeFunc("reds_exec_active_jobs",
+		"Executions currently running on this worker.",
+		func() float64 {
+			_, active := s.Executions()
+			return float64(active)
+		})
+	return s
 }
 
 // Executions returns how many executions were ever accepted and how
@@ -160,6 +200,14 @@ func (s *ExecServer) handleStart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Adopt the gateway's trace id so the execution's spans and log
+	// lines correlate across processes; a direct caller without the
+	// header gets a fresh worker-local id.
+	rid := r.Header.Get(telemetry.RequestIDHeader)
+	if rid == "" {
+		rid = telemetry.NewRequestID()
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -170,12 +218,15 @@ func (s *ExecServer) handleStart(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := fmt.Sprintf("exec-%s-%06d", s.bootID, s.nextID)
 	ctx, cancel := context.WithCancel(s.ctx)
-	ex := &execution{id: id, cancel: cancel, status: StatusRunning}
+	ctx = telemetry.WithRequestID(ctx, rid)
+	ex := &execution{id: id, requestID: rid, cancel: cancel, status: StatusRunning}
 	s.execs[id] = ex
 	s.started++
 	s.active++
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.mStarted.Inc()
+	s.log.Info("execution started", "execution_id", id, "request_id", rid)
 
 	go s.run(ex, req, ctx)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
@@ -203,11 +254,17 @@ func (s *ExecServer) run(ex *execution, req Request, ctx context.Context) {
 		ex.status = StatusDone
 		ex.result = result
 	}
+	status := ex.status
 	ex.mu.Unlock()
 
 	s.mu.Lock()
 	s.active--
 	s.mu.Unlock()
+	if err != nil && status == StatusFailed {
+		s.log.Warn("execution failed", "execution_id", ex.id, "request_id", ex.requestID, "error", err)
+	} else {
+		s.log.Info("execution finished", "execution_id", ex.id, "request_id", ex.requestID, "status", string(status))
+	}
 }
 
 func (s *ExecServer) lookup(id string) (*execution, bool) {
@@ -241,7 +298,7 @@ func (s *ExecServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ex.mu.Lock()
-	resp := execStatusResponse{ID: ex.id, Status: ex.status, Progress: ex.progress, Result: ex.result}
+	resp := execStatusResponse{ID: ex.id, Status: ex.status, Progress: ex.progress, RequestID: ex.requestID, Result: ex.result}
 	if ex.err != nil {
 		resp.Error = ex.err.Error()
 	}

@@ -225,6 +225,19 @@ type Snapshot struct {
 	// VariantsDone / VariantsTotal count finished variant sub-tasks.
 	VariantsDone  int `json:"variants_done"`
 	VariantsTotal int `json:"variants_total"`
+	// RequestID correlates this job across processes and log streams:
+	// the submitting client's X-Request-Id (or a generated one), logged
+	// by the engine, forwarded to the executing worker by
+	// RemoteExecutor, and echoed in the worker's execution logs. Empty
+	// for jobs recovered from a store written before request IDs
+	// existed.
+	RequestID string `json:"request_id,omitempty"`
+	// Timings is the job's per-stage trace: a "queue_wait" span from
+	// the orchestrating engine followed by the executor's pipeline
+	// spans ("train/rf", "label/rf", "discover/rf/prim", ...) in
+	// completion order. For gateway jobs the pipeline spans come from
+	// the executing worker, carried back through the internal API.
+	Timings []StageTiming `json:"timings,omitempty"`
 	// Error is the failure reason of a failed job.
 	Error string `json:"error,omitempty"`
 
@@ -241,8 +254,12 @@ type job struct {
 	// carried over from the store on recovery), reused for every store
 	// upsert of this job.
 	reqJSON []byte
-	ctx     context.Context
-	cancel  context.CancelFunc
+	// requestID is the job's cross-process trace anchor (see
+	// Snapshot.RequestID). Not persisted: a recovered job starts a new
+	// trace if it runs again.
+	requestID string
+	ctx       context.Context
+	cancel    context.CancelFunc
 
 	mu     sync.Mutex
 	status Status
@@ -270,7 +287,18 @@ func (j *job) snapshot() Snapshot {
 		LabelTotal:    j.progress.LabelTotal,
 		VariantsDone:  j.progress.VariantsDone,
 		VariantsTotal: j.progress.VariantsTotal,
+		RequestID:     j.requestID,
 		SubmittedAt:   j.submittedAt,
+	}
+	// The trace starts with the orchestration layer's own span — how
+	// long the job sat queued — followed by the executor's pipeline
+	// spans. progress.Timings is an immutable snapshot (the sink copies
+	// on append), so sharing the tail is safe.
+	if !j.startedAt.IsZero() {
+		s.Timings = append([]StageTiming{{
+			Stage:   "queue_wait",
+			Seconds: j.startedAt.Sub(j.submittedAt).Seconds(),
+		}}, j.progress.Timings...)
 	}
 	if req.Dataset != nil {
 		s.DatasetN = req.Dataset.N()

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // RemoteExecutor runs requests on a redsserver worker through the
@@ -94,7 +96,7 @@ func (r *RemoteExecutor) Execute(ctx context.Context, req Request, onProgress fu
 			}
 			return nil, err
 		}
-		if onProgress != nil && st.Progress != last {
+		if onProgress != nil && !st.Progress.sameAs(last) {
 			last = st.Progress
 			onProgress(st.Progress)
 		}
@@ -126,6 +128,11 @@ func (r *RemoteExecutor) start(ctx context.Context, body []byte) (string, error)
 		return "", fmt.Errorf("engine: building remote request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if rid := telemetry.RequestID(ctx); rid != "" {
+		// Continue the caller's trace on the worker: its execution log
+		// lines and span records carry the same id as ours.
+		hreq.Header.Set(telemetry.RequestIDHeader, rid)
+	}
 	resp, err := r.client().Do(hreq)
 	if err != nil {
 		return "", fmt.Errorf("engine: starting execution on %s: %v: %w", r.BaseURL, err, ErrUnavailable)

@@ -22,6 +22,7 @@ import (
 	"github.com/reds-go/reds/internal/sample"
 	"github.com/reds-go/reds/internal/sd"
 	"github.com/reds-go/reds/internal/svm"
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // variantSeedStride separates the RNG streams of a job's variants.
@@ -143,7 +144,11 @@ func (x *LocalExecutor) Execute(ctx context.Context, req Request, onProgress fun
 			return nil, err
 		}
 		sink.update(func(p *Progress) { p.Stage = "simulate" })
+		simStart := time.Now()
 		train = funcs.Generate(f, req.effectiveN(), smp, rand.New(rand.NewSource(seed)))
+		simSecs := time.Since(simStart).Seconds()
+		x.stageSeconds.With("simulate", "", "").Observe(simSecs)
+		sink.addSpan(StageTiming{Stage: "simulate", Seconds: simSecs})
 	} else {
 		train = req.Dataset
 	}
@@ -231,10 +236,25 @@ func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progr
 		seed:  cfg.trainSeed,
 		inner: trainerByName(v.metamodel, train.M(), req.Tuned),
 	}
+	// Each stage-entry notification closes the previous stage's span:
+	// the span is recorded into the job trace under its variant-
+	// qualified name and observed in the stage-latency histogram. A
+	// cache hit legitimately closes a ~0s span — the stage really did
+	// cost nothing.
+	timer := telemetry.NewStageTimer(func(span telemetry.Span) {
+		name := span.Name + "/" + v.metamodel
+		if span.Name == string(core.StageDiscover) {
+			name += "/" + v.sd
+		}
+		x.stageSeconds.With(span.Name, v.metamodel, v.sd).Observe(span.Seconds)
+		sink.addSpan(StageTiming{Stage: name, Seconds: span.Seconds})
+	})
+	defer timer.Stop()
 	var prev atomic.Int64
 	hooks := &core.Hooks{
 		LabelWorkers: cfg.labelWorkers,
 		OnStage: func(s core.Stage) {
+			timer.Start(string(s))
 			sink.update(func(p *Progress) { p.Stage = string(s) })
 		},
 		OnLabelProgress: func(done, total int) {
@@ -293,6 +313,7 @@ func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progr
 		Hooks: hooks,
 	}
 	res, err := r.DiscoverContext(ctx, train, train, rand.New(rand.NewSource(cfg.pipelineSeed)))
+	timer.Stop() // close the discover span before the metric evaluation below
 	out.CacheHit = trainer.hit.Load()
 	out.LabelCacheHit = labelHit.Load()
 	if err != nil {

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 // File layout of an FS store directory:
@@ -60,6 +62,10 @@ type FSOptions struct {
 	// nothing; the page cache survives them). 0 keeps the historical
 	// fsync-per-append behavior. Ignored when NoSync is set.
 	FsyncInterval time.Duration
+	// Metrics is the registry for the store's instruments (WAL append
+	// and fsync latency, snapshot duration, replay counters, log
+	// length). nil gets a private registry.
+	Metrics *telemetry.Registry
 }
 
 func (o FSOptions) withDefaults() FSOptions {
@@ -82,6 +88,15 @@ type FS struct {
 	flushStop sync.Once
 	flushWG   sync.WaitGroup
 
+	// Durability instruments; created before replay so startup work is
+	// visible too.
+	mAppends       *telemetry.Counter
+	mFsync         *telemetry.Histogram
+	mSnapshot      *telemetry.Histogram
+	mCompactions   *telemetry.Counter
+	mReplayEntries *telemetry.Counter
+	mReplaySkipped *telemetry.Counter
+
 	mu       sync.Mutex
 	wal      *os.File
 	walCount int
@@ -101,13 +116,38 @@ func OpenFS(dir string, opts FSOptions) (*FS, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	f := &FS{
 		dir:     dir,
 		opts:    opts,
 		jobs:    make(map[string]Record),
 		results: make(map[string]json.RawMessage),
 		metas:   make(map[string]json.RawMessage),
+		mAppends: reg.Counter("reds_store_wal_appends_total",
+			"Entries appended to the write-ahead log."),
+		mFsync: reg.Histogram("reds_store_fsync_seconds",
+			"Latency of write-ahead log fsync calls.",
+			telemetry.ExponentialBuckets(0.0001, 4, 10)),
+		mSnapshot: reg.Histogram("reds_store_snapshot_seconds",
+			"Duration of snapshot compactions (marshal, write, fsync, rename, log truncate).",
+			telemetry.ExponentialBuckets(0.001, 4, 10)),
+		mCompactions: reg.Counter("reds_store_compactions_total",
+			"Snapshot compactions completed."),
+		mReplayEntries: reg.Counter("reds_store_replay_entries_total",
+			"Snapshot and log entries replayed at open."),
+		mReplaySkipped: reg.Counter("reds_store_replay_skipped_total",
+			"Corrupt lines skipped during replay."),
 	}
+	reg.GaugeFunc("reds_store_wal_length_entries",
+		"Entries currently in the write-ahead log since the last compaction.",
+		func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.walCount)
+		})
 	// A leftover temp snapshot is an interrupted compaction that never
 	// renamed into place; the snapshot+log pair is still authoritative.
 	_ = os.Remove(filepath.Join(dir, snapshotFile+".tmp"))
@@ -154,7 +194,7 @@ func (f *FS) flusher() {
 		case <-t.C:
 			f.mu.Lock()
 			if f.dirty {
-				if err := f.wal.Sync(); err == nil {
+				if err := f.syncWAL(); err == nil {
 					f.dirty = false
 				}
 			}
@@ -203,8 +243,10 @@ func (f *FS) replayFile(path string, truncateTail bool) error {
 		var e walEntry
 		if err := json.Unmarshal(line, &e); err != nil {
 			f.skipped++
+			f.mReplaySkipped.Inc()
 			continue
 		}
+		f.mReplayEntries.Inc()
 		f.apply(e)
 	}
 	if truncateTail {
@@ -241,7 +283,17 @@ func (f *FS) apply(e walEntry) {
 		f.metas[e.ID] = e.Result
 	default:
 		f.skipped++
+		f.mReplaySkipped.Inc()
 	}
+}
+
+// syncWAL is wal.Sync with its latency recorded — the store's dominant
+// cost under fsync-per-append, worth watching in production.
+func (f *FS) syncWAL() error {
+	start := time.Now()
+	err := f.wal.Sync()
+	f.mFsync.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // appendLocked writes entries to the log as one buffer with a single
@@ -264,11 +316,12 @@ func (f *FS) appendLocked(entries ...walEntry) error {
 	case f.opts.FsyncInterval > 0:
 		f.dirty = true // the flusher syncs within one interval
 	default:
-		if err := f.wal.Sync(); err != nil {
+		if err := f.syncWAL(); err != nil {
 			return fmt.Errorf("store: syncing log: %w", err)
 		}
 	}
 	f.walCount += len(entries)
+	f.mAppends.Add(int64(len(entries)))
 	if f.walCount >= f.opts.CompactEvery {
 		return f.compactLocked()
 	}
@@ -282,6 +335,8 @@ func (f *FS) appendLocked(entries ...walEntry) error {
 // replaying a stale log over the new snapshot re-applies the same
 // upserts. Caller holds mu.
 func (f *FS) compactLocked() error {
+	start := time.Now()
+	defer func() { f.mSnapshot.Observe(time.Since(start).Seconds()) }()
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
@@ -333,6 +388,7 @@ func (f *FS) compactLocked() error {
 	}
 	f.walCount = 0
 	f.dirty = false // the snapshot now holds everything the log did
+	f.mCompactions.Inc()
 	return nil
 }
 
@@ -468,7 +524,7 @@ func (f *FS) Close() error {
 	defer f.mu.Unlock()
 	var err error
 	if f.dirty {
-		err = f.wal.Sync()
+		err = f.syncWAL()
 		f.dirty = false
 	}
 	if f.walCount > 0 {

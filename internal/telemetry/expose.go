@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text format
+// served by Handler.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry in Prometheus text format (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		bw := bufio.NewWriter(w)
+		_ = r.WriteText(bw)
+		_ = bw.Flush()
+	})
+}
+
+// WriteText renders every family in Prometheus text exposition format:
+// families sorted by name, children sorted by label values, HELP and
+// TYPE lines first — deterministic output, so scrapes (and golden
+// tests) are diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeText(w io.Writer) error {
+	f.mu.Lock()
+	kids := make([]child, 0, len(f.children))
+	for _, c := range f.children {
+		kids = append(kids, c)
+	}
+	f.mu.Unlock()
+	if len(kids) == 0 {
+		return nil
+	}
+	sort.Slice(kids, func(a, b int) bool {
+		return strings.Join(kids[a].labelValues, labelSep) < strings.Join(kids[b].labelValues, labelSep)
+	})
+
+	var b strings.Builder
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(string(f.typ))
+	b.WriteByte('\n')
+	for _, c := range kids {
+		if c.histogram != nil {
+			writeHistogram(&b, f, c)
+			continue
+		}
+		b.WriteString(f.name)
+		writeLabels(&b, f.labelNames, c.labelValues, "")
+		b.WriteByte(' ')
+		b.WriteString(formatValue(c.value()))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the cumulative _bucket series, the +Inf bucket,
+// and the _sum/_count pair of one histogram child.
+func writeHistogram(b *strings.Builder, f *family, c child) {
+	upper, cum := c.histogram.Buckets()
+	count := c.histogram.Count()
+	for i, ub := range upper {
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labelNames, c.labelValues, formatValue(ub))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum[i], 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(f.name)
+	b.WriteString("_bucket")
+	writeLabels(b, f.labelNames, c.labelValues, "+Inf")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(count, 10))
+	b.WriteByte('\n')
+
+	b.WriteString(f.name)
+	b.WriteString("_sum")
+	writeLabels(b, f.labelNames, c.labelValues, "")
+	b.WriteByte(' ')
+	b.WriteString(formatValue(c.histogram.Sum()))
+	b.WriteByte('\n')
+
+	b.WriteString(f.name)
+	b.WriteString("_count")
+	writeLabels(b, f.labelNames, c.labelValues, "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(count, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders {name="value",...}, appending the le bucket
+// label when non-empty. Nothing is written for a label-free series.
+func writeLabels(b *strings.Builder, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a sample value: integers without an exponent
+// (counters stay grep-able), everything else in Go's shortest float
+// form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextGolden pins the full exposition output: family ordering
+// by name, child ordering by label values, HELP/TYPE lines, cumulative
+// histogram rendering, label escaping and integer formatting. Any
+// format drift breaks scrapers, so this is a byte-exact comparison.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	hits := reg.CounterVec("reds_t_cache_hits_total", "Cache hits.", "cache")
+	hits.With("model").Add(3)
+	hits.With(`a\b"c`).Inc()
+	reg.GaugeFunc("reds_t_depth_jobs", "Queue depth.", func() float64 { return 2 })
+	h := reg.HistogramVec("reds_t_lat_seconds", "Latency.", []float64{0.5, 2}, "stage").With("train")
+	// Exactly representable values keep the _sum line deterministic.
+	h.Observe(0.25)
+	h.Observe(1.5)
+	h.Observe(4.25)
+	reg.Counter("reds_t_ops_total", "Total ops.").Add(42)
+
+	want := strings.Join([]string{
+		`# HELP reds_t_cache_hits_total Cache hits.`,
+		`# TYPE reds_t_cache_hits_total counter`,
+		`reds_t_cache_hits_total{cache="a\\b\"c"} 1`,
+		`reds_t_cache_hits_total{cache="model"} 3`,
+		`# HELP reds_t_depth_jobs Queue depth.`,
+		`# TYPE reds_t_depth_jobs gauge`,
+		`reds_t_depth_jobs 2`,
+		`# HELP reds_t_lat_seconds Latency.`,
+		`# TYPE reds_t_lat_seconds histogram`,
+		`reds_t_lat_seconds_bucket{stage="train",le="0.5"} 1`,
+		`reds_t_lat_seconds_bucket{stage="train",le="2"} 2`,
+		`reds_t_lat_seconds_bucket{stage="train",le="+Inf"} 3`,
+		`reds_t_lat_seconds_sum{stage="train"} 6`,
+		`reds_t_lat_seconds_count{stage="train"} 3`,
+		`# HELP reds_t_ops_total Total ops.`,
+		`# TYPE reds_t_ops_total counter`,
+		`reds_t_ops_total 42`,
+		``,
+	}, "\n")
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestEmptyFamiliesAreOmitted(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("reds_t_cache_hits_total", "Cache hits.", "cache") // no children yet
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Fatalf("childless family rendered output:\n%s", sb.String())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reds_t_ops_total", "Total ops.").Inc()
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != TextContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, TextContentType)
+	}
+	if !strings.Contains(rr.Body.String(), "reds_t_ops_total 1") {
+		t.Fatalf("body missing series:\n%s", rr.Body.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		-7:      "-7",
+		0.5:     "0.5",
+		1e15:    "1e+15", // too large for plain integer formatting
+		0.00025: "0.00025",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets (cumulative at
+// exposition, non-cumulative internally) and tracks their sum.
+// Observe is atomic and allocation-free: the bucket index is found by
+// a linear scan over the (few dozen at most) upper bounds and the
+// counts are per-bucket atomics, so concurrent observers never
+// contend on a lock. The trade-off of lock-free counts is that a
+// scrape racing an Observe may see the bucket increment before the
+// sum (or vice versa) — each series is individually consistent, which
+// is all Prometheus semantics ask.
+type Histogram struct {
+	upper   []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and their cumulative counts (the
+// +Inf bucket is the total count and not included).
+func (h *Histogram) Buckets() (upper []float64, cumulative []uint64) {
+	upper = make([]float64, len(h.upper))
+	copy(upper, h.upper)
+	cumulative = make([]uint64, len(h.upper))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return upper, cumulative
+}
+
+// HistogramVec is a family of histograms distinguished by label
+// values. Every child shares the family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns the existing) histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %s has no buckets", name))
+	}
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values, creating it
+// on first use. Takes a lock; hot paths should resolve once and keep
+// the result.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	key := v.f.childKey(labelValues)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.children[key]; ok && c.histogram != nil {
+		return c.histogram
+	}
+	h := newHistogram(v.f.buckets)
+	v.f.children[key] = child{labelValues: cloneValues(labelValues), histogram: h}
+	return h
+}
+
+// ExponentialBuckets returns count upper bounds starting at start and
+// multiplying by factor — the standard layout for latency histograms,
+// where resolution should be proportional to magnitude.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

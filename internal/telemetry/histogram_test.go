@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	// Boundary semantics are v <= upper bound (Prometheus le).
+	for _, v := range []float64{0.05, 0.1} { // first bucket, incl. boundary
+		h.Observe(v)
+	}
+	h.Observe(0.5) // second bucket
+	h.Observe(10)  // third bucket, on the boundary
+	h.Observe(42)  // +Inf only
+
+	upper, cum := h.Buckets()
+	wantUpper := []float64{0.1, 1, 10}
+	wantCum := []uint64{2, 3, 4}
+	for i := range wantUpper {
+		if upper[i] != wantUpper[i] {
+			t.Fatalf("upper[%d] = %v, want %v", i, upper[i], wantUpper[i])
+		}
+		if cum[i] != wantCum[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], wantCum[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 10 + 42; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("reds_test_lat_seconds", "latency", []float64{1, 2, 4})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	_, cum := h.Buckets()
+	if cum[0] != 0 || cum[1] != workers*per || cum[2] != workers*per {
+		t.Fatalf("cumulative = %v, want [0 %d %d]", cum, workers*per, workers*per)
+	}
+	if want := 1.5 * workers * per; math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistogramUnsortedBucketsAreSorted(t *testing.T) {
+	h := newHistogram([]float64{10, 0.1, 1})
+	h.Observe(0.5)
+	upper, cum := h.Buckets()
+	if upper[0] != 0.1 || upper[1] != 1 || upper[2] != 10 {
+		t.Fatalf("upper = %v, want sorted [0.1 1 10]", upper)
+	}
+	if cum[0] != 0 || cum[1] != 1 || cum[2] != 1 {
+		t.Fatalf("cumulative = %v, want [0 1 1]", cum)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExponentialBuckets(0, ...) should panic")
+		}
+	}()
+	ExponentialBuckets(0, 2, 4)
+}
+
+func TestHistogramVecSharedLayout(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.HistogramVec("reds_test_lat_seconds", "latency", []float64{1, 2}, "stage")
+	a := vec.With("train")
+	b := vec.With("label")
+	a.Observe(0.5)
+	b.Observe(1.5)
+	ua, _ := a.Buckets()
+	ub, _ := b.Buckets()
+	if len(ua) != 2 || len(ub) != 2 {
+		t.Fatalf("children have bucket counts %d/%d, want 2/2", len(ua), len(ub))
+	}
+	if v, ok := reg.Value("reds_test_lat_seconds", "train"); !ok || v != 1 {
+		t.Fatalf("histogram Value (count) = %v/%v, want 1/true", v, ok)
+	}
+}

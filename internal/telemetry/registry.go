@@ -1,0 +1,375 @@
+// Package telemetry is the repository's zero-dependency observability
+// substrate: a race-safe metrics registry (counters, gauges, histograms
+// with exponential buckets) with Prometheus text-format exposition, a
+// per-job stage tracer with cross-process request-ID propagation, HTTP
+// middleware that records request metrics and structured access logs,
+// and slog/pprof wiring helpers shared by cmd/redsserver and
+// cmd/redsgateway.
+//
+// # Naming convention
+//
+// Every metric name must match
+//
+//	reds_<subsystem>_<name>_<unit>
+//
+// lower_snake_case throughout, with the trailing unit one of "total"
+// (monotone counters), "seconds", "bytes", "jobs", "entries" or
+// "workers". CheckName enforces the convention and every Must*
+// registration applies it, so a misnamed metric fails loudly at
+// startup rather than drifting into dashboards; the
+// scripts/check-metric-names tool applies the same check to every
+// metric-name literal in the source tree.
+//
+// # Hot path
+//
+// Counter.Add/Inc, Gauge.Set/Add and Histogram.Observe are atomic and
+// allocation-free. Label lookup (Vec.With) takes a mutex and may
+// allocate, so hot paths resolve their label children once, up front,
+// and hold the returned instrument.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType is the exposition TYPE of a family.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// nameRE is the shape of a valid metric name; CheckName additionally
+// requires the reds_ prefix and a unit suffix.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// validUnits are the accepted trailing unit segments of a metric name.
+var validUnits = map[string]bool{
+	"total":   true, // monotone counters
+	"seconds": true,
+	"bytes":   true,
+	"jobs":    true,
+	"entries": true,
+	"workers": true,
+}
+
+// CheckName validates a metric name against the repository convention
+// reds_<subsystem>_<name>_<unit> (see the package comment).
+func CheckName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("telemetry: metric %q is not lower_snake_case", name)
+	}
+	parts := strings.Split(name, "_")
+	if parts[0] != "reds" {
+		return fmt.Errorf("telemetry: metric %q does not start with reds_", name)
+	}
+	if len(parts) < 3 {
+		return fmt.Errorf("telemetry: metric %q needs at least reds_<subsystem>_<unit>", name)
+	}
+	if unit := parts[len(parts)-1]; !validUnits[unit] {
+		return fmt.Errorf("telemetry: metric %q ends in %q, want a unit suffix (total, seconds, bytes, jobs, entries or workers)", name, unit)
+	}
+	return nil
+}
+
+// labelSep joins label values into a child key. 0xff cannot occur in
+// valid UTF-8 label values, so joined keys cannot collide.
+const labelSep = "\xff"
+
+// family is one named metric with its children (one per label-value
+// combination; a single unlabeled child for plain instruments).
+type family struct {
+	name       string
+	help       string
+	typ        metricType
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]child
+}
+
+// child is one (label values → series) member of a family. Exactly one
+// of the value sources is set.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	histogram   *Histogram
+	fn          func() float64 // read-through collector
+	fnType      metricType
+}
+
+// value returns the child's current scalar value (histogram children
+// are exported structurally, not through this).
+func (c child) value() float64 {
+	switch {
+	case c.counter != nil:
+		return float64(c.counter.Value())
+	case c.gauge != nil:
+		return c.gauge.Value()
+	case c.fn != nil:
+		return c.fn()
+	}
+	return math.NaN()
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; use NewRegistry. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register returns the family for name, creating it if needed, and
+// panics on a convention violation or a conflicting re-registration —
+// both are programmer errors that must fail at startup, not scrape
+// time.
+func (r *Registry) register(name, help string, typ metricType, labelNames []string, buckets []float64) *family {
+	if err := CheckName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s with %d labels (was %s with %d)",
+				name, typ, len(labelNames), f.typ, len(f.labelNames)))
+		}
+		for i := range labelNames {
+			if f.labelNames[i] != labelNames[i] {
+				panic(fmt.Sprintf("telemetry: metric %s re-registered with label %q (was %q)", name, labelNames[i], f.labelNames[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		typ:        typ,
+		labelNames: labelNames,
+		buckets:    buckets,
+		children:   make(map[string]child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// childKey joins label values; panics on arity mismatch (a programmer
+// error: the call site names the wrong number of labels).
+func (f *family) childKey(labelValues []string) string {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %s wants %d label values, got %d", f.name, len(f.labelNames), len(labelValues)))
+	}
+	return strings.Join(labelValues, labelSep)
+}
+
+// Counter is a monotone counter. All methods are atomic and
+// allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programmer error and ignored —
+// counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. All methods are atomic and
+// allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (CAS loop, lock-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns the existing) counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, typeCounter, labelNames, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Takes a lock; hot paths should resolve once and keep the
+// result.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	key := v.f.childKey(labelValues)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.children[key]; ok && c.counter != nil {
+		return c.counter
+	}
+	c := &Counter{}
+	v.f.children[key] = child{labelValues: cloneValues(labelValues), counter: c}
+	return c
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns the existing) gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, labelNames, nil)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	key := v.f.childKey(labelValues)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.children[key]; ok && c.gauge != nil {
+		return c.gauge
+	}
+	g := &Gauge{}
+	v.f.children[key] = child{labelValues: cloneValues(labelValues), gauge: g}
+	return g
+}
+
+// GaugeFunc registers a read-through gauge whose value is fn(),
+// evaluated at scrape time. Re-registering the same name (and labels)
+// replaces the closure — last writer wins, which lets a restarted
+// component re-bind its collector.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	r.registerFunc(name, help, typeGauge, fn, labelPairs)
+}
+
+// CounterFunc registers a read-through counter (exposed with TYPE
+// counter) whose value is fn() at scrape time. fn must be monotone.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labelPairs ...string) {
+	r.registerFunc(name, help, typeCounter, fn, labelPairs)
+}
+
+// registerFunc installs a collector child. labelPairs alternates
+// name1, value1, name2, value2, ...
+func (r *Registry) registerFunc(name, help string, typ metricType, fn func() float64, labelPairs []string) {
+	if len(labelPairs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: metric %s: odd label pair list", name))
+	}
+	names := make([]string, 0, len(labelPairs)/2)
+	values := make([]string, 0, len(labelPairs)/2)
+	for i := 0; i < len(labelPairs); i += 2 {
+		names = append(names, labelPairs[i])
+		values = append(values, labelPairs[i+1])
+	}
+	f := r.register(name, help, typ, names, nil)
+	key := f.childKey(values)
+	f.mu.Lock()
+	f.children[key] = child{labelValues: values, fn: fn, fnType: typ}
+	f.mu.Unlock()
+}
+
+// Value reads one series by name and label values (in the family's
+// label-name order). Histograms report their observation count. This
+// is how surfaces that must not drift from /metrics — /v1/healthz —
+// read their numbers: both go through the registry.
+func (r *Registry) Value(name string, labelValues ...string) (float64, bool) {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	key := f.childKey(labelValues)
+	f.mu.Lock()
+	c, ok := f.children[key]
+	f.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	if c.histogram != nil {
+		return float64(c.histogram.Count()), true
+	}
+	return c.value(), true
+}
+
+// Sum adds up every series of a family — the fleet-wide view of a
+// labeled counter (e.g. dispatches across workers).
+func (r *Registry) Sum(name string) (float64, bool) {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var sum float64
+	for _, c := range f.children {
+		if c.histogram != nil {
+			sum += float64(c.histogram.Count())
+			continue
+		}
+		sum += c.value()
+	}
+	return sum, true
+}
+
+// sortedFamilies returns families sorted by name; each family's
+// children sorted by label values. Used by the expositor.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
+}
+
+func cloneValues(vs []string) []string {
+	out := make([]string, len(vs))
+	copy(out, vs)
+	return out
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCheckName(t *testing.T) {
+	valid := []string{
+		"reds_engine_jobs_submitted_total",
+		"reds_cache_size_bytes",
+		"reds_exec_stage_seconds",
+		"reds_engine_queue_depth_jobs",
+		"reds_store_wal_length_entries",
+		"reds_cluster_alive_workers",
+	}
+	for _, name := range valid {
+		if err := CheckName(name); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{
+		"engine_jobs_total",       // no reds_ prefix
+		"reds_total",              // too few segments
+		"reds_engine_queue",       // no unit suffix
+		"reds_engine_jobs_count",  // checkname:invalid — "count" is not a unit
+		"Reds_Engine_Jobs_Total",  // not lower case
+		"reds__engine_total",      // empty segment
+		"reds_engine_jobs_total ", // trailing space
+		"reds-engine-jobs-total",  // dashes
+	}
+	for _, name := range invalid {
+		if err := CheckName(name); err == nil {
+			t.Errorf("CheckName(%q) = nil, want error", name)
+		}
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reds_test_ops_total", "test counter")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if v, ok := reg.Value("reds_test_ops_total"); !ok || v != workers*per {
+		t.Fatalf("registry value = %v/%v, want %d/true", v, ok, workers*per)
+	}
+}
+
+func TestCounterAddIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5 (negative add must be ignored)", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("reds_test_size_bytes", "test gauge")
+	g.Set(10.5)
+	g.Add(2)
+	g.Add(-4.5)
+	if got := g.Value(); got != 8 {
+		t.Fatalf("gauge = %v, want 8", got)
+	}
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8 {
+		t.Fatalf("gauge after balanced concurrent adds = %v, want 8", got)
+	}
+}
+
+func TestVecChildrenAreDistinctAndStable(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("reds_test_hits_total", "per-cache hits", "cache")
+	a1 := vec.With("model")
+	b := vec.With("label")
+	a2 := vec.With("model")
+	if a1 != a2 {
+		t.Fatal("With(same labels) returned different instruments")
+	}
+	if a1 == b {
+		t.Fatal("With(different labels) returned the same instrument")
+	}
+	a1.Add(3)
+	b.Inc()
+	if v, _ := reg.Value("reds_test_hits_total", "model"); v != 3 {
+		t.Fatalf("model child = %v, want 3", v)
+	}
+	if sum, _ := reg.Sum("reds_test_hits_total"); sum != 4 {
+		t.Fatalf("family sum = %v, want 4", sum)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	reg := NewRegistry()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad name", func() { reg.Counter("bad_name", "x") })
+	reg.Counter("reds_test_ops_total", "x")
+	mustPanic("type conflict", func() { reg.Gauge("reds_test_ops_total", "x") })
+	mustPanic("label conflict", func() { reg.CounterVec("reds_test_ops_total", "x", "worker") })
+	mustPanic("no buckets", func() { reg.Histogram("reds_test_lat_seconds", "x", nil) })
+	mustPanic("label arity", func() {
+		reg.CounterVec("reds_test_hits_total", "x", "cache").With("a", "b")
+	})
+}
+
+func TestGaugeFuncReplacedOnReregister(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("reds_test_depth_jobs", "queue depth", func() float64 { return 1 })
+	reg.GaugeFunc("reds_test_depth_jobs", "queue depth", func() float64 { return 7 })
+	if v, ok := reg.Value("reds_test_depth_jobs"); !ok || v != 7 {
+		t.Fatalf("gauge func = %v/%v, want 7/true (last registration wins)", v, ok)
+	}
+}
+
+func TestValueUnknown(t *testing.T) {
+	reg := NewRegistry()
+	if _, ok := reg.Value("reds_test_missing_total"); ok {
+		t.Fatal("Value of unregistered metric reported ok")
+	}
+	reg.CounterVec("reds_test_hits_total", "x", "cache")
+	if _, ok := reg.Value("reds_test_hits_total", "never-touched"); ok {
+		t.Fatal("Value of untouched child reported ok")
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reds_test_ops_total", "line one\nline \\two").Inc()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# HELP reds_test_ops_total line one\nline \\two`) {
+		t.Fatalf("help not escaped:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header that carries a job's request ID
+// across process boundaries: clients may set it on POST /v1/jobs, the
+// gateway's RemoteExecutor forwards it on POST /internal/v1/execute,
+// and every response echoes it — so one job's trace is correlatable
+// across the gateway's and the worker's logs and timings.
+const RequestIDHeader = "X-Request-Id"
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a
+		// time-derived ID still distinguishes concurrent jobs well
+		// enough for log correlation.
+		now := time.Now().UnixNano()
+		for i := range b {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one timed section of a trace: a pipeline stage of one job
+// (or variant), named like "train/rf" or "discover/rf/prim".
+type Span struct {
+	Name    string
+	Seconds float64
+}
+
+// StageTimer turns a sequence of stage-entry notifications into closed
+// spans: each Start closes the span of the previous stage, and Stop
+// closes the last one. It models exactly the core pipeline's OnStage
+// hook, which fires when a stage begins but not when it ends (the next
+// stage beginning — or the pipeline returning — is the end). Safe for
+// concurrent use, though a single pipeline reports sequentially.
+type StageTimer struct {
+	onClose func(Span)
+	now     func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	current string
+	started time.Time
+}
+
+// NewStageTimer returns a timer that hands every closed span to
+// onClose.
+func NewStageTimer(onClose func(Span)) *StageTimer {
+	return &StageTimer{onClose: onClose, now: time.Now}
+}
+
+// Start enters a new stage, closing the previous one (if any).
+func (t *StageTimer) Start(name string) {
+	t.mu.Lock()
+	span, ok := t.closeLocked()
+	t.current, t.started = name, t.now()
+	t.mu.Unlock()
+	if ok {
+		t.onClose(span)
+	}
+}
+
+// Stop closes the current stage, if any. Idempotent.
+func (t *StageTimer) Stop() {
+	t.mu.Lock()
+	span, ok := t.closeLocked()
+	t.mu.Unlock()
+	if ok {
+		t.onClose(span)
+	}
+}
+
+// closeLocked builds the span for the current stage and clears it.
+// Caller holds t.mu.
+func (t *StageTimer) closeLocked() (Span, bool) {
+	if t.current == "" {
+		return Span{}, false
+	}
+	span := Span{Name: t.current, Seconds: t.now().Sub(t.started).Seconds()}
+	t.current = ""
+	return span, true
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty context carries request id %q", got)
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("request id = %q, want abc123", got)
+	}
+	if WithRequestID(ctx, "") != ctx {
+		t.Fatal("WithRequestID(\"\") should return the context unchanged")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	idRE := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewRequestID(), NewRequestID()
+	if !idRE.MatchString(a) || !idRE.MatchString(b) {
+		t.Fatalf("ids %q/%q are not 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two fresh ids collided: %q", a)
+	}
+}
+
+func TestStageTimerClosesSpansOnTransition(t *testing.T) {
+	var spans []Span
+	timer := NewStageTimer(func(s Span) { spans = append(spans, s) })
+	// Deterministic clock: each call advances one second.
+	now := time.Unix(0, 0)
+	timer.now = func() time.Time {
+		now = now.Add(time.Second)
+		return now
+	}
+
+	timer.Start("train")    // nothing to close yet
+	timer.Start("sample")   // closes train
+	timer.Start("discover") // closes sample
+	timer.Stop()            // closes discover
+	timer.Stop()            // idempotent: no span
+
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	wantNames := []string{"train", "sample", "discover"}
+	for i, s := range spans {
+		if s.Name != wantNames[i] {
+			t.Errorf("span %d = %q, want %q", i, s.Name, wantNames[i])
+		}
+		if s.Seconds <= 0 {
+			t.Errorf("span %q has non-positive duration %v", s.Name, s.Seconds)
+		}
+	}
+}
+
+func TestInstrumentAssignsAndPropagatesRequestID(t *testing.T) {
+	reg := NewRegistry()
+	var seen string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := Instrument(inner, reg, nil)
+
+	// A caller-provided id reaches the handler context and the response
+	// header unchanged.
+	req := httptest.NewRequest("GET", "/v1/jobs", nil)
+	req.Header.Set(RequestIDHeader, "deadbeefdeadbeef")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if seen != "deadbeefdeadbeef" {
+		t.Fatalf("handler saw request id %q, want the inbound header", seen)
+	}
+	if got := rr.Header().Get(RequestIDHeader); got != "deadbeefdeadbeef" {
+		t.Fatalf("response echoed %q, want the inbound header", got)
+	}
+
+	// Without the header a fresh id is assigned and echoed.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs", nil))
+	if seen == "" || seen == "deadbeefdeadbeef" {
+		t.Fatalf("handler saw %q, want a fresh generated id", seen)
+	}
+	if got := rr.Header().Get(RequestIDHeader); got != seen {
+		t.Fatalf("response echoed %q, want the generated id %q", got, seen)
+	}
+
+	// Both requests were recorded with method and status code.
+	if v, ok := reg.Value("reds_http_requests_total", "GET", "418"); !ok || v != 2 {
+		t.Fatalf("requests counter = %v/%v, want 2/true", v, ok)
+	}
+	if v, ok := reg.Value("reds_http_request_seconds", "GET"); !ok || v != 2 {
+		t.Fatalf("request latency count = %v/%v, want 2/true", v, ok)
+	}
+}

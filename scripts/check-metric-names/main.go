@@ -1,0 +1,131 @@
+// Command check-metric-names is a vet-style source check: it scans the
+// repository's Go files for string literals that look like metric names
+// (reds_...) and validates each against the registry's naming
+// convention, reds_<subsystem>_<name>_<unit> (telemetry.CheckName).
+//
+// The telemetry registry already panics on a bad name at registration
+// time, but only on the code path that actually runs; this check covers
+// every literal statically, including names built for dashboards, docs
+// examples and tests. Literals inside _test.go files that are
+// deliberately invalid (negative test cases) are skipped via the
+// "checkname:invalid" line comment.
+//
+// Run it from the repository root:
+//
+//	go run ./scripts/check-metric-names
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/reds-go/reds/internal/telemetry"
+)
+
+// nameLike matches literals that are plausibly metric names: the reds_
+// prefix followed by at least two more underscore-separated segments.
+// Single-segment strings like "reds_smoke" (package paths, prefixes)
+// are not metric names and stay out of scope.
+var nameLike = regexp.MustCompile(`^reds(_[a-zA-Z0-9]+){3,}$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("check-metric-names: ")
+	bad, checked, err := run(".")
+	if err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	for _, b := range bad {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(bad) > 0 {
+		log.Fatalf("FAIL: %d of %d metric-name literals violate reds_<subsystem>_<name>_<unit>", len(bad), checked)
+	}
+	log.Printf("PASS: %d metric-name literals conform", checked)
+}
+
+func run(root string) (bad []string, checked int, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "vendor" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fileBad, fileChecked, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		bad = append(bad, fileBad...)
+		checked += fileChecked
+		return nil
+	})
+	return bad, checked, err
+}
+
+// seriesFamily strips the exposition-format series suffixes a histogram
+// family fans out into (_bucket, _sum, _count), so that literals
+// referring to scraped series — not just registered families — pass.
+func seriesFamily(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suffix); base != name && telemetry.CheckName(base) == nil {
+			return base
+		}
+	}
+	return name
+}
+
+func checkFile(path string) (bad []string, checked int, err error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+
+	// Lines carrying a "checkname:invalid" comment hold deliberate
+	// negative test cases for the convention itself.
+	exempt := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "checkname:invalid") {
+				exempt[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil || !nameLike.MatchString(s) {
+			return true
+		}
+		pos := fset.Position(lit.Pos())
+		if exempt[pos.Line] {
+			return true
+		}
+		checked++
+		if err := telemetry.CheckName(seriesFamily(s)); err != nil {
+			bad = append(bad, fmt.Sprintf("%s:%d: %v", pos.Filename, pos.Line, err))
+		}
+		return true
+	})
+	return bad, checked, nil
+}

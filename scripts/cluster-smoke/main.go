@@ -5,8 +5,13 @@
 //
 //   - every job completes with a result,
 //   - both workers received traffic (their /v1/healthz execution
-//     counters are non-zero — consistent hashing spread the keys), and
-//   - the gateway's aggregated healthz sees both workers alive.
+//     counters are non-zero — consistent hashing spread the keys),
+//   - the gateway's aggregated healthz sees both workers alive,
+//   - a caller-supplied X-Request-Id is echoed on the job snapshot and
+//     the job carries a per-stage trace (queue_wait + worker spans), and
+//   - all three processes serve a parseable /metrics exposition whose
+//     every family follows the reds_<subsystem>_<name>_<unit>
+//     convention and whose core series reflect the traffic just sent.
 //
 // Run it from the repository root:
 //
@@ -23,7 +28,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
+
+	"github.com/reds-go/reds/internal/telemetry"
 )
 
 const (
@@ -58,12 +67,22 @@ func run() error {
 		}
 	}
 
+	// Store directories so the reds_store_* series are live too.
+	stores, err := os.MkdirTemp("", "reds-smoke-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stores)
+
 	procs := []*exec.Cmd{
-		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker1Addr, "-workers", "2"),
-		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker2Addr, "-workers", "2"),
+		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker1Addr, "-workers", "2",
+			"-store.dir", filepath.Join(stores, "w1")),
+		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker2Addr, "-workers", "2",
+			"-store.dir", filepath.Join(stores, "w2")),
 		exec.Command(filepath.Join(bin, "redsgateway"), "-addr", gatewayAddr,
 			"-workers", fmt.Sprintf("http://%s,http://%s", worker1Addr, worker2Addr),
-			"-health.interval", "500ms", "-poll.interval", "50ms"),
+			"-health.interval", "500ms", "-poll.interval", "50ms",
+			"-store.dir", filepath.Join(stores, "gw")),
 	}
 	for _, p := range procs {
 		p.Stdout, p.Stderr = os.Stderr, os.Stderr
@@ -83,6 +102,13 @@ func run() error {
 			return err
 		}
 	}
+	// The gateway answers healthz before its first successful probe
+	// round; wait until it actually sees both workers alive, or the
+	// startup race would deterministically route every job to whichever
+	// worker came up first.
+	if err := waitGatewaySeesWorkers(2, 30*time.Second); err != nil {
+		return err
+	}
 	log.Printf("2 workers + gateway healthy")
 
 	// Distinct seeds → distinct shard keys → with two workers and six
@@ -91,7 +117,7 @@ func run() error {
 	// run to run).
 	ids := make([]string, 0, jobCount)
 	for seed := 1; seed <= jobCount; seed++ {
-		id, err := submit(fmt.Sprintf(`{"function":"morris","n":120,"l":2000,"seed":%d}`, seed))
+		id, err := submit(fmt.Sprintf(`{"function":"morris","n":120,"l":2000,"seed":%d}`, seed), "")
 		if err != nil {
 			return fmt.Errorf("submitting job (seed %d): %w", seed, err)
 		}
@@ -128,25 +154,196 @@ func run() error {
 		log.Printf("worker %s executed %d jobs", base, hz.Executions)
 	}
 
-	var ghz struct {
-		OK      bool `json:"ok"`
-		Workers []struct {
-			Node  string `json:"node"`
-			Alive bool   `json:"alive"`
-		} `json:"workers"`
+	// A single probe round can transiently fail while the host is
+	// saturated by the job burst, so allow the prober a few rounds to
+	// settle before judging.
+	if err := waitGatewaySeesWorkers(2, 10*time.Second); err != nil {
+		return err
 	}
-	if err := getJSON(fmt.Sprintf("http://%s/v1/healthz", gatewayAddr), &ghz); err != nil {
-		return fmt.Errorf("gateway healthz: %w", err)
+
+	if err := checkTrace(); err != nil {
+		return err
 	}
-	if !ghz.OK || len(ghz.Workers) != 2 {
-		return fmt.Errorf("gateway healthz not ok: %+v", ghz)
+	return checkMetrics()
+}
+
+// checkTrace submits one job with an explicit X-Request-Id and asserts
+// the id survives the gateway -> worker round trip onto the job
+// snapshot, together with a per-stage trace led by queue_wait.
+func checkTrace() error {
+	const rid = "cafef00dcafef00d"
+	id, err := submit(`{"function":"morris","n":120,"l":2000,"seed":99}`, rid)
+	if err != nil {
+		return fmt.Errorf("submitting traced job: %w", err)
 	}
-	for _, w := range ghz.Workers {
-		if !w.Alive {
-			return fmt.Errorf("gateway sees worker %s dead", w.Node)
+	if err := waitDone(id, 120*time.Second); err != nil {
+		return err
+	}
+	var snap struct {
+		RequestID string `json:"request_id"`
+		Timings   []struct {
+			Stage   string  `json:"stage"`
+			Seconds float64 `json:"seconds"`
+		} `json:"timings"`
+	}
+	if err := getJSON(fmt.Sprintf("http://%s/v1/jobs/%s", gatewayAddr, id), &snap); err != nil {
+		return fmt.Errorf("traced job snapshot: %w", err)
+	}
+	if snap.RequestID != rid {
+		return fmt.Errorf("job %s carries request_id %q, want the submitted %q", id, snap.RequestID, rid)
+	}
+	if len(snap.Timings) < 2 || snap.Timings[0].Stage != "queue_wait" {
+		return fmt.Errorf("job %s timings %+v, want queue_wait followed by worker spans", id, snap.Timings)
+	}
+	workerSpans := 0
+	for _, ts := range snap.Timings[1:] {
+		if ts.Seconds < 0 {
+			return fmt.Errorf("job %s span %q has negative duration", id, ts.Stage)
 		}
+		workerSpans++
 	}
+	log.Printf("traced job %s: request id echoed, %d worker spans", id, workerSpans)
 	return nil
+}
+
+// checkMetrics scrapes /metrics on both workers and the gateway,
+// validates every exposed family against the naming convention, and
+// asserts the core series reflect the traffic this smoke test sent.
+func checkMetrics() error {
+	const totalJobs = jobCount + 1 // + the traced job
+
+	for _, base := range []string{"http://" + worker1Addr, "http://" + worker2Addr} {
+		m, err := scrapeMetrics(base)
+		if err != nil {
+			return err
+		}
+		if m.series["reds_exec_executions_total"] == 0 {
+			return fmt.Errorf("%s /metrics: no executions recorded", base)
+		}
+		if m.series["reds_exec_stage_seconds_count"] == 0 {
+			return fmt.Errorf("%s /metrics: no stage spans observed", base)
+		}
+		if m.series["reds_http_requests_total"] == 0 {
+			return fmt.Errorf("%s /metrics: no http requests recorded", base)
+		}
+		log.Printf("%s /metrics: %d families, all names conformant", base, len(m.families))
+	}
+
+	gw, err := scrapeMetrics("http://" + gatewayAddr)
+	if err != nil {
+		return err
+	}
+	if got := gw.series["reds_cluster_dispatches_total"]; got != totalJobs {
+		return fmt.Errorf("gateway dispatched %v executions, want %d", got, totalJobs)
+	}
+	if got := gw.series["reds_cluster_alive_workers"]; got != 2 {
+		return fmt.Errorf("gateway sees %v alive workers on /metrics, want 2", got)
+	}
+	if got := gw.series["reds_engine_jobs_finished_total"]; got != totalJobs {
+		return fmt.Errorf("gateway finished %v jobs on /metrics, want %d", got, totalJobs)
+	}
+	if gw.series["reds_store_wal_appends_total"] == 0 {
+		return fmt.Errorf("gateway store recorded no WAL appends despite -store.dir")
+	}
+	log.Printf("gateway /metrics: %d families, core series consistent", len(gw.families))
+	return nil
+}
+
+// metricsDump is a parsed text exposition: family name -> type, plus
+// every series name (including _bucket/_sum/_count) summed over its
+// label sets.
+type metricsDump struct {
+	families map[string]string
+	series   map[string]float64
+}
+
+func scrapeMetrics(base string) (*metricsDump, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("GET %s/metrics: %w", base, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/metrics: %s", base, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.TextContentType {
+		return nil, fmt.Errorf("%s/metrics Content-Type = %q, want %q", base, ct, telemetry.TextContentType)
+	}
+
+	m := &metricsDump{families: map[string]string{}, series: map[string]float64{}}
+	for ln, line := range strings.Split(string(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%s/metrics line %d: malformed TYPE comment %q", base, ln+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			if err := telemetry.CheckName(name); err != nil {
+				return nil, fmt.Errorf("%s/metrics exposes non-conformant family: %w", base, err)
+			}
+			m.families[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("%s/metrics line %d: unparseable series %q", base, ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s/metrics line %d: bad value in %q: %w", base, ln+1, line, err)
+		}
+		name := line[:sp]
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			name = name[:br]
+		}
+		m.series[name] += v
+	}
+	if len(m.families) == 0 {
+		return nil, fmt.Errorf("%s/metrics exposed no metric families", base)
+	}
+	return m, nil
+}
+
+// waitGatewaySeesWorkers polls the gateway's healthz until its health
+// prober reports `want` workers alive (ok + per-worker alive flags).
+func waitGatewaySeesWorkers(want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var ghz struct {
+			OK      bool `json:"ok"`
+			Workers []struct {
+				Node  string `json:"node"`
+				Alive bool   `json:"alive"`
+				Error string `json:"error"`
+			} `json:"workers"`
+		}
+		err := getJSON(fmt.Sprintf("http://%s/v1/healthz", gatewayAddr), &ghz)
+		if err == nil && ghz.OK && len(ghz.Workers) == want {
+			alive := 0
+			for _, w := range ghz.Workers {
+				if w.Alive {
+					alive++
+				}
+			}
+			if alive == want {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway never saw %d workers alive: %+v (%v)", want, ghz, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 func waitHealthy(base string, timeout time.Duration) error {
@@ -167,8 +364,18 @@ func waitHealthy(base string, timeout time.Duration) error {
 	}
 }
 
-func submit(body string) (string, error) {
-	resp, err := http.Post(fmt.Sprintf("http://%s/v1/jobs", gatewayAddr), "application/json", bytes.NewReader([]byte(body)))
+// submit POSTs a job to the gateway; a non-empty requestID is sent as
+// the X-Request-Id header.
+func submit(body, requestID string) (string, error) {
+	req, err := http.NewRequest("POST", fmt.Sprintf("http://%s/v1/jobs", gatewayAddr), bytes.NewReader([]byte(body)))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set(telemetry.RequestIDHeader, requestID)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return "", err
 	}
