@@ -45,6 +45,7 @@ import (
 	"github.com/reds-go/reds/internal/cluster"
 	"github.com/reds-go/reds/internal/engine"
 	"github.com/reds-go/reds/internal/engine/store"
+	"github.com/reds-go/reds/internal/faultinject"
 	"github.com/reds-go/reds/internal/telemetry"
 )
 
@@ -61,6 +62,8 @@ func main() {
 	storeTTL := flag.Duration("store.ttl", 0, "retention of finished jobs before garbage collection (0: keep forever)")
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
 	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
+	drainTimeout := flag.Duration("drain.timeout", 10*time.Second, "how long shutdown waits for in-flight jobs to finish before canceling them")
+	faults := flag.String("faults", "", "arm fault-injection points, e.g. store.wal.torn=1 (testing only; also read from REDS_FAULTS)")
 	logLevel := flag.String("log.level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := flag.String("log.format", "json", "log output format: json or text")
 	debugAddr := flag.String("debug.addr", "", "listen address for the debug server (pprof + metrics); empty: disabled")
@@ -84,6 +87,13 @@ func main() {
 	}
 	if *dispatch <= 0 {
 		*dispatch = 2 * len(workers)
+	}
+
+	if spec := firstNonEmpty(*faults, os.Getenv("REDS_FAULTS")); spec != "" {
+		if err := faultinject.Arm(spec); err != nil {
+			fatal("bad -faults spec", err)
+		}
+		logger.Warn("fault injection armed", "spec", spec)
 	}
 
 	// One registry per process: dispatcher, prober, engine, store and
@@ -137,7 +147,11 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", gatewayHealthz(eng, disp))
+	mux.HandleFunc("GET /v1/readyz", gatewayReadyz(disp))
 	mux.HandleFunc("GET /v1/jobs", gatewayJobs(eng, disp, client))
+	mux.HandleFunc("GET /internal/v1/workers", listWorkers(disp))
+	mux.HandleFunc("POST /internal/v1/workers", addWorker(disp, logger))
+	mux.HandleFunc("DELETE /internal/v1/workers", removeWorker(disp, logger))
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("/", engine.NewHandler(eng))
 
@@ -168,12 +182,18 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		logger.Info("shutting down")
+		logger.Info("shutting down", "drain_timeout", drainTimeout.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 		if debugSrv != nil {
 			_ = debugSrv.Shutdown(shutdownCtx)
+		}
+		// Drain before teardown: jobs already dispatched to workers get
+		// drain.timeout to finish (their checkpoints are persisted along
+		// the way, so whatever is cut off resumes after restart).
+		if !eng.Drain(*drainTimeout) {
+			logger.Warn("drain timeout: canceling remaining jobs")
 		}
 		eng.Close()
 		disp.Close()
@@ -222,11 +242,131 @@ func gatewayHealthz(eng *engine.Engine, disp *cluster.Dispatcher) http.HandlerFu
 			"workers":    statuses,
 			"dispatched": dispatched,
 			"failovers":  failovers,
+			"ready":      disp.Ready(),
 			"ring": map[string]any{
 				"workers": disp.Ring().Len(),
+				"changes": disp.Ring().Mutations(),
 			},
 		})
 	}
+}
+
+// gatewayReadyz is the readiness gate: 503 until the first health-probe
+// round has completed AND at least one worker on the ring is alive, 200
+// afterwards. Liveness (/v1/healthz) answers ok the moment the process
+// is up; readiness only once observed worker health says jobs can
+// actually run — load balancers and smoke tests should gate on this.
+func gatewayReadyz(disp *cluster.Dispatcher) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		probed := disp.Ready()
+		anyAlive := false
+		for _, st := range disp.Health().Snapshot() {
+			if st.Alive {
+				anyAlive = true
+				break
+			}
+		}
+		ready := probed && anyAlive
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"ready":         ready,
+			"probed":        probed,
+			"alive_workers": anyAlive,
+		})
+	}
+}
+
+// workerRequest is the body of worker-admin calls.
+type workerRequest struct {
+	URL string `json:"url"`
+}
+
+// listWorkers reports the registered workers with their health.
+func listWorkers(disp *cluster.Dispatcher) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"workers": disp.Health().Snapshot(),
+			"ring": map[string]any{
+				"workers": disp.Ring().Len(),
+				"changes": disp.Ring().Mutations(),
+			},
+		})
+	}
+}
+
+// addWorker registers a worker at runtime (POST /internal/v1/workers
+// {"url":"http://10.0.0.3:8080"}): the ring rebalances, probing starts,
+// and the next dispatches can land on it.
+func addWorker(disp *cluster.Dispatcher, logger *slog.Logger) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		url, ok := workerURL(w, r)
+		if !ok {
+			return
+		}
+		if err := disp.AddWorker(url); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+			return
+		}
+		logger.Info("worker registered", "worker", url, "ring_size", disp.Ring().Len())
+		writeJSON(w, http.StatusOK, map[string]any{
+			"workers": disp.Workers(),
+		})
+	}
+}
+
+// removeWorker deregisters a worker at runtime (DELETE with the same
+// body as POST, or ?url=). Its keys rebalance onto the survivors.
+func removeWorker(disp *cluster.Dispatcher, logger *slog.Logger) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		url, ok := workerURL(w, r)
+		if !ok {
+			return
+		}
+		if err := disp.RemoveWorker(url); err != nil {
+			status := http.StatusNotFound
+			if strings.Contains(err.Error(), "last worker") {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error()})
+			return
+		}
+		logger.Info("worker deregistered", "worker", url, "ring_size", disp.Ring().Len())
+		writeJSON(w, http.StatusOK, map[string]any{
+			"workers": disp.Workers(),
+		})
+	}
+}
+
+// workerURL extracts the worker base URL from the JSON body or the
+// ?url= query parameter, normalized like the -workers flag.
+func workerURL(w http.ResponseWriter, r *http.Request) (string, bool) {
+	var req workerRequest
+	if r.Body != nil {
+		_ = json.NewDecoder(r.Body).Decode(&req)
+	}
+	if req.URL == "" {
+		req.URL = r.URL.Query().Get("url")
+	}
+	url := strings.TrimRight(strings.TrimSpace(req.URL), "/")
+	if url == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "missing worker url (JSON body {\"url\":...} or ?url=)"})
+		return "", false
+	}
+	return url, true
+}
+
+// firstNonEmpty returns the first non-empty string, so the -faults flag
+// wins over the REDS_FAULTS environment variable.
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
 }
 
 // gatewayJobs aggregates the cluster's job listings: the gateway's own

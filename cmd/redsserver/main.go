@@ -48,8 +48,20 @@ import (
 
 	"github.com/reds-go/reds/internal/engine"
 	"github.com/reds-go/reds/internal/engine/store"
+	"github.com/reds-go/reds/internal/faultinject"
 	"github.com/reds-go/reds/internal/telemetry"
 )
+
+// firstNonEmpty returns the first non-empty string, so the -faults flag
+// wins over the REDS_FAULTS environment variable.
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -64,6 +76,8 @@ func main() {
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
 	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
 	internalOff := flag.Bool("internal.disable", false, "do not expose the internal execution API used by redsgateway")
+	drainTimeout := flag.Duration("drain.timeout", 10*time.Second, "how long shutdown waits for running jobs and executions to finish before canceling them")
+	faults := flag.String("faults", "", "arm fault-injection points, e.g. exec.start.delay=200ms,store.wal.torn=1 (testing only; also read from REDS_FAULTS)")
 	logLevel := flag.String("log.level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := flag.String("log.format", "json", "log output format: json or text")
 	debugAddr := flag.String("debug.addr", "", "listen address for the debug server (pprof + metrics); empty: disabled")
@@ -79,6 +93,13 @@ func main() {
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "error", err)
 		os.Exit(1)
+	}
+
+	if spec := firstNonEmpty(*faults, os.Getenv("REDS_FAULTS")); spec != "" {
+		if err := faultinject.Arm(spec); err != nil {
+			fatal("bad -faults spec", err)
+		}
+		logger.Warn("fault injection armed", "spec", spec)
 	}
 
 	// One registry per process: engine, executor (and its caches), store
@@ -160,12 +181,24 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		logger.Info("shutting down")
+		logger.Info("shutting down", "drain_timeout", drainTimeout.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 		if debugSrv != nil {
 			_ = debugSrv.Shutdown(shutdownCtx)
+		}
+		// Graceful drain before teardown: let running work finish inside
+		// the budget, then cancel whatever is left. Gateway-dispatched
+		// executions drain first (their checkpoints keep streaming to the
+		// gateway until the end), then the engine's own jobs.
+		if execSrv != nil {
+			if !execSrv.Drain(*drainTimeout) {
+				logger.Warn("drain timeout: canceling remaining remote executions")
+			}
+		}
+		if !eng.Drain(*drainTimeout) {
+			logger.Warn("drain timeout: canceling remaining jobs")
 		}
 		if execSrv != nil {
 			execSrv.Close()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/reds-go/reds/internal/engine"
@@ -27,9 +28,9 @@ type DispatcherOptions struct {
 	// injectable for tests that want in-process fakes instead of HTTP.
 	ExecutorFor func(node string) engine.Executor
 	// Metrics is the registry for the dispatcher's instruments (per-
-	// worker dispatch counters, failovers, ring size/churn) and — unless
-	// Health.Metrics is set separately — the health prober's. nil gets a
-	// private registry.
+	// worker dispatch counters, failovers, retries, ring size/churn) and
+	// — unless Health.Metrics is set separately — the health prober's.
+	// nil gets a private registry.
 	Metrics *telemetry.Registry
 }
 
@@ -39,21 +40,28 @@ type DispatcherOptions struct {
 // on one process. When the chosen worker is dead — known from the
 // health prober, or discovered when the execution fails with
 // engine.ErrUnavailable — the dispatcher walks the key's deterministic
-// candidate list to the next worker and re-runs the request there.
-// Errors that are verdicts about the request itself (validation,
-// pipeline failures) are returned as-is, never re-routed.
+// candidate list to the next worker and re-runs the request there,
+// forwarding the latest execution checkpoint the failed worker reported
+// so finished stages are not recomputed. Errors that are verdicts about
+// the request itself (validation, pipeline failures) are returned
+// as-is, never re-routed. The worker set is dynamic: AddWorker and
+// RemoveWorker rebalance the ring at runtime.
 type Dispatcher struct {
-	ring   *Ring
-	health *Health
-	execs  map[string]engine.Executor
+	ring        *Ring
+	health      *Health
+	executorFor func(node string) engine.Executor
 
+	// mu guards the per-worker maps — the worker set changes at runtime
+	// via AddWorker/RemoveWorker while Execute reads it.
+	mu    sync.Mutex
+	execs map[string]engine.Executor
 	// The dispatch counters ARE the telemetry instruments
 	// (reds_cluster_dispatches_total{worker}, _failovers_total); Stats()
 	// reads them back, so the gateway healthz and /metrics cannot
-	// drift. The worker set is fixed at construction, so the children
-	// are pre-resolved off the Execute path.
-	dispatched map[string]*telemetry.Counter
-	failovers  *telemetry.Counter
+	// drift.
+	dispatched  map[string]*telemetry.Counter
+	dispatchVec *telemetry.CounterVec
+	failovers   *telemetry.Counter
 }
 
 // NewDispatcher builds a dispatcher over the worker base URLs.
@@ -65,15 +73,22 @@ func NewDispatcher(workers []string, opts DispatcherOptions) (*Dispatcher, error
 	if client == nil {
 		client = &http.Client{Timeout: 15 * time.Second}
 	}
-	executorFor := opts.ExecutorFor
-	if executorFor == nil {
-		executorFor = func(node string) engine.Executor {
-			return &engine.RemoteExecutor{BaseURL: node, Client: client, PollInterval: opts.PollInterval}
-		}
-	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
+	}
+	executorFor := opts.ExecutorFor
+	if executorFor == nil {
+		retries := reg.CounterVec("reds_cluster_retry_attempts_total",
+			"Per-attempt HTTP retries against workers (op = start|poll).", "worker", "op")
+		executorFor = func(node string) engine.Executor {
+			return &engine.RemoteExecutor{
+				BaseURL:      node,
+				Client:       client,
+				PollInterval: opts.PollInterval,
+				OnRetry:      func(op string) { retries.With(node, op).Inc() },
+			}
+		}
 	}
 	if opts.Health.Client == nil {
 		opts.Health.Client = client
@@ -103,10 +118,12 @@ func NewDispatcher(workers []string, opts DispatcherOptions) (*Dispatcher, error
 		"Workers currently on the consistent-hash ring.",
 		func() float64 { return float64(ring.Len()) })
 	return &Dispatcher{
-		ring:       ring,
-		health:     NewHealth(workers, opts.Health),
-		execs:      execs,
-		dispatched: dispatched,
+		ring:        ring,
+		health:      NewHealth(workers, opts.Health),
+		executorFor: executorFor,
+		execs:       execs,
+		dispatched:  dispatched,
+		dispatchVec: dispatchVec,
 		failovers: reg.Counter("reds_cluster_failovers_total",
 			"Executions re-routed to another worker after an unavailable one."),
 	}, nil
@@ -124,10 +141,62 @@ func (d *Dispatcher) Health() *Health { return d.health }
 // Route returns the worker currently first in line for a key.
 func (d *Dispatcher) Route(key string) (string, bool) { return d.ring.Lookup(key) }
 
+// AddWorker registers a worker at runtime: it joins the consistent-hash
+// ring (taking over its share of keys), starts being health-probed, and
+// becomes dispatchable. Registering an already-known worker fails.
+func (d *Dispatcher) AddWorker(node string) error {
+	if node == "" {
+		return errors.New("cluster: empty worker url")
+	}
+	d.mu.Lock()
+	if _, dup := d.execs[node]; dup {
+		d.mu.Unlock()
+		return fmt.Errorf("cluster: worker %s already registered", node)
+	}
+	d.execs[node] = d.executorFor(node)
+	d.dispatched[node] = d.dispatchVec.With(node)
+	d.mu.Unlock()
+	d.health.Add(node)
+	d.ring.Add(node)
+	return nil
+}
+
+// RemoveWorker deregisters a worker: it leaves the ring (its keys
+// rebalance onto the survivors), stops being probed, and receives no
+// new dispatches. In-flight executions on it are not interrupted; if
+// they fail, normal failover applies. Removing the last worker fails —
+// a dispatcher with an empty ring could route nothing.
+func (d *Dispatcher) RemoveWorker(node string) error {
+	d.mu.Lock()
+	if _, ok := d.execs[node]; !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("cluster: unknown worker %s", node)
+	}
+	if len(d.execs) == 1 {
+		d.mu.Unlock()
+		return fmt.Errorf("cluster: refusing to remove the last worker %s", node)
+	}
+	delete(d.execs, node)
+	delete(d.dispatched, node)
+	d.mu.Unlock()
+	d.ring.Remove(node)
+	d.health.Remove(node)
+	return nil
+}
+
+// Workers returns the registered worker URLs in ring-node order.
+func (d *Dispatcher) Workers() []string { return d.ring.Nodes() }
+
+// Ready reports whether the first health-probe round has completed —
+// the gateway's readiness gate.
+func (d *Dispatcher) Ready() bool { return d.health.Ready() }
+
 // Stats returns per-worker dispatch counts and the number of failover
 // re-routes so far, read from the same telemetry instruments /metrics
 // exposes.
 func (d *Dispatcher) Stats() (dispatched map[string]int64, failovers int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make(map[string]int64, len(d.dispatched))
 	for k, c := range d.dispatched {
 		out[k] = c.Value()
@@ -135,11 +204,21 @@ func (d *Dispatcher) Stats() (dispatched map[string]int64, failovers int64) {
 	return out, d.failovers.Value()
 }
 
+// executor returns the executor and dispatch counter for a node, or
+// nil when the node was removed after the candidate list was computed.
+func (d *Dispatcher) executor(node string) (engine.Executor, *telemetry.Counter) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.execs[node], d.dispatched[node]
+}
+
 // Execute implements engine.Executor with consistent-hash routing and
-// failover. The candidate walk visits every worker at most once, alive
-// workers first in ring order; progress restarts from zero when an
-// execution is re-routed mid-flight (the new worker runs the request
-// from scratch).
+// checkpointed failover. The candidate walk visits every worker at most
+// once, alive workers first in ring order. The dispatcher watches the
+// progress stream for execution checkpoints; when an execution is
+// re-routed mid-flight, the highest-sequence checkpoint seen so far is
+// forwarded with the request, so the next worker resumes after the
+// stages the checkpoint proves finished instead of starting over.
 func (d *Dispatcher) Execute(ctx context.Context, req engine.Request, onProgress func(engine.Progress)) (*engine.Result, error) {
 	key := req.ShardKey()
 	cands := d.ring.Candidates(key, d.ring.Len())
@@ -161,17 +240,46 @@ func (d *Dispatcher) Execute(ctx context.Context, req engine.Request, onProgress
 	}
 	ordered = append(ordered, dead...)
 
+	// Capture the newest checkpoint from the progress stream so a
+	// failover can hand it to the next candidate. The mutex covers the
+	// executors that report progress from worker goroutines.
+	var cpMu sync.Mutex
+	latest := req.Checkpoint // a checkpoint already on the request (engine restart) seeds the chain
+	observe := func(p engine.Progress) {
+		if cp := p.Checkpoint; cp != nil {
+			cpMu.Lock()
+			if latest == nil || cp.Seq > latest.Seq {
+				latest = cp
+			}
+			cpMu.Unlock()
+		}
+		if onProgress != nil {
+			onProgress(p)
+		}
+	}
+
 	var lastErr error
-	for i, node := range ordered {
+	attempts := 0
+	for _, node := range ordered {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		d.dispatched[node].Inc()
-		if i > 0 {
+		ex, counter := d.executor(node)
+		if ex == nil { // removed since the candidate list was computed
+			continue
+		}
+		counter.Inc()
+		if attempts > 0 {
 			d.failovers.Inc()
 		}
+		attempts++
 
-		res, err := d.execs[node].Execute(ctx, req, onProgress)
+		attemptReq := req
+		cpMu.Lock()
+		attemptReq.Checkpoint = latest
+		cpMu.Unlock()
+
+		res, err := ex.Execute(ctx, attemptReq, observe)
 		if err == nil {
 			return res, nil
 		}
@@ -184,5 +292,8 @@ func (d *Dispatcher) Execute(ctx context.Context, req engine.Request, onProgress
 		d.health.MarkDead(node, err)
 		lastErr = err
 	}
-	return nil, fmt.Errorf("cluster: all %d workers failed for key %.12s…: %w", len(ordered), key, lastErr)
+	if attempts == 0 {
+		return nil, fmt.Errorf("cluster: no dispatchable workers for key %.12s…: %w", key, engine.ErrUnavailable)
+	}
+	return nil, fmt.Errorf("cluster: all %d workers failed for key %.12s…: %w", attempts, key, lastErr)
 }

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -9,6 +11,15 @@ import (
 	"time"
 
 	"github.com/reds-go/reds/internal/telemetry"
+)
+
+// Circuit-breaker states. closed = healthy, failures counted; open =
+// tripped, node out of rotation until the cooldown elapses; half-open =
+// cooldown over, trial probes decide whether the node rejoins.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
 )
 
 // NodeStatus is one worker's health as the gateway sees it.
@@ -21,6 +32,12 @@ type NodeStatus struct {
 	// CheckedAt is the time of the last probe (zero before the first
 	// one completes).
 	CheckedAt time.Time `json:"checked_at,omitzero"`
+	// Breaker is the node's circuit-breaker state (closed, open or
+	// half-open). A node is only Alive with a closed breaker.
+	Breaker string `json:"breaker"`
+	// RetryAt is when an open breaker lets the next probe through as a
+	// trial; zero unless the breaker is open.
+	RetryAt time.Time `json:"retry_at,omitzero"`
 }
 
 // HealthOptions tune the prober.
@@ -32,10 +49,31 @@ type HealthOptions struct {
 	// Client defaults to http.DefaultClient with Timeout applied per
 	// request context.
 	Client *http.Client
+	// FailureThreshold is how many consecutive failures (probe failures
+	// or dispatcher MarkDead reports) open a node's breaker. Default 1:
+	// the first failure takes the node out of rotation, matching the
+	// prober's historical behavior.
+	FailureThreshold int
+	// SuccessThreshold is how many consecutive probe successes a
+	// half-open node needs before its breaker closes and it rejoins the
+	// rotation (default 1).
+	SuccessThreshold int
+	// BreakerCooldown is the open-state cooldown before the first trial
+	// probe is let through; each consecutive trip doubles it, jittered,
+	// capped at BreakerMaxCooldown. Default 500ms.
+	BreakerCooldown time.Duration
+	// BreakerMaxCooldown caps the exponential cooldown growth (default
+	// 30s).
+	BreakerMaxCooldown time.Duration
 	// Metrics is the registry for the prober's instruments
-	// (reds_cluster_probes_total{worker,result} and the alive-workers
-	// gauge). nil gets a private registry.
+	// (reds_cluster_probes_total{worker,result}, the alive-workers
+	// gauge, and reds_cluster_breaker_transitions_total{worker,state}).
+	// nil gets a private registry.
 	Metrics *telemetry.Registry
+
+	// now is the prober's clock — injectable so breaker tests can move
+	// time instead of sleeping.
+	now func() time.Time
 }
 
 func (o HealthOptions) withDefaults() HealthOptions {
@@ -48,7 +86,31 @@ func (o HealthOptions) withDefaults() HealthOptions {
 	if o.Client == nil {
 		o.Client = http.DefaultClient
 	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 1
+	}
+	if o.SuccessThreshold <= 0 {
+		o.SuccessThreshold = 1
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 500 * time.Millisecond
+	}
+	if o.BreakerMaxCooldown <= 0 {
+		o.BreakerMaxCooldown = 30 * time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
 	return o
+}
+
+// breaker is the per-node circuit-breaker bookkeeping behind NodeStatus.
+type breaker struct {
+	state     string
+	failures  int // consecutive failures while closed
+	successes int // consecutive successes while half-open
+	trips     int // consecutive opens; drives the cooldown growth
+	retryAt   time.Time
 }
 
 // Health probes each worker's GET /v1/healthz on a fixed interval and
@@ -56,15 +118,28 @@ func (o HealthOptions) withDefaults() HealthOptions {
 // first probe completes the dispatcher would otherwise have nowhere to
 // send work), and a dispatcher that watches an execution fail with
 // ErrUnavailable can MarkDead a node immediately instead of waiting for
-// the next probe round. A dead node keeps being probed and rejoins the
-// rotation as soon as it answers again.
+// the next probe round. Each node carries a circuit breaker: failures
+// open it (with an exponentially growing, jittered cooldown on repeated
+// trips), the cooldown elapsing half-opens it, and trial probe
+// successes close it again — so a flapping worker cannot rejoin the
+// rotation on every brief recovery. The node set is dynamic: Add and
+// Remove change who gets probed.
 type Health struct {
 	opts HealthOptions
 	// mProbes counts probe outcomes per worker (result = ok|fail).
 	mProbes *telemetry.CounterVec
+	// mBreaker counts breaker state transitions per worker.
+	mBreaker *telemetry.CounterVec
 
-	mu     sync.Mutex
-	status map[string]*NodeStatus
+	// ready is closed when the first probe round completes; readiness
+	// gates (the gateway's /v1/readyz) key off it so traffic only flows
+	// once liveness is observed, not assumed.
+	ready     chan struct{}
+	readyOnce sync.Once
+
+	mu       sync.Mutex
+	status   map[string]*NodeStatus
+	breakers map[string]*breaker
 	// diedAt records the last MarkDead per node, so a probe success
 	// captured *before* the node died cannot resurrect it when its
 	// result is folded in after the MarkDead (the dispatcher's report
@@ -87,12 +162,18 @@ func NewHealth(nodes []string, opts HealthOptions) *Health {
 		opts: opts,
 		mProbes: reg.CounterVec("reds_cluster_probes_total",
 			"Health probe outcomes per worker (result = ok|fail).", "worker", "result"),
-		status: make(map[string]*NodeStatus, len(nodes)),
-		diedAt: make(map[string]time.Time, len(nodes)),
-		done:   make(chan struct{}),
+		mBreaker: reg.CounterVec("reds_cluster_breaker_transitions_total",
+			"Circuit-breaker state transitions per worker (state = closed|open|half-open).",
+			"worker", "state"),
+		ready:    make(chan struct{}),
+		status:   make(map[string]*NodeStatus, len(nodes)),
+		breakers: make(map[string]*breaker, len(nodes)),
+		diedAt:   make(map[string]time.Time, len(nodes)),
+		done:     make(chan struct{}),
 	}
 	for _, n := range nodes {
-		h.status[n] = &NodeStatus{Node: n, Alive: true}
+		h.status[n] = &NodeStatus{Node: n, Alive: true, Breaker: BreakerClosed}
+		h.breakers[n] = &breaker{state: BreakerClosed}
 	}
 	reg.GaugeFunc("reds_cluster_alive_workers",
 		"Workers whose most recent health probe succeeded.",
@@ -116,9 +197,44 @@ func (h *Health) Close() {
 	h.wg.Wait()
 }
 
+// Add starts probing a node. New nodes begin alive with a closed
+// breaker, like the initial set. Adding a node that is already tracked
+// is a no-op (in particular it does not reset an open breaker).
+func (h *Health) Add(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.status[node]; ok {
+		return
+	}
+	h.status[node] = &NodeStatus{Node: node, Alive: true, Breaker: BreakerClosed}
+	h.breakers[node] = &breaker{state: BreakerClosed}
+}
+
+// Remove stops probing a node and forgets its state. Re-adding it later
+// starts from a clean, closed breaker.
+func (h *Health) Remove(node string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.status, node)
+	delete(h.breakers, node)
+	delete(h.diedAt, node)
+}
+
+// Ready reports whether the first probe round has completed — i.e. the
+// Alive answers are observed, not the optimistic startup default.
+func (h *Health) Ready() bool {
+	select {
+	case <-h.ready:
+		return true
+	default:
+		return false
+	}
+}
+
 func (h *Health) loop() {
 	defer h.wg.Done()
 	h.probeAll() // first round immediately, not one interval late
+	h.readyOnce.Do(func() { close(h.ready) })
 	t := time.NewTicker(h.opts.Interval)
 	defer t.Stop()
 	for {
@@ -145,34 +261,114 @@ func (h *Health) probeAll() {
 		wg.Add(1)
 		go func(node string) {
 			defer wg.Done()
-			started := time.Now()
+			started := h.opts.now()
 			err := h.probe(node)
 			result := "ok"
 			if err != nil {
 				result = "fail"
 			}
 			h.mProbes.With(node, result).Inc()
-			h.mu.Lock()
-			if st := h.status[node]; st != nil {
-				// A success observed before a MarkDead is stale — the
-				// node answered, then died. Discard it; the next probe
-				// round decides.
-				if err == nil && h.diedAt[node].After(started) {
-					h.mu.Unlock()
-					return
-				}
-				st.Alive = err == nil
-				st.CheckedAt = time.Now()
-				if err != nil {
-					st.Error = err.Error()
-				} else {
-					st.Error = ""
-				}
-			}
-			h.mu.Unlock()
+			h.observe(node, err, started)
 		}(node)
 	}
 	wg.Wait()
+}
+
+// observe folds one probe (or dispatcher) outcome into the node's
+// status through its circuit breaker.
+func (h *Health) observe(node string, err error, started time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.status[node]
+	b := h.breakers[node]
+	if st == nil || b == nil { // removed while the probe was in flight
+		return
+	}
+	now := h.opts.now()
+	st.CheckedAt = now
+
+	if err != nil {
+		st.Alive = false
+		st.Error = err.Error()
+		switch b.state {
+		case BreakerOpen:
+			// Already open; repeated failures neither trip it again nor
+			// extend the cooldown — the scheduled trial decides.
+		case BreakerHalfOpen:
+			// The trial failed: re-open with a longer cooldown.
+			h.tripLocked(node, st, b, now)
+		default:
+			b.failures++
+			if b.failures >= h.opts.FailureThreshold {
+				h.tripLocked(node, st, b, now)
+			}
+		}
+		return
+	}
+
+	// A success observed before a MarkDead is stale — the node
+	// answered, then died. Discard it; the next probe round decides.
+	if h.diedAt[node].After(started) {
+		return
+	}
+	switch b.state {
+	case BreakerOpen:
+		if now.Before(b.retryAt) {
+			// Still cooling down: the success does not rejoin the node;
+			// it would re-admit a flapping worker instantly.
+			return
+		}
+		h.setStateLocked(node, st, b, BreakerHalfOpen)
+		b.successes = 0
+		fallthrough
+	case BreakerHalfOpen:
+		b.successes++
+		if b.successes < h.opts.SuccessThreshold {
+			return // still on trial, still out of rotation
+		}
+		h.setStateLocked(node, st, b, BreakerClosed)
+		b.trips = 0
+	default:
+		b.failures = 0
+	}
+	st.Alive = true
+	st.Error = ""
+	st.RetryAt = time.Time{}
+	b.retryAt = time.Time{}
+}
+
+// tripLocked opens a node's breaker and schedules the next trial.
+func (h *Health) tripLocked(node string, st *NodeStatus, b *breaker, now time.Time) {
+	h.setStateLocked(node, st, b, BreakerOpen)
+	b.failures, b.successes = 0, 0
+	b.trips++
+	b.retryAt = now.Add(h.cooldown(b.trips))
+	st.RetryAt = b.retryAt
+}
+
+// cooldown returns the jittered open-state cooldown for the given
+// consecutive trip count: base doubling per trip, capped, then spread
+// over [d/2, 3d/2) so a fleet-wide outage does not retry in lockstep.
+func (h *Health) cooldown(trips int) time.Duration {
+	d := h.opts.BreakerCooldown
+	for i := 1; i < trips && d < h.opts.BreakerMaxCooldown; i++ {
+		d *= 2
+	}
+	if d > h.opts.BreakerMaxCooldown {
+		d = h.opts.BreakerMaxCooldown
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// setStateLocked records a breaker transition on the status and the
+// transitions counter.
+func (h *Health) setStateLocked(node string, st *NodeStatus, b *breaker, state string) {
+	if b.state == state {
+		return
+	}
+	b.state = state
+	st.Breaker = state
+	h.mBreaker.With(node, state).Inc()
 }
 
 // probe performs one healthz request.
@@ -201,8 +397,8 @@ type statusError struct {
 
 func (e *statusError) Error() string { return "healthz of " + e.node + " returned " + e.status }
 
-// Alive reports whether the node answered its last probe (unknown nodes
-// are dead).
+// Alive reports whether the node answered its last probe and its
+// breaker is closed (unknown nodes are dead).
 func (h *Health) Alive(node string) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -212,17 +408,21 @@ func (h *Health) Alive(node string) bool {
 
 // MarkDead flags a node down immediately — dispatcher feedback for an
 // execution that failed with ErrUnavailable, faster than the next probe
-// round. The prober will resurrect the node when it answers again.
+// round. The failure counts against the node's breaker like a probe
+// failure, so it also (re)opens the breaker at the failure threshold.
 func (h *Health) MarkDead(node string, reason error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if st, ok := h.status[node]; ok {
-		st.Alive = false
-		h.diedAt[node] = time.Now()
-		if reason != nil {
-			st.Error = reason.Error()
-		}
+	if reason == nil {
+		reason = errors.New("marked dead by dispatcher")
 	}
+	now := h.opts.now()
+	h.mu.Lock()
+	if _, ok := h.status[node]; !ok {
+		h.mu.Unlock()
+		return
+	}
+	h.diedAt[node] = now
+	h.mu.Unlock()
+	h.observe(node, reason, now)
 }
 
 // Snapshot returns every node's status, sorted by node name.

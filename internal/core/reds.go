@@ -84,6 +84,16 @@ type REDS struct {
 	// the pipeline RNG is not consumed by sampling — the stage owns its
 	// own seeding.
 	LabelStage func(ctx context.Context, model metamodel.Model, dim int) (*dataset.Dataset, error)
+	// Prelabeled, when non-nil, is a pseudo-labeled dataset Dnew computed
+	// by an earlier execution: the train, sample and label stages (and
+	// their hooks) are skipped entirely and the pipeline goes straight to
+	// subgroup discovery on it. The engine uses this seam to resume a
+	// failed-over job from a checkpoint on a cold worker without
+	// retraining the metamodel — the discover stage only needs Dnew and
+	// the real validation data. The dataset may be shared across variants
+	// and must be treated as immutable. Metamodel and LabelStage are
+	// ignored when set.
+	Prelabeled *dataset.Dataset
 	// Hooks observe the pipeline (stage transitions, labeling
 	// progress). Nil means no observation.
 	Hooks *Hooks
@@ -129,7 +139,7 @@ func (r *REDS) Discover(train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result
 // checks ctx between stages and while pseudo-labeling, and returns
 // ctx.Err() once it fires. Progress is reported through r.Hooks.
 func (r *REDS) DiscoverContext(ctx context.Context, train, val *dataset.Dataset, rng *rand.Rand) (*sd.Result, error) {
-	if r.Metamodel == nil || r.SD == nil {
+	if r.SD == nil || (r.Metamodel == nil && r.Prelabeled == nil) {
 		return nil, fmt.Errorf("core: REDS needs both a metamodel and an SD algorithm")
 	}
 	if err := checkTrain(train); err != nil {
@@ -147,6 +157,36 @@ func (r *REDS) DiscoverContext(ctx context.Context, train, val *dataset.Dataset,
 		smp = sample.LatinHypercube{}
 	}
 
+	var dnew *dataset.Dataset
+	var err error
+	if r.Prelabeled != nil {
+		dnew = r.Prelabeled
+	} else {
+		dnew, err = r.trainAndLabel(ctx, train, rng, l, smp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case r.ValidateOnPseudo:
+		val = dnew
+	case val == nil:
+		val = train
+	}
+	r.Hooks.stage(StageDiscover)
+	res, err := r.SD.Discover(dnew, val, rng)
+	if err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// trainAndLabel runs the train, sample and label stages (Algorithm 4,
+// lines 2-6) and returns the pseudo-labeled dataset Dnew.
+func (r *REDS) trainAndLabel(ctx context.Context, train *dataset.Dataset, rng *rand.Rand, l int, smp sample.Sampler) (*dataset.Dataset, error) {
 	r.Hooks.stage(StageTrain)
 	model, err := r.Metamodel.Train(train, rng)
 	if err != nil {
@@ -178,21 +218,7 @@ func (r *REDS) DiscoverContext(ctx context.Context, train, val *dataset.Dataset,
 		}
 		dnew.Discrete = train.Discrete
 	}
-	switch {
-	case r.ValidateOnPseudo:
-		val = dnew
-	case val == nil:
-		val = train
-	}
-	r.Hooks.stage(StageDiscover)
-	res, err := r.SD.Discover(dnew, val, rng)
-	if err != nil {
-		return res, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return dnew, nil
 }
 
 // DiscoverSemiSupervised runs REDS in the semi-supervised setting of

@@ -112,6 +112,10 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 			}
 			req.Dataset = d
 		}
+		// Checkpoints are infrastructure state (dispatcher failover and
+		// crash recovery attach them); a client-supplied one is ignored
+		// rather than trusted to skip stages.
+		req.Checkpoint = nil
 		// The job continues the HTTP request's trace: the middleware
 		// (telemetry.Instrument) put the inbound or generated
 		// X-Request-Id on the context, and SubmitTraced carries it

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"sync"
+
+	"github.com/reds-go/reds/internal/dataset"
+)
+
+// Checkpoint is a resumable snapshot of a partially executed request.
+// The executor publishes one after every completed unit of reusable
+// work (a family's pseudo-labeling, a finished variant); the engine
+// persists the latest snapshot through the store, and on failover the
+// dispatcher forwards it to the next candidate worker, which re-runs
+// only what the checkpoint cannot prove finished.
+//
+// A checkpoint is self-validating: DatasetHash pins it to the training
+// data, and the cache keys pin the labeled datasets to the exact
+// model/sampler/seed tuple, so a worker never resumes from a snapshot
+// computed under different inputs.
+type Checkpoint struct {
+	// Seq orders snapshots of one job. It increases monotonically across
+	// executions — a resumed execution continues counting from the
+	// inbound checkpoint's Seq — so consumers can keep the newest
+	// snapshot by comparing Seq alone.
+	Seq uint64 `json:"seq"`
+	// DatasetHash is the content hash of the training data the snapshot
+	// was computed from. A worker ignores a checkpoint whose hash does
+	// not match its own resolved training data.
+	DatasetHash string `json:"dataset_hash"`
+	// Variants holds the finished variant results; a resuming worker
+	// reuses them verbatim and re-runs only the missing combinations.
+	Variants []VariantResult `json:"variants,omitempty"`
+	// Timings are the pipeline spans closed before the snapshot was
+	// taken. A resuming worker preloads them into its own trace, so the
+	// job's final timings are the union of every execution's spans with
+	// no duplicates for skipped work.
+	Timings []StageTiming `json:"timings,omitempty"`
+	// ModelKeys maps metamodel family → model-cache key: a warm resuming
+	// worker hits its cache under the same key.
+	ModelKeys map[string]string `json:"model_keys,omitempty"`
+	// LabelKeys maps metamodel family → content-addressed label-dataset
+	// cache key (see internal/engine/cache.go for the key scheme).
+	LabelKeys map[string]string `json:"label_keys,omitempty"`
+	// Labeled inlines the pseudo-labeled datasets themselves, per
+	// family, up to the executor's checkpoint byte budget. This is what
+	// lets a cold replacement worker skip the train/sample/label stages
+	// entirely: the discover stage needs only Dnew and the real
+	// validation data, not the trained model. Families whose dataset did
+	// not fit the budget keep only their keys — a warm worker still
+	// hits its caches, a cold one recomputes.
+	Labeled map[string]*dataset.Dataset `json:"labeled,omitempty"`
+}
+
+// checkpointRecorder accumulates one execution's reusable work and
+// publishes immutable Checkpoint snapshots through the progress sink.
+// It is seeded from the inbound checkpoint (if any), so snapshots
+// survive chained failovers: work finished two executions ago is still
+// in the checkpoint the third execution publishes.
+type checkpointRecorder struct {
+	mu          sync.Mutex
+	sink        *progressSink
+	seq         uint64
+	datasetHash string
+	// budgetLeft bounds the total bytes of inline labeled datasets.
+	budgetLeft int64
+	variants   []VariantResult
+	modelKeys  map[string]string
+	labelKeys  map[string]string
+	labeled    map[string]*dataset.Dataset
+	// inbound maps label-cache key → dataset from the checkpoint this
+	// execution resumed from. Keying by the full cache key (rather than
+	// family) makes the lookup self-validating: if this worker computes
+	// a different key — different seed, sampler, L — the stale dataset
+	// is simply not found and the stage recomputes.
+	inbound map[string]*dataset.Dataset
+}
+
+// newCheckpointRecorder seeds a recorder for one execution. cp is the
+// inbound checkpoint (nil for a fresh run) — its hash must already be
+// validated by the caller.
+func newCheckpointRecorder(cp *Checkpoint, datasetHash string, budget int64, sink *progressSink) *checkpointRecorder {
+	r := &checkpointRecorder{
+		sink:        sink,
+		datasetHash: datasetHash,
+		budgetLeft:  budget,
+		modelKeys:   make(map[string]string),
+		labelKeys:   make(map[string]string),
+		labeled:     make(map[string]*dataset.Dataset),
+		inbound:     make(map[string]*dataset.Dataset),
+	}
+	if cp == nil {
+		return r
+	}
+	r.seq = cp.Seq
+	r.variants = append(r.variants, cp.Variants...)
+	for fam, k := range cp.ModelKeys {
+		r.modelKeys[fam] = k
+	}
+	for fam, k := range cp.LabelKeys {
+		r.labelKeys[fam] = k
+		if d := cp.Labeled[fam]; d != nil {
+			r.inbound[k] = d
+			// Carry the inline dataset forward so the next failover can
+			// still resume cold; it already fit the previous budget.
+			r.labeled[fam] = d
+			r.budgetLeft -= datasetBytes(d)
+		}
+	}
+	return r
+}
+
+// resumeLabeled returns the inbound checkpoint's labeled dataset for
+// the given label-cache key, or nil when the checkpoint has none (or
+// was computed under different inputs).
+func (r *checkpointRecorder) resumeLabeled(labelKey string) *dataset.Dataset {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inbound[labelKey]
+}
+
+// labelStageDone records that a family's pseudo-labeling finished (keys
+// always; the dataset itself while the byte budget lasts) and publishes
+// a new snapshot. Idempotent per family — concurrent variants of one
+// family record once.
+func (r *checkpointRecorder) labelStageDone(family, modelKey, labelKey string, d *dataset.Dataset) {
+	r.mu.Lock()
+	if _, ok := r.labelKeys[family]; ok {
+		r.mu.Unlock()
+		return
+	}
+	r.modelKeys[family] = modelKey
+	r.labelKeys[family] = labelKey
+	if d != nil {
+		if w := datasetBytes(d); w <= r.budgetLeft {
+			r.labeled[family] = d
+			r.budgetLeft -= w
+		}
+	}
+	cp := r.snapshotLocked()
+	r.mu.Unlock()
+	r.sink.setCheckpoint(cp)
+}
+
+// variantDone records a finished variant and publishes a new snapshot.
+func (r *checkpointRecorder) variantDone(vr VariantResult) {
+	r.mu.Lock()
+	r.variants = append(r.variants, vr)
+	cp := r.snapshotLocked()
+	r.mu.Unlock()
+	r.sink.setCheckpoint(cp)
+}
+
+// snapshotLocked builds an immutable Checkpoint from the current state.
+// Timings are filled in by the sink at publish time, so the snapshot's
+// trace exactly matches the progress it travels with. Caller holds
+// r.mu.
+func (r *checkpointRecorder) snapshotLocked() *Checkpoint {
+	r.seq++
+	cp := &Checkpoint{
+		Seq:         r.seq,
+		DatasetHash: r.datasetHash,
+		Variants:    append([]VariantResult(nil), r.variants...),
+		ModelKeys:   make(map[string]string, len(r.modelKeys)),
+		LabelKeys:   make(map[string]string, len(r.labelKeys)),
+	}
+	for fam, k := range r.modelKeys {
+		cp.ModelKeys[fam] = k
+	}
+	for fam, k := range r.labelKeys {
+		cp.LabelKeys[fam] = k
+	}
+	if len(r.labeled) > 0 {
+		cp.Labeled = make(map[string]*dataset.Dataset, len(r.labeled))
+		for fam, d := range r.labeled {
+			cp.Labeled[fam] = d
+		}
+	}
+	return cp
+}

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/reds-go/reds/internal/engine/store"
+)
+
+// countStages tallies the train and label spans of a trace.
+func countStages(spans []StageTiming) (trains, labels int) {
+	for _, ts := range spans {
+		switch {
+		case strings.HasPrefix(ts.Stage, "train/"):
+			trains++
+		case strings.HasPrefix(ts.Stage, "label/"):
+			labels++
+		}
+	}
+	return trains, labels
+}
+
+// TestCheckpointResumeAfterCrash is the failover/restart acceptance flow
+// at the engine level: a job is executed partway (its checkpoint
+// captured from the progress stream, as the dispatcher and the engine's
+// store persistence do), the process "crashes" — simulated by planting
+// the running record plus the checkpoint in a durable store — and the
+// next engine must re-enqueue the job, resume it, and finish without
+// re-running the variants the checkpoint already carries.
+func TestCheckpointResumeAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	d := testDataset(250, rand.New(rand.NewSource(21)))
+	req := Request{Dataset: d, L: 800, Seed: 5, SD: []string{"prim", "bumping", "bi"}}
+	if err := req.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+
+	// Phase 1: run the job directly on a LocalExecutor and cancel as
+	// soon as the first checkpoint (>= 1 finished variant) appears.
+	exec := NewLocalExecutor(LocalExecutorOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var captured *Checkpoint
+	_, execErr := exec.Execute(ctx, req, func(p Progress) {
+		if cp := p.Checkpoint; cp != nil {
+			mu.Lock()
+			if captured == nil || cp.Seq > captured.Seq {
+				captured = cp
+			}
+			mu.Unlock()
+			if len(cp.Variants) >= 1 {
+				cancel()
+			}
+		}
+	})
+	mu.Lock()
+	cp := captured
+	mu.Unlock()
+	if cp == nil || len(cp.Variants) == 0 {
+		t.Fatalf("no checkpoint captured before cancellation (err=%v)", execErr)
+	}
+	finished := 0
+	for _, vr := range cp.Variants {
+		if vr.Error == "" {
+			finished++
+		}
+	}
+	if finished == 0 {
+		t.Fatalf("checkpoint carries no finished variants: %+v", cp.Variants)
+	}
+
+	// Phase 2: plant the crash footprint — a running record plus the
+	// checkpoint — exactly what the engine persists while executing.
+	fs := openFS(t, dir)
+	reqJSON, _ := json.Marshal(req)
+	rawCP, _ := json.Marshal(cp)
+	now := time.Now()
+	if err := fs.PutJob(store.Record{
+		ID:          "job-000003",
+		Status:      string(StatusRunning),
+		SubmittedAt: now.Add(-time.Minute),
+		StartedAt:   now.Add(-50 * time.Second),
+		Request:     reqJSON,
+	}); err != nil {
+		t.Fatalf("planting running record: %v", err)
+	}
+	if err := fs.PutCheckpoint("job-000003", rawCP); err != nil {
+		t.Fatalf("planting checkpoint: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("closing store: %v", err)
+	}
+
+	// Phase 3: recovery must resume, not orphan.
+	e := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	defer e.Close()
+	rec := e.Recovery()
+	if rec.Resumed != 1 || rec.Reenqueued != 1 || rec.Orphaned != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 resumed / 1 reenqueued / 0 orphaned", rec)
+	}
+	snap := waitTerminal(t, e, "job-000003", 120*time.Second)
+	if snap.Status != StatusDone {
+		t.Fatalf("resumed job finished %s: %s", snap.Status, snap.Error)
+	}
+	res, err := e.Result("job-000003")
+	if err != nil {
+		t.Fatalf("result of resumed job: %v", err)
+	}
+	if len(res.Variants) != 3 {
+		t.Fatalf("resumed job has %d variants, want 3", len(res.Variants))
+	}
+	resumed := 0
+	for _, vr := range res.Variants {
+		if vr.Resumed {
+			resumed++
+		}
+		if vr.Error != "" {
+			t.Fatalf("variant %s/%s failed after resume: %s", vr.Metamodel, vr.SD, vr.Error)
+		}
+	}
+	if resumed != finished {
+		t.Fatalf("%d variants marked resumed, want the checkpoint's %d finished ones", resumed, finished)
+	}
+	// The trace must be whole with no re-done work: the final trace is
+	// the checkpoint's spans (concurrent sibling variants close their own
+	// train/label spans, so the checkpoint may carry up to one per
+	// variant) plus the re-run variants' discover spans — the resumed
+	// execution must not add a single train or label span of its own.
+	cpTrains, cpLabels := countStages(cp.Timings)
+	trains, labels := countStages(snap.Timings)
+	if trains != cpTrains || labels != cpLabels {
+		t.Fatalf("resumed trace has %d train / %d label spans, want the checkpoint's %d / %d (no re-done work): %+v",
+			trains, labels, cpTrains, cpLabels, snap.Timings)
+	}
+	discovers := 0
+	for _, ts := range snap.Timings {
+		if strings.HasPrefix(ts.Stage, "discover/") {
+			discovers++
+		}
+	}
+	if discovers != 3 {
+		t.Fatalf("resumed trace has %d discover spans, want one per variant (3): %+v", discovers, snap.Timings)
+	}
+
+	// Terminal jobs shed their checkpoint.
+	if raw, ok, _ := e.store.GetCheckpoint("job-000003"); ok {
+		t.Fatalf("checkpoint survived job completion: %s", raw)
+	}
+}
+
+// TestCheckpointRejectedOnDatasetMismatch plants a checkpoint whose
+// DatasetHash does not match the request's dataset: the executor must
+// discard it and run the job from scratch rather than trust stale
+// variant results.
+func TestCheckpointRejectedOnDatasetMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d := testDataset(250, rand.New(rand.NewSource(22)))
+	req := Request{Dataset: d, L: 800, Seed: 5}
+	reqJSON, _ := json.Marshal(req)
+
+	fs := openFS(t, dir)
+	now := time.Now()
+	if err := fs.PutJob(store.Record{
+		ID:          "job-000001",
+		Status:      string(StatusRunning),
+		SubmittedAt: now.Add(-time.Minute),
+		StartedAt:   now.Add(-50 * time.Second),
+		Request:     reqJSON,
+	}); err != nil {
+		t.Fatalf("planting running record: %v", err)
+	}
+	stale := &Checkpoint{
+		Seq:         9,
+		DatasetHash: "not-the-real-hash",
+		Variants:    []VariantResult{{Metamodel: "rf", SD: "prim", Rule: "stale"}},
+	}
+	rawCP, _ := json.Marshal(stale)
+	if err := fs.PutCheckpoint("job-000001", rawCP); err != nil {
+		t.Fatalf("planting checkpoint: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("closing store: %v", err)
+	}
+
+	e := newTestEngine(t, Options{Workers: 1, Store: openFS(t, dir)})
+	defer e.Close()
+	if rec := e.Recovery(); rec.Resumed != 1 {
+		t.Fatalf("recovery stats = %+v, want the job re-enqueued for resume", rec)
+	}
+	snap := waitTerminal(t, e, "job-000001", 120*time.Second)
+	if snap.Status != StatusDone {
+		t.Fatalf("job finished %s: %s", snap.Status, snap.Error)
+	}
+	res, err := e.Result("job-000001")
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	for _, vr := range res.Variants {
+		if vr.Resumed || vr.Rule == "stale" {
+			t.Fatalf("mismatched checkpoint was trusted: %+v", vr)
+		}
+	}
+}
+
+// TestDrainLeavesQueuedJobsPending: during drain, running jobs get to
+// finish (or are awaited) while dequeued-but-unstarted jobs stay
+// pending for the next process.
+func TestDrainLeavesQueuedJobsPending(t *testing.T) {
+	st := store.NewMem()
+	e := newTestEngine(t, Options{Workers: 1, Store: st})
+	defer e.Close()
+
+	d := testDataset(250, rand.New(rand.NewSource(23)))
+	blocker, err := e.Submit(Request{Dataset: d, L: 2000000, Seed: 1})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if snap, _ := e.Job(blocker); snap.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued, err := e.Submit(Request{Dataset: d, L: 800, Seed: 2})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+
+	// With the blocker still running, a short drain cannot complete.
+	if e.Drain(50 * time.Millisecond) {
+		t.Fatalf("drain reported complete while a job was running")
+	}
+	// Unblock: cancel the running job; drain now completes, and the
+	// queued job — dequeued by the now-free worker — must stay pending.
+	e.Cancel(blocker)
+	if !e.Drain(30 * time.Second) {
+		t.Fatalf("drain never completed after the blocker was canceled")
+	}
+	time.Sleep(50 * time.Millisecond) // give the worker time to dequeue and (correctly) skip it
+	if snap, ok := e.Job(queued); !ok || snap.Status != StatusPending {
+		t.Fatalf("queued job during drain = %+v, want pending", snap)
+	}
+	recs, _ := st.List()
+	for _, rec := range recs {
+		if rec.ID == string(queued) && rec.Status != string(StatusPending) {
+			t.Fatalf("stored record of queued job = %s, want pending", rec.Status)
+		}
+	}
+}

@@ -98,10 +98,16 @@ type RecoveryStats struct {
 	// Reenqueued counts recovered pending jobs put back on the queue;
 	// they run again from their original request.
 	Reenqueued int
+	// Resumed counts jobs the previous process left running that had a
+	// persisted execution checkpoint: instead of being orphaned they are
+	// re-enqueued and resume from the checkpoint (skipping the stages it
+	// proves complete). Resumed jobs are included in Reenqueued.
+	Resumed int
 	// Orphaned counts jobs that were running when the previous process
 	// stopped without finishing them (a crash — a graceful Close leaves
-	// running jobs canceled, not running). They are marked failed with a
-	// restart reason rather than silently re-run.
+	// running jobs canceled, not running) and that left no checkpoint to
+	// resume from. They are marked failed with a restart reason rather
+	// than silently re-run.
 	Orphaned int
 }
 
@@ -128,7 +134,12 @@ type Engine struct {
 	mQueueWait    *telemetry.Histogram
 	mJobDuration  *telemetry.Histogram
 	mSweepDeleted *telemetry.Counter
+	mCheckpoints  *telemetry.Counter
 	running       atomic.Int64
+	// draining stops workers from starting dequeued jobs — they stay
+	// pending so a durable restart re-enqueues them — while jobs already
+	// running are left to finish. Set by Drain, never cleared.
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	jobs   map[JobID]*job
@@ -193,6 +204,8 @@ func New(opts Options) (*Engine, error) {
 			telemetry.ExponentialBuckets(0.01, 2, 16)),
 		mSweepDeleted: reg.Counter("reds_engine_sweep_deleted_total",
 			"Terminal jobs deleted by the TTL sweeper."),
+		mCheckpoints: reg.Counter("reds_engine_checkpoints_persisted_total",
+			"Execution checkpoints written to the store."),
 	}
 	pending, err := e.recover(recs)
 	if err != nil {
@@ -281,10 +294,23 @@ func (e *Engine) recover(recs []store.Record) ([]*job, error) {
 			pending = append(pending, j)
 			e.recovery.Reenqueued++
 		case StatusRunning:
-			// The previous process died mid-job. Fail it explicitly with
-			// the reason instead of re-running: the client may have acted
-			// on partial progress, and an expensive job should only burn
-			// compute twice on an explicit resubmit.
+			if _, ok, cerr := e.store.GetCheckpoint(rec.ID); cerr == nil && ok {
+				// The previous process died mid-job but left a checkpoint:
+				// re-enqueue the job. execute loads the checkpoint from the
+				// store, so the finished stages are skipped, not re-run.
+				j.status = StatusPending
+				j.startedAt = time.Time{}
+				pending = append(pending, j)
+				e.recovery.Resumed++
+				e.recovery.Reenqueued++
+				repersist = true
+				break
+			}
+			// The previous process died mid-job with nothing to resume
+			// from. Fail it explicitly with the reason instead of
+			// re-running: the client may have acted on partial progress,
+			// and an expensive job should only burn compute twice on an
+			// explicit resubmit.
 			j.status = StatusFailed
 			j.err = errors.New("job was running when the previous engine process stopped; resubmit to re-run")
 			j.finishedAt = time.Now()
@@ -423,6 +449,12 @@ func (e *Engine) execute(j *job) {
 		j.mu.Unlock()
 		return
 	}
+	if e.draining.Load() {
+		// Draining: same treatment as shutdown — the job stays pending
+		// and a durable restart re-enqueues it.
+		j.mu.Unlock()
+		return
+	}
 	j.status = StatusRunning
 	j.startedAt = time.Now()
 	if j.requestID == "" {
@@ -441,7 +473,42 @@ func (e *Engine) execute(j *job) {
 	e.log.Info("job started", "job_id", string(j.id), "request_id", rid,
 		"queue_wait_ms", queueWait.Milliseconds())
 
-	result, err := e.exec.Execute(telemetry.WithRequestID(j.ctx, rid), j.req, j.setProgress)
+	// Resume from a persisted checkpoint when one exists (dispatcher
+	// failover writes them through onProgress below; recovery re-enqueues
+	// crashed jobs that have one). The request copy keeps j.req pristine:
+	// snapshots and retries must not see infrastructure state.
+	req := j.req
+	if raw, ok, cerr := e.store.GetCheckpoint(string(j.id)); cerr == nil && ok {
+		var cp Checkpoint
+		if uerr := json.Unmarshal(raw, &cp); uerr == nil {
+			req.Checkpoint = &cp
+			e.log.Info("job resuming from persisted checkpoint",
+				"job_id", string(j.id), "request_id", rid, "checkpoint_seq", cp.Seq)
+		}
+	}
+	// Persist every new checkpoint the executor reports, deduplicated by
+	// sequence number. Executors serialize progress callbacks per job, so
+	// persistedSeq needs no lock.
+	var persistedSeq uint64
+	onProgress := func(p Progress) {
+		j.setProgress(p)
+		cp := p.Checkpoint
+		if cp == nil || cp.Seq <= persistedSeq {
+			return
+		}
+		raw, perr := json.Marshal(cp)
+		if perr == nil {
+			perr = e.store.PutCheckpoint(string(j.id), raw)
+		}
+		if perr != nil {
+			e.log.Error("persisting checkpoint failed", "job_id", string(j.id), "error", perr)
+			return
+		}
+		persistedSeq = cp.Seq
+		e.mCheckpoints.Inc()
+	}
+
+	result, err := e.exec.Execute(telemetry.WithRequestID(j.ctx, rid), req, onProgress)
 
 	j.mu.Lock()
 	j.finishedAt = time.Now()
@@ -487,10 +554,18 @@ func (e *Engine) execute(j *job) {
 		if err != nil {
 			e.log.Error("persisting result failed, leaving stored record running",
 				"job_id", string(j.id), "error", err)
+			// The checkpoint is deliberately kept: the stored record still
+			// says running, so the next boot resumes from it.
 			return
 		}
 	}
 	e.persist(rec)
+	// Terminal jobs have no use for their checkpoint anymore.
+	if persistedSeq > 0 || req.Checkpoint != nil {
+		if cerr := e.store.PutCheckpoint(string(j.id), nil); cerr != nil {
+			e.log.Error("deleting checkpoint failed", "job_id", string(j.id), "error", cerr)
+		}
+	}
 }
 
 // Submit validates and enqueues a job, returning its ID. It fails when
@@ -708,6 +783,23 @@ func (e *Engine) JobCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.jobs)
+}
+
+// Drain puts the engine into drain mode and waits up to timeout for
+// running jobs to finish. Dequeued-but-unstarted jobs stay pending (a
+// restart over a durable store re-enqueues them); new submissions are
+// still accepted but not executed. It reports whether the engine fully
+// drained. Callers follow with Close, which cancels whatever is left.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	e.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for e.running.Load() > 0 {
+		if time.Now().After(deadline) {
+			return e.running.Load() == 0
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return true
 }
 
 // Close cancels running jobs, stops the workers and the sweeper, waits

@@ -37,6 +37,13 @@ type Progress struct {
 	// internal execution API, a worker's spans surface unchanged in the
 	// gateway job's timings.
 	Timings []StageTiming `json:"timings,omitempty"`
+	// Checkpoint, when non-nil, is the newest resumable snapshot of the
+	// execution (see Checkpoint). It rides the in-process progress
+	// callback only — the field is excluded from JSON because the
+	// internal execution API carries checkpoints out of band (a seq
+	// number on the status poll plus a separate fetch), keeping the hot
+	// polling path small.
+	Checkpoint *Checkpoint `json:"-"`
 }
 
 // StageTiming is one closed span of a job's trace: a pipeline stage
@@ -55,7 +62,17 @@ func (p Progress) sameAs(q Progress) bool {
 	return p.Stage == q.Stage &&
 		p.LabelDone == q.LabelDone && p.LabelTotal == q.LabelTotal &&
 		p.VariantsDone == q.VariantsDone && p.VariantsTotal == q.VariantsTotal &&
-		len(p.Timings) == len(q.Timings)
+		len(p.Timings) == len(q.Timings) &&
+		p.checkpointSeq() == q.checkpointSeq()
+}
+
+// checkpointSeq is the sequence number of the attached checkpoint (0
+// when none), so sameAs treats a new snapshot as observable progress.
+func (p Progress) checkpointSeq() uint64 {
+	if p.Checkpoint == nil {
+		return 0
+	}
+	return p.Checkpoint.Seq
 }
 
 // Executor is the execution layer of the engine: it runs one discovery
@@ -158,6 +175,11 @@ type LocalExecutorOptions struct {
 	// LabelCacheTTL expires cached pseudo-labeled datasets this long
 	// after labeling (0 = never).
 	LabelCacheTTL time.Duration
+	// CheckpointBytes bounds the total size of pseudo-labeled datasets
+	// inlined into one execution's checkpoints (default 32 MiB). Within
+	// the budget a cold replacement worker resumes without retraining or
+	// relabeling; beyond it, checkpoints carry only the cache keys.
+	CheckpointBytes int64
 	// Metrics is the registry the executor's instruments live in: the
 	// per-stage latency histograms and both caches' counters. nil gets
 	// a private registry, which keeps instruments working (and tests
@@ -172,6 +194,9 @@ func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
 	if o.LabelCacheBytes <= 0 {
 		o.LabelCacheBytes = 256 << 20
 	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = 32 << 20
+	}
 	return o
 }
 
@@ -184,10 +209,18 @@ func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
 type LocalExecutor struct {
 	cache  *modelCache
 	labels *labelCache
+	// checkpointBytes bounds the inline labeled data per checkpoint.
+	checkpointBytes int64
 	// stageSeconds is the per-stage latency histogram
 	// (reds_exec_stage_seconds{stage,metamodel,sd}); children are
 	// resolved per variant at execution start, off the hot path.
 	stageSeconds *telemetry.HistogramVec
+	// Checkpoint counters: executions resumed from a forwarded
+	// checkpoint, checkpoints rejected (dataset-hash mismatch), and
+	// finished variants reused instead of re-run.
+	mCheckpointResumes         *telemetry.Counter
+	mCheckpointRejected        *telemetry.Counter
+	mCheckpointVariantsSkipped *telemetry.Counter
 }
 
 // NewLocalExecutor returns an in-process executor with its own
@@ -199,11 +232,18 @@ func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
 		reg = telemetry.NewRegistry()
 	}
 	return &LocalExecutor{
-		cache:  newModelCache(opts.CacheBytes, opts.CacheTTL, reg),
-		labels: newLabelCache(opts.LabelCacheBytes, opts.LabelCacheTTL, reg),
+		cache:           newModelCache(opts.CacheBytes, opts.CacheTTL, reg),
+		labels:          newLabelCache(opts.LabelCacheBytes, opts.LabelCacheTTL, reg),
+		checkpointBytes: opts.CheckpointBytes,
 		stageSeconds: reg.HistogramVec("reds_exec_stage_seconds",
 			"Pipeline stage latency, labeled by stage (simulate, train, sample, label, discover) and variant.",
 			telemetry.ExponentialBuckets(0.001, 2, 16), "stage", "metamodel", "sd"),
+		mCheckpointResumes: reg.Counter("reds_engine_checkpoint_resumes_total",
+			"Executions resumed from a forwarded checkpoint instead of starting fresh."),
+		mCheckpointRejected: reg.Counter("reds_engine_checkpoint_rejected_total",
+			"Forwarded checkpoints ignored because their dataset hash did not match the resolved training data."),
+		mCheckpointVariantsSkipped: reg.Counter("reds_engine_checkpoint_variants_skipped_total",
+			"Finished variants reused from a checkpoint instead of re-running."),
 	}
 }
 
@@ -254,6 +294,32 @@ func (s *progressSink) addSpan(t StageTiming) {
 	cp := make([]StageTiming, len(s.spans))
 	copy(cp, s.spans)
 	s.p.Timings = cp
+	if s.fn != nil {
+		s.fn(s.p)
+	}
+	s.mu.Unlock()
+}
+
+// preload seeds the trace with spans closed by an earlier execution
+// (from a checkpoint) without publishing: the resumed execution's
+// reports then carry the full job trace — old spans plus its own —
+// with no duplicates for the stages it skips. Call before any update.
+func (s *progressSink) preload(spans []StageTiming) {
+	s.mu.Lock()
+	s.spans = append([]StageTiming(nil), spans...)
+	cp := make([]StageTiming, len(s.spans))
+	copy(cp, s.spans)
+	s.p.Timings = cp
+	s.mu.Unlock()
+}
+
+// setCheckpoint attaches a new resumable snapshot to the progress and
+// publishes it. The snapshot's trace is stamped here, under the sink's
+// lock, so it is exactly the trace of the progress it travels with.
+func (s *progressSink) setCheckpoint(cp *Checkpoint) {
+	s.mu.Lock()
+	cp.Timings = s.p.Timings
+	s.p.Checkpoint = cp
 	if s.fn != nil {
 		s.fn(s.p)
 	}

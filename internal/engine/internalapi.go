@@ -9,9 +9,12 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/reds-go/reds/internal/faultinject"
 	"github.com/reds-go/reds/internal/telemetry"
 )
 
@@ -21,9 +24,10 @@ import (
 // position, persistence, TTL), the worker only runs the pipeline and
 // reports progress.
 //
-//	POST   /internal/v1/execute       start an execution   → 202 {"id": ...}
-//	GET    /internal/v1/execute/{id}  status + progress (+ result when done)
-//	DELETE /internal/v1/execute/{id}  cancel and/or release the execution
+//	POST   /internal/v1/execute                  start an execution   → 202 {"id": ...}
+//	GET    /internal/v1/execute/{id}             status + progress (+ result when done)
+//	GET    /internal/v1/execute/{id}/checkpoint  newest resumable checkpoint
+//	DELETE /internal/v1/execute/{id}             cancel and/or release the execution
 //
 // The API shares redsserver's listener; it is "internal" in the sense
 // that only gateways should call it (like /v1 it has no auth yet — see
@@ -39,6 +43,11 @@ type execStatusResponse struct {
 	// the X-Request-Id header the gateway sent, or a worker-generated id
 	// when the header was absent.
 	RequestID string `json:"request_id,omitempty"`
+	// CheckpointSeq is the sequence number of the newest resumable
+	// checkpoint (0 when none). Checkpoints can carry megabytes of
+	// labeled data, so the poll response only advertises the seq; the
+	// gateway fetches the snapshot from /checkpoint when it advances.
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
 	// Result is set once Status is done; Error once it is failed.
 	Result *Result `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
@@ -171,6 +180,28 @@ func (s *ExecServer) Close() {
 	s.wg.Wait()
 }
 
+// Drain stops accepting new executions (POSTs get 503; the gateway
+// re-routes them) and waits up to timeout for the running ones to
+// finish on their own. It reports whether the server fully drained;
+// either way the caller should follow up with Close, which cancels
+// whatever is left.
+func (s *ExecServer) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
 // Handler returns the internal API as a standalone handler (redsserver
 // mounts it through engine.WithExecutionAPI instead, sharing the public
 // mux and error envelope).
@@ -184,10 +215,15 @@ func (s *ExecServer) Handler() http.Handler {
 func (s *ExecServer) register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /internal/v1/execute", s.handleStart)
 	mux.HandleFunc("GET /internal/v1/execute/{id}", s.handleStatus)
+	mux.HandleFunc("GET /internal/v1/execute/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("DELETE /internal/v1/execute/{id}", s.handleCancel)
 }
 
 func (s *ExecServer) handleStart(w http.ResponseWriter, r *http.Request) {
+	faultinject.Delay("exec.start.delay")
+	if faultinject.Once("exec.start.drop") {
+		panic(http.ErrAbortHandler) // drop the connection without a response
+	}
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -240,6 +276,9 @@ func (s *ExecServer) run(ex *execution, req Request, ctx context.Context) {
 		ex.mu.Lock()
 		ex.progress = p
 		ex.mu.Unlock()
+		if faultinject.Enabled() {
+			s.maybeFaultExit(p)
+		}
 	})
 
 	ex.mu.Lock()
@@ -291,6 +330,10 @@ func (s *ExecServer) sweepLocked() {
 }
 
 func (s *ExecServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	faultinject.Delay("exec.status.delay")
+	if faultinject.Once("exec.status.drop") {
+		panic(http.ErrAbortHandler) // drop the connection without a response
+	}
 	id := r.PathValue("id")
 	ex, ok := s.lookup(id)
 	if !ok {
@@ -299,11 +342,59 @@ func (s *ExecServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	ex.mu.Lock()
 	resp := execStatusResponse{ID: ex.id, Status: ex.status, Progress: ex.progress, RequestID: ex.requestID, Result: ex.result}
+	resp.CheckpointSeq = ex.progress.checkpointSeq()
 	if ex.err != nil {
 		resp.Error = ex.err.Error()
 	}
 	ex.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint serves the newest resumable checkpoint of an
+// execution. The gateway calls it when the status poll's seq advances,
+// keeping the snapshot off the hot polling path.
+func (s *ExecServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ex, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("unknown execution %s", id))
+		return
+	}
+	ex.mu.Lock()
+	cp := ex.progress.Checkpoint
+	ex.mu.Unlock()
+	if cp == nil {
+		writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("execution %s has no checkpoint yet", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+// maybeFaultExit implements the "exec.exit-after" fault point: once a
+// span whose name starts with the armed prefix closes, the process
+// exits after "exec.exit.delay" (default immediately) — simulating a
+// worker crash mid-execution, after some stages already checkpointed.
+// The delay gives the gateway's poller time to fetch the checkpoint,
+// like a real crash that happens between polls.
+func (s *ExecServer) maybeFaultExit(p Progress) {
+	prefix, ok := faultinject.Value("exec.exit-after")
+	if !ok || prefix == "" {
+		return
+	}
+	for _, t := range p.Timings {
+		if strings.HasPrefix(t.Stage, prefix) {
+			if faultinject.Once("exec.exit-after") {
+				delay := faultinject.Duration("exec.exit.delay")
+				s.log.Warn("faultinject: worker exiting after stage",
+					"stage", t.Stage, "delay", delay.String())
+				go func() {
+					time.Sleep(delay)
+					os.Exit(3)
+				}()
+			}
+			return
+		}
+	}
 }
 
 // handleCancel cancels a running execution; for a terminal one it acts

@@ -105,6 +105,14 @@ type Request struct {
 	// Tuned enables cross-validated hyperparameter search for each
 	// metamodel (slower; off by default).
 	Tuned bool `json:"tuned,omitempty"`
+	// Checkpoint resumes the request from a partially executed state:
+	// the executor reuses the finished variants and skips the stages the
+	// snapshot proves complete. It is set by the infrastructure — the
+	// dispatcher on failover, the engine when re-running a recovered job
+	// — never by clients; the public API strips it from submissions. It
+	// does not contribute to ShardKey (the same job routes to the same
+	// worker whether or not it resumes).
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // Validate checks the request against the function registry and the
@@ -182,6 +190,10 @@ type VariantResult struct {
 	// from the engine's label cache (another variant of the same family
 	// — or an earlier job — had already labeled it).
 	LabelCacheHit bool `json:"label_cache_hit"`
+	// Resumed reports that the variant was not re-run at all: a
+	// checkpoint from an earlier execution already carried its finished
+	// result.
+	Resumed bool `json:"resumed,omitempty"`
 	// Error is set when this variant failed; the job can still succeed
 	// on the surviving variants.
 	Error string `json:"error,omitempty"`
@@ -305,6 +317,9 @@ func (j *job) snapshot() Snapshot {
 		s.DatasetM = req.Dataset.M()
 		s.Request.Dataset = nil
 	}
+	// Checkpoints are infrastructure state, not part of the submission —
+	// and can carry megabytes of labeled data; never echo them.
+	s.Request.Checkpoint = nil
 	if j.err != nil {
 		s.Error = j.err.Error()
 	}

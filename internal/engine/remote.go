@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -35,6 +36,25 @@ type RemoteExecutor struct {
 	Client *http.Client
 	// PollInterval is the progress-polling period (default 150ms).
 	PollInterval time.Duration
+	// AttemptTimeout bounds every individual HTTP call with its own
+	// context deadline (default 10s). A worker that accepts the TCP
+	// connection but never responds therefore costs one attempt, not the
+	// whole dispatch slot.
+	AttemptTimeout time.Duration
+	// MaxAttempts is the retry budget per logical operation — one start,
+	// one poll (default 3). Only transient failures (connection errors,
+	// 5xx) consume retries; definitive answers (400, 404-after-restart)
+	// return immediately.
+	MaxAttempts int
+	// RetryBaseDelay is the first backoff delay (default 100ms); each
+	// retry doubles it with ±50% jitter, capped at RetryMaxDelay
+	// (default 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// OnRetry, when non-nil, is invoked before each retry sleep with the
+	// operation name ("start", "poll"). The dispatcher wires it to the
+	// reds_cluster_retry_attempts_total counter.
+	OnRetry func(op string)
 }
 
 func (r *RemoteExecutor) client() *http.Client {
@@ -51,6 +71,64 @@ func (r *RemoteExecutor) pollInterval() time.Duration {
 		return r.PollInterval
 	}
 	return 150 * time.Millisecond
+}
+
+func (r *RemoteExecutor) attemptTimeout() time.Duration {
+	if r.AttemptTimeout > 0 {
+		return r.AttemptTimeout
+	}
+	return 10 * time.Second
+}
+
+func (r *RemoteExecutor) maxAttempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 3
+}
+
+func (r *RemoteExecutor) retryBaseDelay() time.Duration {
+	if r.RetryBaseDelay > 0 {
+		return r.RetryBaseDelay
+	}
+	return 100 * time.Millisecond
+}
+
+func (r *RemoteExecutor) retryMaxDelay() time.Duration {
+	if r.RetryMaxDelay > 0 {
+		return r.RetryMaxDelay
+	}
+	return 2 * time.Second
+}
+
+// withRetry runs one logical operation with per-attempt deadlines and
+// jittered exponential backoff. fn executes each attempt under its own
+// deadline-bounded context and reports whether its failure is worth
+// retrying; the final attempt's error is returned as-is, so the
+// ErrUnavailable classification of the underlying call survives.
+func (r *RemoteExecutor) withRetry(ctx context.Context, op string, fn func(ctx context.Context) (retry bool, err error)) error {
+	delay := r.retryBaseDelay()
+	for attempt := 1; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, r.attemptTimeout())
+		retry, err := fn(actx)
+		cancel()
+		if err == nil || !retry || attempt >= r.maxAttempts() || ctx.Err() != nil {
+			return err
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(op)
+		}
+		// Full jitter around the exponential midpoint: [delay/2, 3*delay/2).
+		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > r.retryMaxDelay() {
+			delay = r.retryMaxDelay()
+		}
+	}
 }
 
 func (r *RemoteExecutor) execURL(id string) string {
@@ -81,6 +159,7 @@ func (r *RemoteExecutor) Execute(ctx context.Context, req Request, onProgress fu
 	t := time.NewTicker(r.pollInterval())
 	defer t.Stop()
 	var last Progress
+	var lastCP *Checkpoint
 	for {
 		select {
 		case <-ctx.Done():
@@ -96,6 +175,16 @@ func (r *RemoteExecutor) Execute(ctx context.Context, req Request, onProgress fu
 			}
 			return nil, err
 		}
+		// A new checkpoint seq means the worker has more resumable work
+		// recorded; fetch the snapshot so the dispatcher can forward it
+		// if this worker dies. Best-effort: a failed fetch leaves lastCP
+		// behind and the next poll tries again.
+		if st.CheckpointSeq > 0 && (lastCP == nil || st.CheckpointSeq > lastCP.Seq) {
+			if cp, err := r.fetchCheckpoint(ctx, id); err == nil && cp != nil {
+				lastCP = cp
+			}
+		}
+		st.Progress.Checkpoint = lastCP
 		if onProgress != nil && !st.Progress.sameAs(last) {
 			last = st.Progress
 			onProgress(st.Progress)
@@ -121,62 +210,108 @@ func (r *RemoteExecutor) Execute(ctx context.Context, req Request, onProgress fu
 	}
 }
 
-// start POSTs the request and returns the execution id.
+// start POSTs the request and returns the execution id. Transient
+// failures (connection errors, 5xx) are retried within the budget,
+// each attempt under its own deadline.
 func (r *RemoteExecutor) start(ctx context.Context, body []byte) (string, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.execURL(""), bytes.NewReader(body))
-	if err != nil {
-		return "", fmt.Errorf("engine: building remote request: %w", err)
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if rid := telemetry.RequestID(ctx); rid != "" {
-		// Continue the caller's trace on the worker: its execution log
-		// lines and span records carry the same id as ours.
-		hreq.Header.Set(telemetry.RequestIDHeader, rid)
-	}
-	resp, err := r.client().Do(hreq)
-	if err != nil {
-		return "", fmt.Errorf("engine: starting execution on %s: %v: %w", r.BaseURL, err, ErrUnavailable)
-	}
-	defer drainClose(resp.Body)
-	if resp.StatusCode == http.StatusBadRequest {
-		return "", fmt.Errorf("engine: worker %s rejected the request: %s", r.BaseURL, readAPIError(resp.Body))
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("engine: worker %s returned %s: %w", r.BaseURL, resp.Status, ErrUnavailable)
-	}
-	var out struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID == "" {
-		return "", fmt.Errorf("engine: undecodable accept from %s: %w", r.BaseURL, ErrUnavailable)
-	}
-	return out.ID, nil
+	var id string
+	err := r.withRetry(ctx, "start", func(actx context.Context) (bool, error) {
+		hreq, err := http.NewRequestWithContext(actx, http.MethodPost, r.execURL(""), bytes.NewReader(body))
+		if err != nil {
+			return false, fmt.Errorf("engine: building remote request: %w", err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if rid := telemetry.RequestID(ctx); rid != "" {
+			// Continue the caller's trace on the worker: its execution log
+			// lines and span records carry the same id as ours.
+			hreq.Header.Set(telemetry.RequestIDHeader, rid)
+		}
+		resp, err := r.client().Do(hreq)
+		if err != nil {
+			return true, fmt.Errorf("engine: starting execution on %s: %v: %w", r.BaseURL, err, ErrUnavailable)
+		}
+		defer drainClose(resp.Body)
+		switch {
+		case resp.StatusCode == http.StatusBadRequest:
+			// A verdict about the request: retrying (here or elsewhere)
+			// cannot change it.
+			return false, fmt.Errorf("engine: worker %s rejected the request: %s", r.BaseURL, readAPIError(resp.Body))
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("engine: worker %s returned %s: %w", r.BaseURL, resp.Status, ErrUnavailable)
+		case resp.StatusCode != http.StatusAccepted:
+			return false, fmt.Errorf("engine: worker %s returned %s: %w", r.BaseURL, resp.Status, ErrUnavailable)
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID == "" {
+			return false, fmt.Errorf("engine: undecodable accept from %s: %w", r.BaseURL, ErrUnavailable)
+		}
+		id = out.ID
+		return false, nil
+	})
+	return id, err
 }
 
-// poll GETs the execution's current state.
+// poll GETs the execution's current state, retrying transient failures
+// within the budget. A 404 is definitive — the worker restarted and
+// lost the execution — and fails over immediately.
 func (r *RemoteExecutor) poll(ctx context.Context, id string) (*execStatusResponse, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.execURL(id), nil)
+	var st *execStatusResponse
+	err := r.withRetry(ctx, "poll", func(actx context.Context) (bool, error) {
+		hreq, err := http.NewRequestWithContext(actx, http.MethodGet, r.execURL(id), nil)
+		if err != nil {
+			return false, fmt.Errorf("engine: building poll request: %w", err)
+		}
+		resp, err := r.client().Do(hreq)
+		if err != nil {
+			return true, fmt.Errorf("engine: polling %s on %s: %v: %w", id, r.BaseURL, err, ErrUnavailable)
+		}
+		defer drainClose(resp.Body)
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			// The worker restarted and lost the execution (its retention GC
+			// cannot race us: we poll far more often than the 5m window).
+			return false, fmt.Errorf("engine: worker %s no longer knows execution %s: %w", r.BaseURL, id, ErrUnavailable)
+		case resp.StatusCode != http.StatusOK:
+			return true, fmt.Errorf("engine: poll of %s on %s returned %s: %w", id, r.BaseURL, resp.Status, ErrUnavailable)
+		}
+		var decoded execStatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+			return false, fmt.Errorf("engine: undecodable poll response from %s: %w", r.BaseURL, ErrUnavailable)
+		}
+		st = &decoded
+		return false, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("engine: building poll request: %w", err)
+		return nil, err
+	}
+	return st, nil
+}
+
+// fetchCheckpoint GETs the execution's newest resumable checkpoint.
+// One attempt under the per-attempt deadline: the caller re-fetches on
+// the next poll if this one fails.
+func (r *RemoteExecutor) fetchCheckpoint(ctx context.Context, id string) (*Checkpoint, error) {
+	actx, cancel := context.WithTimeout(ctx, r.attemptTimeout())
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodGet, r.execURL(id)+"/checkpoint", nil)
+	if err != nil {
+		return nil, err
 	}
 	resp, err := r.client().Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("engine: polling %s on %s: %v: %w", id, r.BaseURL, err, ErrUnavailable)
+		return nil, err
 	}
 	defer drainClose(resp.Body)
-	switch {
-	case resp.StatusCode == http.StatusNotFound:
-		// The worker restarted and lost the execution (its retention GC
-		// cannot race us: we poll far more often than the 5m window).
-		return nil, fmt.Errorf("engine: worker %s no longer knows execution %s: %w", r.BaseURL, id, ErrUnavailable)
-	case resp.StatusCode != http.StatusOK:
-		return nil, fmt.Errorf("engine: poll of %s on %s returned %s: %w", id, r.BaseURL, resp.Status, ErrUnavailable)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("engine: checkpoint fetch of %s on %s returned %s", id, r.BaseURL, resp.Status)
 	}
-	var st execStatusResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, fmt.Errorf("engine: undecodable poll response from %s: %w", r.BaseURL, ErrUnavailable)
+	var cp Checkpoint
+	if err := json.NewDecoder(resp.Body).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("engine: undecodable checkpoint from %s: %w", r.BaseURL, err)
 	}
-	return &st, nil
+	return &cp, nil
 }
 
 // release cancels/acknowledges the execution so the worker frees it

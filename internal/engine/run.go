@@ -157,6 +157,31 @@ func (x *LocalExecutor) Execute(ctx context.Context, req Request, onProgress fun
 	}
 	hash := train.Hash()
 
+	// A forwarded checkpoint lets this execution reuse an earlier one's
+	// work — but only if it was computed from the same training data.
+	cp := req.Checkpoint
+	if cp != nil {
+		if cp.DatasetHash != hash {
+			x.mCheckpointRejected.Inc()
+			cp = nil
+		} else {
+			x.mCheckpointResumes.Inc()
+			// The earlier execution's closed spans become the head of this
+			// execution's trace: the job's final timings show each stage
+			// once, whoever ran it.
+			sink.preload(cp.Timings)
+		}
+	}
+	ckpt := newCheckpointRecorder(cp, hash, x.checkpointBytes, sink)
+	finished := make(map[variantSpec]VariantResult)
+	if cp != nil {
+		for _, vr := range cp.Variants {
+			if vr.Error == "" {
+				finished[variantSpec{metamodel: vr.Metamodel, sd: vr.SD}] = vr
+			}
+		}
+	}
+
 	variants := buildVariants(req)
 	sink.update(func(p *Progress) {
 		p.VariantsTotal = len(variants)
@@ -183,15 +208,33 @@ func (x *LocalExecutor) Execute(ctx context.Context, req Request, onProgress fun
 	results := make([]VariantResult, len(variants))
 	var wg sync.WaitGroup
 	for vi, v := range variants {
+		if vr, ok := finished[v]; ok {
+			// The checkpoint already carries this variant's result: reuse
+			// it verbatim. Its spans are in the preloaded trace; account
+			// its full labeling share so the job-level counters add up.
+			vr.Resumed = true
+			results[vi] = vr
+			x.mCheckpointVariantsSkipped.Inc()
+			sink.update(func(p *Progress) {
+				p.VariantsDone++
+				p.LabelDone += l
+			})
+			continue
+		}
 		wg.Add(1)
 		go func(vi int, v variantSpec) {
 			defer wg.Done()
-			defer sink.update(func(p *Progress) { p.VariantsDone++ })
-			results[vi] = x.runVariant(ctx, req, sink, train, hash, smp, l, v, variantConfig{
+			vr := x.runVariant(ctx, req, sink, train, hash, smp, l, v, variantConfig{
 				pipelineSeed: seed + int64(vi+1)*variantSeedStride,
 				trainSeed:    familySeed[v.metamodel],
 				labelWorkers: labelWorkers,
+				checkpoints:  ckpt,
 			})
+			results[vi] = vr
+			if vr.Error == "" {
+				ckpt.variantDone(vr)
+			}
+			sink.update(func(p *Progress) { p.VariantsDone++ })
 		}(vi, v)
 	}
 	wg.Wait()
@@ -222,6 +265,9 @@ type variantConfig struct {
 	pipelineSeed int64
 	trainSeed    int64
 	labelWorkers int
+	// checkpoints records this execution's reusable work and serves the
+	// inbound checkpoint's labeled datasets for stage skipping.
+	checkpoints *checkpointRecorder
 }
 
 // runVariant executes one metamodel × SD combination of a request. The
@@ -308,9 +354,23 @@ func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progr
 				// job-level counters still add up.
 				hooks.OnLabelProgress(l, l)
 			}
+			cfg.checkpoints.labelStageDone(v.metamodel, trainer.key, labelKey, d)
 			return d, nil
 		},
 		Hooks: hooks,
+	}
+	// A checkpointed labeled dataset under this exact cache key lets the
+	// pipeline skip train/sample/label outright — the discover stage
+	// validates on the real examples, so the metamodel itself is not
+	// needed. Seed the label cache so later jobs over the same data (and
+	// sibling variants) hit it.
+	if pre := cfg.checkpoints.resumeLabeled(labelKey); pre != nil {
+		r.Prelabeled = pre
+		_, hit, err := x.labels.getOrLabel(labelKey, func() (*dataset.Dataset, error) { return pre, nil })
+		if err == nil {
+			labelHit.Store(hit)
+		}
+		hooks.OnLabelProgress(l, l)
 	}
 	res, err := r.DiscoverContext(ctx, train, train, rand.New(rand.NewSource(cfg.pipelineSeed)))
 	timer.Stop() // close the discover span before the metric evaluation below

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/reds-go/reds/internal/faultinject"
+)
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	implementations(t, func(t *testing.T, s Store) {
+		if _, ok, err := s.GetCheckpoint("job-1"); ok || err != nil {
+			t.Fatalf("checkpoint of unknown job: ok=%v err=%v", ok, err)
+		}
+		if err := s.PutJob(rec("job-1", "running", time.Now())); err != nil {
+			t.Fatalf("put job: %v", err)
+		}
+		cp1 := json.RawMessage(`{"seq":1,"dataset_hash":"abc"}`)
+		if err := s.PutCheckpoint("job-1", cp1); err != nil {
+			t.Fatalf("put checkpoint: %v", err)
+		}
+		got, ok, err := s.GetCheckpoint("job-1")
+		if err != nil || !ok || string(got) != string(cp1) {
+			t.Fatalf("get checkpoint = %s ok=%v err=%v, want %s", got, ok, err, cp1)
+		}
+
+		// Overwrite wins.
+		cp2 := json.RawMessage(`{"seq":2,"dataset_hash":"abc"}`)
+		if err := s.PutCheckpoint("job-1", cp2); err != nil {
+			t.Fatalf("overwrite checkpoint: %v", err)
+		}
+		if got, _, _ := s.GetCheckpoint("job-1"); string(got) != string(cp2) {
+			t.Fatalf("after overwrite: %s, want %s", got, cp2)
+		}
+
+		// Checkpoints are invisible to the job listing.
+		recs, err := s.List()
+		if err != nil || len(recs) != 1 || recs[0].ID != "job-1" {
+			t.Fatalf("list with checkpoint = %+v err=%v, want only job-1", recs, err)
+		}
+
+		// Empty payload deletes.
+		if err := s.PutCheckpoint("job-1", nil); err != nil {
+			t.Fatalf("delete checkpoint: %v", err)
+		}
+		if _, ok, _ := s.GetCheckpoint("job-1"); ok {
+			t.Fatalf("checkpoint survived its deletion")
+		}
+		// Deleting a missing checkpoint is a no-op.
+		if err := s.PutCheckpoint("job-1", nil); err != nil {
+			t.Fatalf("double-delete checkpoint: %v", err)
+		}
+	})
+}
+
+func TestCheckpointDiesWithJob(t *testing.T) {
+	implementations(t, func(t *testing.T, s Store) {
+		cp := json.RawMessage(`{"seq":3}`)
+		if err := s.PutJob(rec("job-1", "running", time.Now())); err != nil {
+			t.Fatalf("put job: %v", err)
+		}
+		if err := s.PutCheckpoint("job-1", cp); err != nil {
+			t.Fatalf("put checkpoint: %v", err)
+		}
+		if err := s.Delete("job-1"); err != nil {
+			t.Fatalf("delete job: %v", err)
+		}
+		if _, ok, _ := s.GetCheckpoint("job-1"); ok {
+			t.Fatalf("checkpoint outlived its deleted job")
+		}
+
+		// Sweep removes the checkpoint alongside the expired job.
+		old := rec("job-2", "done", time.Now().Add(-2*time.Hour))
+		old.FinishedAt = time.Now().Add(-time.Hour)
+		if err := s.PutJob(old); err != nil {
+			t.Fatalf("put job: %v", err)
+		}
+		if err := s.PutCheckpoint("job-2", cp); err != nil {
+			t.Fatalf("put checkpoint: %v", err)
+		}
+		ids, err := s.Sweep(time.Now())
+		if err != nil || len(ids) != 1 || ids[0] != "job-2" {
+			t.Fatalf("sweep = %v err=%v, want [job-2]", ids, err)
+		}
+		if _, ok, _ := s.GetCheckpoint("job-2"); ok {
+			t.Fatalf("checkpoint outlived its swept job")
+		}
+	})
+}
+
+// TestFSCheckpointCrashReplay asserts checkpoints survive both a crash
+// (WAL replay, no Close) and a clean restart (snapshot compaction).
+func TestFSCheckpointCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{})
+	cp := json.RawMessage(`{"seq":7,"dataset_hash":"deadbeef"}`)
+	if err := s.PutJob(rec("job-1", "running", time.Now())); err != nil {
+		t.Fatalf("put job: %v", err)
+	}
+	if err := s.PutCheckpoint("job-1", cp); err != nil {
+		t.Fatalf("put checkpoint: %v", err)
+	}
+
+	// Crash: reopen without Close — the checkpoint replays from the WAL.
+	re := mustOpen(t, dir, FSOptions{})
+	got, ok, err := re.GetCheckpoint("job-1")
+	if err != nil || !ok || string(got) != string(cp) {
+		t.Fatalf("after crash replay: %s ok=%v err=%v, want %s", got, ok, err, cp)
+	}
+	re.Close() // compacts into the snapshot
+
+	// Clean restart: the checkpoint now comes from the snapshot.
+	final := mustOpen(t, dir, FSOptions{})
+	defer final.Close()
+	got, ok, err = final.GetCheckpoint("job-1")
+	if err != nil || !ok || string(got) != string(cp) {
+		t.Fatalf("after compacted reopen: %s ok=%v err=%v, want %s", got, ok, err, cp)
+	}
+}
+
+// TestFSCheckpointTornWALFault arms the store.wal.torn injection point:
+// the append must fail loudly, nothing must reach the in-memory state,
+// and a reopen must truncate the torn tail and keep the complete prefix
+// — the exact crash footprint the injector mimics.
+func TestFSCheckpointTornWALFault(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, FSOptions{})
+	if err := s.PutJob(rec("job-1", "running", time.Now())); err != nil {
+		t.Fatalf("put job: %v", err)
+	}
+
+	if err := faultinject.Arm("store.wal.torn=1"); err != nil {
+		t.Fatalf("arming: %v", err)
+	}
+	defer faultinject.Disarm()
+	if err := s.PutCheckpoint("job-1", json.RawMessage(`{"seq":1}`)); err == nil {
+		t.Fatalf("torn-write fault did not surface on the append")
+	}
+	if _, ok, _ := s.GetCheckpoint("job-1"); ok {
+		t.Fatalf("failed append still applied the checkpoint in memory")
+	}
+
+	// Reopen over the half-written line, as a restart after the simulated
+	// crash would: the torn tail is truncated, not counted as corruption.
+	re := mustOpen(t, dir, FSOptions{})
+	defer re.Close()
+	recs, _ := re.List()
+	if len(recs) != 1 || recs[0].ID != "job-1" {
+		t.Fatalf("replay over torn write = %+v, want only job-1", recs)
+	}
+	if _, ok, _ := re.GetCheckpoint("job-1"); ok {
+		t.Fatalf("torn checkpoint write survived replay")
+	}
+	if re.Skipped() != 0 {
+		t.Fatalf("torn write counted as corruption (skipped=%d), should be truncated", re.Skipped())
+	}
+	// The fault fired its once; the reopened store accepts appends again.
+	if err := re.PutCheckpoint("job-1", json.RawMessage(`{"seq":2}`)); err != nil {
+		t.Fatalf("append after torn write: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/reds-go/reds/internal/faultinject"
 	"github.com/reds-go/reds/internal/telemetry"
 )
 
@@ -30,11 +31,18 @@ const (
 	snapshotFile = "snapshot.jsonl"
 	walFile      = "wal.jsonl"
 
-	opJob    = "job"
-	opResult = "result"
-	opDelete = "delete"
-	opMeta   = "meta"
+	opJob        = "job"
+	opResult     = "result"
+	opDelete     = "delete"
+	opMeta       = "meta"
+	opCheckpoint = "checkpoint"
 )
+
+// faultWALTorn is the fault-injection point for torn log writes: when
+// armed (value "once" by convention), one append writes only half of
+// its buffer and fails, simulating a crash mid-write. Replay must
+// truncate the torn tail away.
+const faultWALTorn = "store.wal.torn"
 
 // walEntry is one JSON line of the log or the snapshot.
 type walEntry struct {
@@ -97,14 +105,15 @@ type FS struct {
 	mReplayEntries *telemetry.Counter
 	mReplaySkipped *telemetry.Counter
 
-	mu       sync.Mutex
-	wal      *os.File
-	walCount int
-	dirty    bool // unsynced log appends (batched-fsync mode only)
-	jobs     map[string]Record
-	results  map[string]json.RawMessage
-	metas    map[string]json.RawMessage
-	skipped  int
+	mu          sync.Mutex
+	wal         *os.File
+	walCount    int
+	dirty       bool // unsynced log appends (batched-fsync mode only)
+	jobs        map[string]Record
+	results     map[string]json.RawMessage
+	metas       map[string]json.RawMessage
+	checkpoints map[string]json.RawMessage
+	skipped     int
 }
 
 // OpenFS opens (creating if needed) a file store in dir and replays its
@@ -121,11 +130,12 @@ func OpenFS(dir string, opts FSOptions) (*FS, error) {
 		reg = telemetry.NewRegistry()
 	}
 	f := &FS{
-		dir:     dir,
-		opts:    opts,
-		jobs:    make(map[string]Record),
-		results: make(map[string]json.RawMessage),
-		metas:   make(map[string]json.RawMessage),
+		dir:         dir,
+		opts:        opts,
+		jobs:        make(map[string]Record),
+		results:     make(map[string]json.RawMessage),
+		metas:       make(map[string]json.RawMessage),
+		checkpoints: make(map[string]json.RawMessage),
 		mAppends: reg.Counter("reds_store_wal_appends_total",
 			"Entries appended to the write-ahead log."),
 		mFsync: reg.Histogram("reds_store_fsync_seconds",
@@ -279,8 +289,15 @@ func (f *FS) apply(e walEntry) {
 	case opDelete:
 		delete(f.jobs, e.ID)
 		delete(f.results, e.ID)
+		delete(f.checkpoints, e.ID)
 	case opMeta:
 		f.metas[e.ID] = e.Result
+	case opCheckpoint:
+		if len(e.Result) == 0 {
+			delete(f.checkpoints, e.ID)
+		} else {
+			f.checkpoints[e.ID] = e.Result
+		}
 	default:
 		f.skipped++
 		f.mReplaySkipped.Inc()
@@ -307,6 +324,13 @@ func (f *FS) appendLocked(entries ...walEntry) error {
 		if err := enc.Encode(e); err != nil {
 			return fmt.Errorf("store: encoding log entry: %w", err)
 		}
+	}
+	if faultinject.Enabled() && faultinject.Once(faultWALTorn) {
+		// Simulate a crash mid-append: half the buffer reaches the file,
+		// the append fails, and nothing is applied to the in-memory
+		// state. Replay truncates the torn tail on the next open.
+		_, _ = f.wal.Write(buf.Bytes()[:buf.Len()/2])
+		return fmt.Errorf("store: %s fault injected: torn log write", faultWALTorn)
 	}
 	if _, err := f.wal.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("store: appending to log: %w", err)
@@ -353,6 +377,11 @@ func (f *FS) compactLocked() error {
 	}
 	for _, key := range sortedResultIDs(f.metas) {
 		if err := enc.Encode(walEntry{Op: opMeta, ID: key, Result: f.metas[key]}); err != nil {
+			return fmt.Errorf("store: encoding snapshot: %w", err)
+		}
+	}
+	for _, id := range sortedResultIDs(f.checkpoints) {
+		if err := enc.Encode(walEntry{Op: opCheckpoint, ID: id, Result: f.checkpoints[id]}); err != nil {
 			return fmt.Errorf("store: encoding snapshot: %w", err)
 		}
 	}
@@ -448,16 +477,18 @@ func (f *FS) List() ([]Record, error) {
 func (f *FS) Delete(id string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if _, okJ := f.jobs[id]; !okJ {
-		if _, okR := f.results[id]; !okR {
-			return nil // unknown id: nothing to log
-		}
+	_, okJ := f.jobs[id]
+	_, okR := f.results[id]
+	_, okC := f.checkpoints[id]
+	if !okJ && !okR && !okC {
+		return nil // unknown id: nothing to log
 	}
 	if err := f.appendLocked(walEntry{Op: opDelete, ID: id}); err != nil {
 		return err
 	}
 	delete(f.jobs, id)
 	delete(f.results, id)
+	delete(f.checkpoints, id)
 	return nil
 }
 
@@ -480,8 +511,43 @@ func (f *FS) Sweep(cutoff time.Time) ([]string, error) {
 	for _, id := range expired {
 		delete(f.jobs, id)
 		delete(f.results, id)
+		delete(f.checkpoints, id)
 	}
 	return expired, nil
+}
+
+// PutCheckpoint implements Store. An empty payload logs a deletion so
+// replay converges on the same state.
+func (f *FS) PutCheckpoint(id string, cp json.RawMessage) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(cp) == 0 {
+		if _, ok := f.checkpoints[id]; !ok {
+			return nil // nothing stored: nothing to log
+		}
+		if err := f.appendLocked(walEntry{Op: opCheckpoint, ID: id}); err != nil {
+			return err
+		}
+		delete(f.checkpoints, id)
+		return nil
+	}
+	cp = append(json.RawMessage(nil), cp...)
+	if err := f.appendLocked(walEntry{Op: opCheckpoint, ID: id, Result: cp}); err != nil {
+		return err
+	}
+	f.checkpoints[id] = cp
+	return nil
+}
+
+// GetCheckpoint implements Store.
+func (f *FS) GetCheckpoint(id string) (json.RawMessage, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp, ok := f.checkpoints[id]
+	if !ok {
+		return nil, false, nil
+	}
+	return append(json.RawMessage(nil), cp...), true, nil
 }
 
 // PutMeta implements Store.

@@ -12,18 +12,20 @@ import (
 // state dies with the process. It is also the reference implementation
 // the FS store is tested against.
 type Mem struct {
-	mu      sync.Mutex
-	jobs    map[string]Record
-	results map[string]json.RawMessage
-	metas   map[string]json.RawMessage
+	mu          sync.Mutex
+	jobs        map[string]Record
+	results     map[string]json.RawMessage
+	metas       map[string]json.RawMessage
+	checkpoints map[string]json.RawMessage
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
 	return &Mem{
-		jobs:    make(map[string]Record),
-		results: make(map[string]json.RawMessage),
-		metas:   make(map[string]json.RawMessage),
+		jobs:        make(map[string]Record),
+		results:     make(map[string]json.RawMessage),
+		metas:       make(map[string]json.RawMessage),
+		checkpoints: make(map[string]json.RawMessage),
 	}
 }
 
@@ -93,6 +95,7 @@ func (m *Mem) Delete(id string) error {
 	defer m.mu.Unlock()
 	delete(m.jobs, id)
 	delete(m.results, id)
+	delete(m.checkpoints, id)
 	return nil
 }
 
@@ -104,8 +107,32 @@ func (m *Mem) Sweep(cutoff time.Time) ([]string, error) {
 	for _, id := range expired {
 		delete(m.jobs, id)
 		delete(m.results, id)
+		delete(m.checkpoints, id)
 	}
 	return expired, nil
+}
+
+// PutCheckpoint implements Store.
+func (m *Mem) PutCheckpoint(id string, cp json.RawMessage) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(cp) == 0 {
+		delete(m.checkpoints, id)
+		return nil
+	}
+	m.checkpoints[id] = append(json.RawMessage(nil), cp...)
+	return nil
+}
+
+// GetCheckpoint implements Store.
+func (m *Mem) GetCheckpoint(id string) (json.RawMessage, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp, ok := m.checkpoints[id]
+	if !ok {
+		return nil, false, nil
+	}
+	return append(json.RawMessage(nil), cp...), true, nil
 }
 
 // Close implements Store; it is a no-op for Mem.

@@ -84,6 +84,15 @@ type Store interface {
 	PutMeta(key string, value json.RawMessage) error
 	// GetMeta returns a metadata payload, ok=false when absent.
 	GetMeta(key string) (json.RawMessage, bool, error)
+	// PutCheckpoint stores the engine-encoded execution checkpoint of a
+	// job; a nil or empty payload deletes it. Checkpoints live and die
+	// with their job: Delete and Sweep remove them alongside the record,
+	// and List never returns them (they can carry megabytes of labeled
+	// data and only the job's own re-execution wants them).
+	PutCheckpoint(id string, cp json.RawMessage) error
+	// GetCheckpoint returns the stored checkpoint payload, ok=false when
+	// none exists.
+	GetCheckpoint(id string) (json.RawMessage, bool, error)
 	// Close releases the store. For FS it compacts the write-ahead log
 	// into the snapshot first; for Mem it is a no-op.
 	Close() error

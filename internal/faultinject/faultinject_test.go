@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedZeroValues(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("Enabled() = true with nothing armed")
+	}
+	if Armed("exec.start.delay") {
+		t.Fatal("Armed() = true with nothing armed")
+	}
+	if d := Duration("exec.start.delay"); d != 0 {
+		t.Fatalf("Duration() = %v, want 0", d)
+	}
+	if Once("store.wal.torn") {
+		t.Fatal("Once() fired with nothing armed")
+	}
+}
+
+func TestArmAndQuery(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("exec.start.delay=150ms, exec.exit-after=discover/ ,store.wal.torn=once"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Arm")
+	}
+	if d := Duration("exec.start.delay"); d != 150*time.Millisecond {
+		t.Fatalf("Duration = %v, want 150ms", d)
+	}
+	if v, ok := Value("exec.exit-after"); !ok || v != "discover/" {
+		t.Fatalf("Value = %q, %v", v, ok)
+	}
+	if Armed("exec.drop") {
+		t.Fatal("unarmed point reported armed")
+	}
+}
+
+func TestArmMalformed(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("exec.start.delay=50ms"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if err := Arm("nonsense-without-equals"); err == nil {
+		t.Fatal("Arm accepted a malformed spec")
+	}
+	// The previous spec must survive a failed Arm.
+	if d := Duration("exec.start.delay"); d != 50*time.Millisecond {
+		t.Fatalf("previous spec lost after failed Arm: Duration = %v", d)
+	}
+}
+
+func TestArmEmptyDisarms(t *testing.T) {
+	if err := Arm("exec.drop=1"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if err := Arm("  "); err != nil {
+		t.Fatalf("Arm(empty): %v", err)
+	}
+	if Enabled() {
+		t.Fatal("empty spec did not disarm")
+	}
+}
+
+func TestOnceFiresExactlyOnce(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("store.wal.torn=once"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	fired := make(chan bool, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fired <- Once("store.wal.torn")
+		}()
+	}
+	wg.Wait()
+	close(fired)
+	n := 0
+	for f := range fired {
+		if f {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("Once fired %d times, want 1", n)
+	}
+	// Re-arming resets the fuse.
+	if err := Arm("store.wal.torn=once"); err != nil {
+		t.Fatalf("re-Arm: %v", err)
+	}
+	if !Once("store.wal.torn") {
+		t.Fatal("Once did not fire after re-arm")
+	}
+}
+
+func TestDelaySleeps(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("exec.status.delay=30ms"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	start := time.Now()
+	Delay("exec.status.delay")
+	if got := time.Since(start); got < 25*time.Millisecond {
+		t.Fatalf("Delay slept %v, want >= 30ms", got)
+	}
+	start = time.Now()
+	Delay("unarmed.point")
+	if got := time.Since(start); got > 10*time.Millisecond {
+		t.Fatalf("Delay on unarmed point slept %v", got)
+	}
+}

@@ -102,14 +102,18 @@ func run() error {
 			return err
 		}
 	}
-	// The gateway answers healthz before its first successful probe
-	// round; wait until it actually sees both workers alive, or the
-	// startup race would deterministically route every job to whichever
-	// worker came up first.
+	// The gateway's readiness gate: /v1/readyz stays 503 until the first
+	// probe round completes and a worker is alive — exactly the startup
+	// race this smoke used to work around by polling healthz.
+	if err := waitReady("http://"+gatewayAddr, 30*time.Second); err != nil {
+		return err
+	}
+	// readyz needs one alive worker; the routing assertions below need
+	// both, so let the prober finish marking the second one too.
 	if err := waitGatewaySeesWorkers(2, 30*time.Second); err != nil {
 		return err
 	}
-	log.Printf("2 workers + gateway healthy")
+	log.Printf("2 workers + gateway ready")
 
 	// Distinct seeds → distinct shard keys → with two workers and six
 	// keys, both sides of the ring get traffic with overwhelming
@@ -341,6 +345,25 @@ func waitGatewaySeesWorkers(want int, timeout time.Duration) error {
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("gateway never saw %d workers alive: %+v (%v)", want, ghz, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitReady polls the gateway's /v1/readyz until it answers 200.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s/v1/readyz never answered 200 (last error: %v)", base, err)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
