@@ -16,6 +16,7 @@ import (
 
 	reds "github.com/reds-go/reds"
 	"github.com/reds-go/reds/internal/experiment"
+	"github.com/reds-go/reds/internal/ruleset"
 )
 
 // skipIfShort exempts the heavy paper-figure suites from -short runs
@@ -444,6 +445,39 @@ func BenchmarkLabelStage100kReference(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := reds.NewDataset(pts, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Rule-set distillation: build cost and the labeling speedup ---
+
+// BenchmarkDistill500 measures distilling the paper-scale forest into a
+// compact probabilistic rule set: agreement-ranked tree selection,
+// box merging, recompilation and the holdout fidelity check.
+func BenchmarkDistill500(b *testing.B) {
+	model := benchPaperForest(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ruleset.Distill(model, ruleset.Options{Dim: 10, Seed: 18}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLabelStage100kDistilled runs the same pseudo-label stage as
+// BenchmarkLabelStage100k but on the distilled kernel; the gap between
+// the two is the speedup the distilled kernel buys at the paper's
+// L=10^5.
+func BenchmarkLabelStage100kDistilled(b *testing.B) {
+	model := benchPaperForest(b)
+	distilled, err := ruleset.Distill(model, ruleset.Options{Dim: 10, Seed: 18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reds.PseudoLabel(context.Background(), distilled, reds.LatinHypercube{}, 100000, 10, 16, false, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"github.com/reds-go/reds/internal/metamodel"
 	"github.com/reds-go/reds/internal/prim"
 	"github.com/reds-go/reds/internal/rf"
+	"github.com/reds-go/reds/internal/ruleset"
 	"github.com/reds-go/reds/internal/sample"
 )
 
@@ -80,6 +81,13 @@ func componentBenchmarks() []struct {
 	// The paper-scale forest (ntree=500, the R randomForest default
 	// behind the paper's caret setup) for the pseudo-label stage pair.
 	rfPaper, err := (&rf.Trainer{NTrees: 500}).Train(benchData(400, 10, 14), rand.New(rand.NewSource(15)))
+	if err != nil {
+		panic(err)
+	}
+	// The distilled labeling kernel for the paper-scale forest, built
+	// once so label_distilled measures labeling alone; the distill
+	// benchmark below measures the build itself.
+	rfDistilled, err := ruleset.Distill(rfPaper, ruleset.Options{Dim: 10, Seed: 18})
 	if err != nil {
 		panic(err)
 	}
@@ -182,6 +190,25 @@ func componentBenchmarks() []struct {
 					b.Fatal(err)
 				}
 				if _, err := dataset.New(lpts, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Rule-set distillation of the paper-scale forest (agreement-
+		// ranked tree selection + merge + recompile + holdout fidelity),
+		// and the pseudo-label stage run on the resulting compact kernel.
+		// label_distilled vs label_batch is the headline speedup the
+		// distilled kernel buys at L=10^5.
+		{"distill", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ruleset.Distill(rfPaper, ruleset.Options{Dim: 10, Seed: 18}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"label_distilled", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PseudoLabel(context.Background(), rfDistilled, sample.LatinHypercube{}, 100000, 10, 17, false, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

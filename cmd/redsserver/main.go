@@ -19,6 +19,7 @@
 //	POST   /v1/jobs              {"function":"morris","n":400,"l":50000}
 //	GET    /v1/jobs/{id}         status + per-stage progress + timings
 //	GET    /v1/jobs/{id}/result  final box, rule, metrics, trajectory
+//	GET    /v1/jobs/{id}/rules   distilled rule sets (label_kernel:"distilled" jobs)
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/functions         registered simulation functions
 //	GET    /v1/healthz           liveness + cache stats
@@ -71,6 +72,9 @@ func main() {
 	cacheTTL := flag.Duration("cache.ttl", 0, "expiry of cached metamodels after training (0: never)")
 	labelCacheBytes := flag.Int64("labelcache.bytes", 256<<20, "pseudo-label dataset cache budget in approximate bytes")
 	labelCacheTTL := flag.Duration("labelcache.ttl", 0, "expiry of cached pseudo-labeled datasets (0: never)")
+	rulesetCacheBytes := flag.Int64("rulesetcache.bytes", 64<<20, "distilled rule-set cache budget in approximate bytes")
+	rulesetCacheTTL := flag.Duration("rulesetcache.ttl", 0, "expiry of cached distilled rule sets (0: never)")
+	distillFidelity := flag.Float64("distill.fidelity", 0.99, "default holdout fidelity a distilled labeling kernel must reach; below it jobs fall back to the full ensemble")
 	storeDir := flag.String("store.dir", "", "directory for the durable job store (empty: in-memory only)")
 	storeTTL := flag.Duration("store.ttl", 0, "retention of finished jobs before garbage collection (0: keep forever)")
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
@@ -121,11 +125,14 @@ func main() {
 	// One executor serves both the engine's own jobs and gateway-
 	// dispatched executions, so they share the metamodel cache.
 	executor := engine.NewLocalExecutor(engine.LocalExecutorOptions{
-		CacheBytes:      *cacheBytes,
-		CacheTTL:        *cacheTTL,
-		LabelCacheBytes: *labelCacheBytes,
-		LabelCacheTTL:   *labelCacheTTL,
-		Metrics:         reg,
+		CacheBytes:        *cacheBytes,
+		CacheTTL:          *cacheTTL,
+		LabelCacheBytes:   *labelCacheBytes,
+		LabelCacheTTL:     *labelCacheTTL,
+		RulesetCacheBytes: *rulesetCacheBytes,
+		RulesetCacheTTL:   *rulesetCacheTTL,
+		DistillFidelity:   *distillFidelity,
+		Metrics:           reg,
 	})
 	eng, err := engine.New(engine.Options{
 		Workers:       *workers,

@@ -74,6 +74,7 @@ func WithMetrics(reg *telemetry.Registry) HandlerOption {
 //	GET    /v1/jobs/{id}     job status + progress
 //	DELETE /v1/jobs/{id}     cancel a job
 //	GET    /v1/jobs/{id}/result  final payload of a done job
+//	GET    /v1/jobs/{id}/rules   distilled rule sets of a done job
 //	GET    /v1/functions     simulation-function registry
 //	GET    /v1/healthz       liveness + cache/job counters
 //
@@ -179,7 +180,57 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 			})
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeJSON(w, http.StatusOK, stripRulesets(res))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/rules", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		snap, ok := e.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, errNotFound, fmt.Errorf("unknown job %s", id))
+			return
+		}
+		res, err := e.Result(id)
+		if err != nil {
+			if snap.Status == StatusDone {
+				writeError(w, http.StatusInternalServerError, errInternal, err)
+				return
+			}
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  apiError{Code: errNotReady, Message: err.Error()},
+				"status": snap.Status,
+			})
+			return
+		}
+		// One entry per metamodel family: the SD variants of a family
+		// share one labeling (and therefore one kernel resolution), so
+		// their ruleset entries would be identical.
+		type rulesetEntry struct {
+			Metamodel      string          `json:"metamodel"`
+			LabelKernel    string          `json:"label_kernel,omitempty"`
+			LabelFidelity  float64         `json:"label_fidelity,omitempty"`
+			FallbackReason string          `json:"fallback_reason,omitempty"`
+			Ruleset        json.RawMessage `json:"ruleset,omitempty"`
+		}
+		seen := map[string]bool{}
+		entries := []rulesetEntry{}
+		for _, vr := range res.Variants {
+			if seen[vr.Metamodel] || vr.Error != "" {
+				continue
+			}
+			seen[vr.Metamodel] = true
+			entries = append(entries, rulesetEntry{
+				Metamodel:      vr.Metamodel,
+				LabelKernel:    vr.LabelKernel,
+				LabelFidelity:  vr.LabelFidelity,
+				FallbackReason: vr.FallbackReason,
+				Ruleset:        vr.Ruleset,
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":           id,
+			"dataset_hash": res.DatasetHash,
+			"rulesets":     entries,
+		})
 	})
 	mux.HandleFunc("GET /v1/functions", func(w http.ResponseWriter, r *http.Request) {
 		var out []FunctionInfo
@@ -219,6 +270,12 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 			"jobs":                  e.JobCount(),
 			"jobs_recovered":        rec.Recovered,
 		}
+		rs := e.RulesetCacheStats()
+		body["ruleset_cache_hits"] = rs.Hits
+		body["ruleset_cache_misses"] = rs.Misses
+		body["ruleset_cache_evictions"] = rs.Evictions
+		body["ruleset_cache_entries"] = rs.Entries
+		body["ruleset_cache_bytes"] = rs.Bytes
 		if cfg.execServer != nil {
 			started, active := cfg.execServer.Executions()
 			body["executions"] = started
@@ -227,6 +284,29 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 		writeJSON(w, http.StatusOK, body)
 	})
 	return jsonErrors(mux)
+}
+
+// stripRulesets shallow-copies a result without the variants' inline
+// rule-set exports: /result stays small (a paper-scale rule set is
+// tens of kilobytes per family) and GET /v1/jobs/{id}/rules is the one
+// surface that serves the artifact. The stored result keeps the rules;
+// only the response omits them.
+func stripRulesets(res *Result) *Result {
+	needs := res.Best.Ruleset != nil
+	for i := range res.Variants {
+		needs = needs || res.Variants[i].Ruleset != nil
+	}
+	if !needs {
+		return res
+	}
+	out := *res
+	out.Best.Ruleset = nil
+	out.Variants = make([]VariantResult, len(res.Variants))
+	copy(out.Variants, res.Variants)
+	for i := range out.Variants {
+		out.Variants[i].Ruleset = nil
+	}
+	return &out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -9,6 +9,7 @@ import (
 
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/metamodel"
+	"github.com/reds-go/reds/internal/ruleset"
 	"github.com/reds-go/reds/internal/telemetry"
 )
 
@@ -328,3 +329,37 @@ func (c *labelCache) getOrLabel(key string, label func() (*dataset.Dataset, erro
 
 // Stats returns cumulative counters and the current contents.
 func (c *labelCache) Stats() CacheStats { return c.c.Stats() }
+
+// rulesetCache is the byte-weighted LRU cache of distilled rule sets.
+// Keys extend the parent model's cache key with the distillation
+// parameters (see run.go):
+//
+//	<model cache key>|distill|maxrules=<n>|dseed=<seed>
+//
+// so repeat jobs over the same trained model — and sibling SD variants
+// of one family — distill once. Distilled models are tiny next to
+// their parents (a handful of simplified trees plus the JSON export),
+// so the default budget holds hundreds of them.
+type rulesetCache struct {
+	c *byteCache[*ruleset.Model]
+}
+
+func newRulesetCache(maxBytes int64, ttl time.Duration, reg *telemetry.Registry) *rulesetCache {
+	return &rulesetCache{c: newByteCache[*ruleset.Model](maxBytes, ttl, reg, "ruleset")}
+}
+
+// getOrDistill returns the cached distilled model for key, or runs
+// distill once — even under concurrent variants — and caches its
+// result.
+func (c *rulesetCache) getOrDistill(key string, distill func() (*ruleset.Model, error)) (*ruleset.Model, bool, error) {
+	return c.c.getOrCompute(key, func() (*ruleset.Model, int64, error) {
+		m, err := distill()
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, m.ApproxMemoryBytes(), nil
+	})
+}
+
+// Stats returns cumulative counters and the current contents.
+func (c *rulesetCache) Stats() CacheStats { return c.c.Stats() }

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/reds-go/reds/internal/metamodel"
+	"github.com/reds-go/reds/internal/ruleset"
+)
+
+// distillSeedOffset derives a family's distillation sampling seed from
+// its training seed. Like labelSeedOffset it is chosen to never collide
+// (mod variantSeedStride) with training seeds, pipeline seeds or label
+// seeds, so the distillation's selection/holdout samples are
+// independent of every other seeded stream of the job.
+const distillSeedOffset = 7919
+
+// kernelResolution is the outcome of choosing a labeling kernel for
+// one variant: which kernel actually runs, the model that implements
+// it, and — when a distillation was involved — its measured fidelity,
+// exported rules, and the reason it was rejected (if it was).
+type kernelResolution struct {
+	// kernel is "full" or "distilled" — the kernel that labels, after
+	// any fallback.
+	kernel string
+	// model is the labeling model: the distilled ruleset.Model, or the
+	// parent ensemble itself.
+	model metamodel.Model
+	// fidelity is the distillation's holdout label agreement with the
+	// parent (0 when no distillation ran).
+	fidelity float64
+	// fallbackReason is non-empty when a requested distilled kernel was
+	// not used ("unsupported", "fidelity ... below threshold ...").
+	fallbackReason string
+	// rulesJSON is the canonical rule-set export of the kernel that
+	// labels; nil unless kernel == "distilled".
+	rulesJSON json.RawMessage
+}
+
+// resolveKernel picks the labeling kernel for one variant. Full-kernel
+// requests short-circuit; distilled requests fetch (or compute) the
+// distillation from the ruleset cache keyed off the parent model's
+// cache key, then gate it behind the fidelity threshold. Every path
+// that cannot honor a distilled request counts one fallback and
+// returns the full ensemble — a job never fails because distillation
+// did, it just labels the expensive way and says so.
+func (x *LocalExecutor) resolveKernel(req Request, modelKey string, parent metamodel.Model, dim int, distillSeed int64) kernelResolution {
+	if req.effectiveLabelKernel() != "distilled" {
+		return kernelResolution{kernel: "full", model: parent}
+	}
+	key := fmt.Sprintf("%s|distill|maxrules=%d|dseed=%d", modelKey, req.DistillMaxRules, distillSeed)
+	m, _, err := x.rulesets.getOrDistill(key, func() (*ruleset.Model, error) {
+		start := time.Now()
+		m, err := ruleset.Distill(parent, ruleset.Options{
+			Dim:      dim,
+			MaxRules: req.DistillMaxRules,
+			Seed:     distillSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Observed on cache misses only: these instruments describe
+		// distillations performed, not lookups.
+		st := m.Stats()
+		x.mDistillSeconds.Observe(time.Since(start).Seconds())
+		x.mDistillRules.Observe(float64(st.Rules))
+		x.mDistillFidelity.Observe(st.LabelFidelity)
+		return m, nil
+	})
+	if err != nil {
+		x.mDistillFallback.Inc()
+		reason := "error: " + err.Error()
+		if errors.Is(err, ruleset.ErrNotDistillable) {
+			reason = "unsupported"
+		}
+		return kernelResolution{kernel: "full", model: parent, fallbackReason: reason}
+	}
+	st := m.Stats()
+	if threshold := req.effectiveDistillFidelity(x.distillFidelity); st.LabelFidelity < threshold {
+		x.mDistillFallback.Inc()
+		return kernelResolution{
+			kernel:         "full",
+			model:          parent,
+			fidelity:       st.LabelFidelity,
+			fallbackReason: fmt.Sprintf("fidelity %.4f below threshold %.4g", st.LabelFidelity, threshold),
+		}
+	}
+	return kernelResolution{
+		kernel:    "distilled",
+		model:     m,
+		fidelity:  st.LabelFidelity,
+		rulesJSON: m.ExportJSON(),
+	}
+}

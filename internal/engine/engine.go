@@ -774,6 +774,16 @@ func (e *Engine) LabelCacheStats() CacheStats {
 	return CacheStats{}
 }
 
+// RulesetCacheStats returns the executor's cumulative distilled
+// rule-set cache counters, under the same executor-locality caveat as
+// CacheStats.
+func (e *Engine) RulesetCacheStats() CacheStats {
+	if cs, ok := e.exec.(interface{ RulesetCacheStats() CacheStats }); ok {
+		return cs.RulesetCacheStats()
+	}
+	return CacheStats{}
+}
+
 // Executor returns the execution layer the engine dispatches jobs to.
 func (e *Engine) Executor() Executor { return e.exec }
 

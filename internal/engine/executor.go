@@ -158,6 +158,24 @@ func (r Request) effectiveSampler() string {
 	return r.Sampler
 }
 
+// effectiveLabelKernel is the requested labeling kernel with the
+// default applied.
+func (r Request) effectiveLabelKernel() string {
+	if r.LabelKernel == "" {
+		return "full"
+	}
+	return r.LabelKernel
+}
+
+// effectiveDistillFidelity is the fidelity threshold a distilled kernel
+// must clear, with the executor default applied.
+func (r Request) effectiveDistillFidelity(def float64) float64 {
+	if r.DistillFidelity > 0 {
+		return r.DistillFidelity
+	}
+	return def
+}
+
 // LocalExecutorOptions configure the in-process execution layer.
 type LocalExecutorOptions struct {
 	// CacheBytes bounds the metamodel LRU cache by the approximate
@@ -180,6 +198,17 @@ type LocalExecutorOptions struct {
 	// the budget a cold replacement worker resumes without retraining or
 	// relabeling; beyond it, checkpoints carry only the cache keys.
 	CheckpointBytes int64
+	// RulesetCacheBytes bounds the distilled rule-set cache (default 64
+	// MiB — distilled models are small; this is hundreds of entries).
+	RulesetCacheBytes int64
+	// RulesetCacheTTL expires cached distilled models this long after
+	// distillation (0 = never).
+	RulesetCacheTTL time.Duration
+	// DistillFidelity is the default holdout label agreement a distilled
+	// kernel must reach before it labels a job; below it the executor
+	// falls back to the full ensemble (default 0.99). Requests can raise
+	// or lower it per job (Request.DistillFidelity).
+	DistillFidelity float64
 	// Metrics is the registry the executor's instruments live in: the
 	// per-stage latency histograms and both caches' counters. nil gets
 	// a private registry, which keeps instruments working (and tests
@@ -197,6 +226,12 @@ func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
 	if o.CheckpointBytes <= 0 {
 		o.CheckpointBytes = 32 << 20
 	}
+	if o.RulesetCacheBytes <= 0 {
+		o.RulesetCacheBytes = 64 << 20
+	}
+	if o.DistillFidelity <= 0 {
+		o.DistillFidelity = 0.99
+	}
 	return o
 }
 
@@ -209,6 +244,13 @@ func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
 type LocalExecutor struct {
 	cache  *modelCache
 	labels *labelCache
+	// rulesets caches distilled rule sets keyed off the parent model's
+	// cache key (plus the distillation parameters), so repeat jobs and
+	// sibling variants distill once.
+	rulesets *rulesetCache
+	// distillFidelity is the default fallback threshold for distilled
+	// labeling kernels.
+	distillFidelity float64
 	// checkpointBytes bounds the inline labeled data per checkpoint.
 	checkpointBytes int64
 	// stageSeconds is the per-stage latency histogram
@@ -221,6 +263,13 @@ type LocalExecutor struct {
 	mCheckpointResumes         *telemetry.Counter
 	mCheckpointRejected        *telemetry.Counter
 	mCheckpointVariantsSkipped *telemetry.Counter
+	// Distillation instruments: distillation latency, the size and
+	// holdout fidelity of each produced rule set, and the number of
+	// variant resolutions that fell back to the full ensemble.
+	mDistillSeconds  *telemetry.Histogram
+	mDistillRules    *telemetry.Histogram
+	mDistillFidelity *telemetry.Histogram
+	mDistillFallback *telemetry.Counter
 }
 
 // NewLocalExecutor returns an in-process executor with its own
@@ -234,6 +283,8 @@ func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
 	return &LocalExecutor{
 		cache:           newModelCache(opts.CacheBytes, opts.CacheTTL, reg),
 		labels:          newLabelCache(opts.LabelCacheBytes, opts.LabelCacheTTL, reg),
+		rulesets:        newRulesetCache(opts.RulesetCacheBytes, opts.RulesetCacheTTL, reg),
+		distillFidelity: opts.DistillFidelity,
 		checkpointBytes: opts.CheckpointBytes,
 		stageSeconds: reg.HistogramVec("reds_exec_stage_seconds",
 			"Pipeline stage latency, labeled by stage (simulate, train, sample, label, discover) and variant.",
@@ -244,6 +295,17 @@ func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
 			"Forwarded checkpoints ignored because their dataset hash did not match the resolved training data."),
 		mCheckpointVariantsSkipped: reg.Counter("reds_engine_checkpoint_variants_skipped_total",
 			"Finished variants reused from a checkpoint instead of re-running."),
+		mDistillSeconds: reg.Histogram("reds_ruleset_distill_seconds",
+			"Latency of rule-set distillations (cache misses only).",
+			telemetry.ExponentialBuckets(0.001, 2, 14)),
+		mDistillRules: reg.Histogram("reds_ruleset_rules",
+			"Rules per distilled rule set, after dedup.",
+			telemetry.ExponentialBuckets(8, 2, 14)),
+		mDistillFidelity: reg.Histogram("reds_ruleset_fidelity",
+			"Holdout label agreement of distilled rule sets with their parent ensemble.",
+			[]float64{0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 0.995, 0.999, 1}),
+		mDistillFallback: reg.Counter("reds_ruleset_fallbacks_total",
+			"Variant label-kernel resolutions that requested the distilled kernel but fell back to the full ensemble (unsupported family or fidelity below threshold)."),
 	}
 }
 
@@ -253,6 +315,14 @@ func (x *LocalExecutor) CacheStats() CacheStats { return x.cache.Stats() }
 // LabelCacheStats returns cumulative pseudo-label dataset cache
 // counters.
 func (x *LocalExecutor) LabelCacheStats() CacheStats { return x.labels.Stats() }
+
+// RulesetCacheStats returns cumulative distilled rule-set cache
+// counters.
+func (x *LocalExecutor) RulesetCacheStats() CacheStats { return x.rulesets.Stats() }
+
+// RulesetFallbacks returns the cumulative count of distilled-kernel
+// resolutions that fell back to the full ensemble.
+func (x *LocalExecutor) RulesetFallbacks() int64 { return x.mDistillFallback.Value() }
 
 // progressSink aggregates concurrent progress updates for one execution
 // and forwards each new snapshot to the callback. Updates mutate the

@@ -41,6 +41,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -105,6 +106,23 @@ type Request struct {
 	// Tuned enables cross-validated hyperparameter search for each
 	// metamodel (slower; off by default).
 	Tuned bool `json:"tuned,omitempty"`
+	// LabelKernel selects the pseudo-labeling kernel: "full" (default)
+	// runs the trained ensemble's batch path; "distilled" first distills
+	// the ensemble into a compact rule set (internal/ruleset) and labels
+	// with that — automatically falling back to the full ensemble when
+	// the family is not distillable (svm) or the distillation's measured
+	// holdout fidelity misses the threshold. The kernel actually used is
+	// reported per variant (VariantResult.LabelKernel).
+	LabelKernel string `json:"label_kernel,omitempty"`
+	// DistillFidelity overrides the executor's fidelity threshold for
+	// this job: a distilled kernel whose holdout label agreement with
+	// the parent falls below it is discarded in favor of the full
+	// ensemble. 0 keeps the executor default (0.99).
+	DistillFidelity float64 `json:"distill_fidelity,omitempty"`
+	// DistillMaxRules caps the distilled rule budget (0 = unbounded).
+	// Mostly a test lever: a tiny budget deterministically forces the
+	// fidelity fallback.
+	DistillMaxRules int `json:"distill_max_rules,omitempty"`
 	// Checkpoint resumes the request from a partially executed state:
 	// the executor reuses the finished variants and skips the stages the
 	// snapshot proves complete. It is set by the infrastructure — the
@@ -165,6 +183,17 @@ func (r *Request) Validate() error {
 	if _, err := samplerByName(r.Sampler); err != nil {
 		return err
 	}
+	switch r.LabelKernel {
+	case "", "full", "distilled":
+	default:
+		return fmt.Errorf("engine: unknown label kernel %q (want full or distilled)", r.LabelKernel)
+	}
+	if r.DistillFidelity < 0 || r.DistillFidelity > 1 || math.IsNaN(r.DistillFidelity) {
+		return fmt.Errorf("engine: distill_fidelity %v out of [0,1]", r.DistillFidelity)
+	}
+	if r.DistillMaxRules < 0 {
+		return fmt.Errorf("engine: negative distill_max_rules")
+	}
 	return nil
 }
 
@@ -190,6 +219,24 @@ type VariantResult struct {
 	// from the engine's label cache (another variant of the same family
 	// — or an earlier job — had already labeled it).
 	LabelCacheHit bool `json:"label_cache_hit"`
+	// LabelKernel is the pseudo-labeling kernel that actually ran:
+	// "distilled" (the compact rule set) or "full" (the trained
+	// ensemble). A request that asked for "distilled" can still report
+	// "full" here — see FallbackReason.
+	LabelKernel string `json:"label_kernel,omitempty"`
+	// LabelFidelity is the distilled kernel's measured holdout label
+	// agreement with the parent ensemble. Only set when a distillation
+	// ran (even one that fell back).
+	LabelFidelity float64 `json:"label_fidelity,omitempty"`
+	// FallbackReason explains why a requested distilled kernel was not
+	// used: "unsupported" (the family has no tree structure, e.g. svm)
+	// or "fidelity <measured> below threshold <t>".
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Ruleset is the distilled rule set's canonical JSON export
+	// (ruleset.Export), present when the variant labeled with the
+	// distilled kernel. GET /v1/jobs/{id}/rules serves it; the /result
+	// payload strips it to stay small.
+	Ruleset json.RawMessage `json:"ruleset,omitempty"`
 	// Resumed reports that the variant was not re-run at all: a
 	// checkpoint from an earlier execution already carried its finished
 	// result.

@@ -324,11 +324,17 @@ func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progr
 	// the family's training seed (not the variant's pipeline seed), so
 	// every SD variant of one family asks the label cache for the same
 	// key and labels once. The cache key extends the model key with
-	// everything else that determines the dataset.
+	// everything else that determines the dataset — including which
+	// labeling kernel produced it (|kernel=full vs |kernel=distilled):
+	// distilled labels are a fidelity-bounded approximation and must
+	// never be served to a job that asked for the full ensemble.
 	labelSeed := cfg.trainSeed + labelSeedOffset
-	labelKey := fmt.Sprintf("%s|sampler=%s|L=%d|lseed=%d|prob=%v",
+	baseLabelKey := fmt.Sprintf("%s|sampler=%s|L=%d|lseed=%d|prob=%v",
 		trainer.key, req.effectiveSampler(), l, labelSeed, req.ProbLabels)
 	var labelHit atomic.Bool
+	// resolved is written by LabelStage (which DiscoverContext calls
+	// synchronously on this goroutine) and read after it returns.
+	var resolved kernelResolution
 	r := &core.REDS{
 		Metamodel:  trainer,
 		Sampler:    smp,
@@ -336,8 +342,13 @@ func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progr
 		SD:         sdByName(v.sd, cfg.labelWorkers),
 		ProbLabels: req.ProbLabels,
 		LabelStage: func(ctx context.Context, model metamodel.Model, dim int) (*dataset.Dataset, error) {
+			// The kernel is resolved here — not at submission — because
+			// the distiller needs the trained model. The resolution is
+			// cached (ruleset cache) and deterministic per family.
+			resolved = x.resolveKernel(req, trainer.key, model, dim, cfg.trainSeed+distillSeedOffset)
+			labelKey := baseLabelKey + "|kernel=" + resolved.kernel
 			d, hit, err := x.labels.getOrLabel(labelKey, func() (*dataset.Dataset, error) {
-				d, err := core.PseudoLabel(ctx, model, smp, l, dim, labelSeed, req.ProbLabels, hooks)
+				d, err := core.PseudoLabel(ctx, resolved.model, smp, l, dim, labelSeed, req.ProbLabels, hooks)
 				if err != nil {
 					return nil, err
 				}
@@ -359,23 +370,45 @@ func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progr
 		},
 		Hooks: hooks,
 	}
-	// A checkpointed labeled dataset under this exact cache key lets the
+	// A checkpointed labeled dataset under an exact cache key lets the
 	// pipeline skip train/sample/label outright — the discover stage
 	// validates on the real examples, so the metamodel itself is not
-	// needed. Seed the label cache so later jobs over the same data (and
-	// sibling variants) hit it.
-	if pre := cfg.checkpoints.resumeLabeled(labelKey); pre != nil {
+	// needed. Label keys are kernel-qualified, so a distilled request
+	// tries its distilled key first and falls back to a full-kernel
+	// dataset (always acceptable: full labels are the ground truth the
+	// distilled kernel approximates); a full request never resumes from
+	// distilled labels. Seed the label cache so later jobs over the same
+	// data (and sibling variants) hit it.
+	resumeKernels := []string{"full"}
+	if req.effectiveLabelKernel() == "distilled" {
+		resumeKernels = []string{"distilled", "full"}
+	}
+	for _, kernel := range resumeKernels {
+		key := baseLabelKey + "|kernel=" + kernel
+		pre := cfg.checkpoints.resumeLabeled(key)
+		if pre == nil {
+			continue
+		}
 		r.Prelabeled = pre
-		_, hit, err := x.labels.getOrLabel(labelKey, func() (*dataset.Dataset, error) { return pre, nil })
+		// The checkpoint proves which kernel labeled the data, but the
+		// distillation artifacts (fidelity, rules) were the previous
+		// execution's; this variant reports the kernel only.
+		resolved = kernelResolution{kernel: kernel}
+		_, hit, err := x.labels.getOrLabel(key, func() (*dataset.Dataset, error) { return pre, nil })
 		if err == nil {
 			labelHit.Store(hit)
 		}
 		hooks.OnLabelProgress(l, l)
+		break
 	}
 	res, err := r.DiscoverContext(ctx, train, train, rand.New(rand.NewSource(cfg.pipelineSeed)))
 	timer.Stop() // close the discover span before the metric evaluation below
 	out.CacheHit = trainer.hit.Load()
 	out.LabelCacheHit = labelHit.Load()
+	out.LabelKernel = resolved.kernel
+	out.LabelFidelity = resolved.fidelity
+	out.FallbackReason = resolved.fallbackReason
+	out.Ruleset = resolved.rulesJSON
 	if err != nil {
 		out.Error = err.Error()
 		return out

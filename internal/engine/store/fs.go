@@ -275,15 +275,21 @@ func (f *FS) replayFile(path string, truncateTail bool) error {
 func (f *FS) apply(e walEntry) {
 	switch e.Op {
 	case opJob:
-		if e.Job != nil {
-			rec := *e.Job
-			if rec.Request == nil {
-				if old, ok := f.jobs[rec.ID]; ok {
-					rec.Request = old.Request
-				}
-			}
-			f.jobs[rec.ID] = rec
+		// A job entry without an id cannot have been written by the
+		// engine (ids are assigned at submission); treat it as a corrupt
+		// line rather than inserting an unaddressable record.
+		if e.Job == nil || e.Job.ID == "" {
+			f.skipped++
+			f.mReplaySkipped.Inc()
+			return
 		}
+		rec := *e.Job
+		if rec.Request == nil {
+			if old, ok := f.jobs[rec.ID]; ok {
+				rec.Request = old.Request
+			}
+		}
+		f.jobs[rec.ID] = rec
 	case opResult:
 		f.results[e.ID] = e.Result
 	case opDelete:

@@ -32,6 +32,16 @@ func (m *Model) flatten() *flattree.Table {
 	return m.flat
 }
 
+// DistillSource exposes the boosted ensemble to rule-set distillation
+// (internal/ruleset): the decoded node table plus the accumulation the
+// batch kernels apply (margin — init base, scale eta, thresholded at
+// 0). Decoding from the compiled table rather than from m.trees
+// guarantees the extracted rules describe exactly the structure the
+// batch kernel runs.
+func (m *Model) DistillSource() flattree.Ensemble {
+	return flattree.Ensemble{Trees: m.flatten().Decode(), Init: m.base, Scale: m.eta, Margin: true}
+}
+
 // PredictProbBatchInto implements metamodel.BatchModel via the logistic
 // link on the batched margins. The table accumulates base + eta·leaf
 // per point in tree index order — the exact floating-point sequence of

@@ -31,6 +31,16 @@ func (f *Forest) flatten() *flattree.Table {
 	return f.flat
 }
 
+// DistillSource exposes the forest to rule-set distillation
+// (internal/ruleset): the decoded node table plus the accumulation
+// PredictProbBatchInto applies (mean vote — init 0, scale 1,
+// thresholded at 0.5). Decoding from the compiled table rather than
+// from f.trees guarantees the extracted rules describe exactly the
+// structure the batch kernel runs.
+func (f *Forest) DistillSource() flattree.Ensemble {
+	return flattree.Ensemble{Trees: f.flatten().Decode(), Init: 0, Scale: 1, Margin: false}
+}
+
 // PredictProbBatchInto implements metamodel.BatchModel: mean leaf value
 // across trees for every point. The table accumulates trees in index
 // order per point, so the result is bit-identical to PredictProb.

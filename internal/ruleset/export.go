@@ -1,0 +1,347 @@
+package ruleset
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/reds-go/reds/internal/flattree"
+)
+
+// Export is the distilled rule set as a standalone, interpretable
+// artifact: evaluation needs nothing but this document. A point's
+// score is the weight-times-value sum over the rules it satisfies;
+// "margin" kinds predict 1 when Init + Scale·score > 0 (probability
+// through the logistic link), "mean" kinds when
+// (Init + Scale·score)/Trees > 0.5. The rules of each selected tree
+// partition the input space, so exactly Trees units of weight cover
+// any point.
+type Export struct {
+	// Kind is the accumulation semantics: "mean" (rf) or "margin" (gbt).
+	Kind string `json:"kind"`
+	// Dim is the input dimension rule features index into.
+	Dim int `json:"dim"`
+	// Trees and ParentTrees count the selected and original ensembles.
+	Trees       int `json:"trees"`
+	ParentTrees int `json:"parent_trees"`
+	// Init and Scale are the ensemble accumulation constants.
+	Init  float64 `json:"init"`
+	Scale float64 `json:"scale"`
+	// LabelFidelity and ProbFidelity are the holdout measurements
+	// against the parent ensemble (see Stats).
+	LabelFidelity float64 `json:"label_fidelity"`
+	ProbFidelity  float64 `json:"prob_fidelity"`
+	// Rules are ordered by selected tree, then by tree layout.
+	Rules []Rule `json:"rules"`
+}
+
+// Cond is one half-open interval bound of a rule's box. The matching
+// semantics mirror the tree descent exactly: Le means x[Feature] <= Le
+// and Gt means NOT (x[Feature] <= Gt) — so a NaN coordinate fails
+// every Le and satisfies every Gt, the same route NaN takes through
+// the compiled table. ±Inf bounds never occur (an unbounded side has
+// no Cond).
+type Cond struct {
+	Feature int      `json:"feature"`
+	Gt      *float64 `json:"gt,omitempty"`
+	Le      *float64 `json:"le,omitempty"`
+}
+
+// Rule is one box: the conjunction of its Conds (empty = covers
+// everything — a single-leaf tree). Weight counts how many selected
+// trees contributed this exact box (identical boxes are deduplicated
+// and their values combined, which is exact under the weighted-sum
+// evaluation); Coverage is the share of the selection sample inside
+// the box and Confidence the share of covered points whose parent
+// label matches the rule's own side of the decision boundary.
+type Rule struct {
+	Conds      []Cond  `json:"conds,omitempty"`
+	Value      float64 `json:"value"`
+	Weight     float64 `json:"weight"`
+	Coverage   float64 `json:"coverage"`
+	Confidence float64 `json:"confidence"`
+}
+
+// matches reports whether x satisfies every bound of the rule.
+func (r *Rule) matches(x []float64) bool {
+	for _, c := range r.Conds {
+		if c.Le != nil && !(x[c.Feature] <= *c.Le) {
+			return false
+		}
+		if c.Gt != nil && x[c.Feature] <= *c.Gt {
+			return false
+		}
+	}
+	return true
+}
+
+// ScoreAt is the reference evaluation of the artifact: the
+// weight-times-value sum over matching rules. It is the semantic
+// ground truth the compiled table is differentially tested against —
+// equal labels everywhere and scores within float-reassociation noise
+// (the table sums per tree in layout order, the rule scan in rule
+// order).
+func (e *Export) ScoreAt(x []float64) float64 {
+	s := 0.0
+	for i := range e.Rules {
+		if e.Rules[i].matches(x) {
+			s += e.Rules[i].Weight * e.Rules[i].Value
+		}
+	}
+	return s
+}
+
+// ProbAt evaluates the rule set's probability at x.
+func (e *Export) ProbAt(x []float64) float64 {
+	z := e.Init + e.Scale*e.ScoreAt(x)
+	if e.Kind == KindMargin {
+		return 1 / (1 + math.Exp(-z))
+	}
+	return z / float64(e.Trees)
+}
+
+// LabelAt evaluates the rule set's hard label at x, thresholding the
+// raw margin for margin kinds (like gbt) and the mean for mean kinds
+// (like rf).
+func (e *Export) LabelAt(x []float64) float64 {
+	z := e.Init + e.Scale*e.ScoreAt(x)
+	if e.Kind == KindMargin {
+		if z > 0 {
+			return 1
+		}
+		return 0
+	}
+	if z/float64(e.Trees) > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Export kinds.
+const (
+	KindMean   = "mean"
+	KindMargin = "margin"
+)
+
+// MarshalCanonical encodes the export in its canonical wire form:
+// compact JSON with a trailing newline. DecodeExport of the result
+// re-encodes to the same bytes, which the property tests assert.
+func (e *Export) MarshalCanonical() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeExport parses and validates a rule-set document. It rejects
+// unknown fields, malformed intervals and out-of-range indices, so a
+// decoded export is always safe to evaluate.
+func DecodeExport(data []byte) (*Export, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var e Export
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("ruleset: decoding export: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("ruleset: trailing data after export document")
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+func (e *Export) validate() error {
+	if e.Kind != KindMean && e.Kind != KindMargin {
+		return fmt.Errorf("ruleset: unknown kind %q (want %q or %q)", e.Kind, KindMean, KindMargin)
+	}
+	if e.Dim < 1 {
+		return fmt.Errorf("ruleset: dim %d out of range", e.Dim)
+	}
+	if e.Trees < 1 || e.ParentTrees < e.Trees {
+		return fmt.Errorf("ruleset: tree counts out of range (trees=%d, parent_trees=%d)", e.Trees, e.ParentTrees)
+	}
+	if !finite(e.Init) || !finite(e.Scale) {
+		return fmt.Errorf("ruleset: non-finite init or scale")
+	}
+	if e.LabelFidelity < 0 || e.LabelFidelity > 1 || math.IsNaN(e.LabelFidelity) {
+		return fmt.Errorf("ruleset: label_fidelity %v out of [0,1]", e.LabelFidelity)
+	}
+	if math.IsNaN(e.ProbFidelity) || math.IsInf(e.ProbFidelity, 0) {
+		return fmt.Errorf("ruleset: non-finite prob_fidelity")
+	}
+	if len(e.Rules) == 0 {
+		return fmt.Errorf("ruleset: export has no rules")
+	}
+	for ri := range e.Rules {
+		r := &e.Rules[ri]
+		if !finite(r.Value) || !(r.Weight > 0) || !finite(r.Weight) {
+			return fmt.Errorf("ruleset: rule %d has invalid value or weight", ri)
+		}
+		if r.Coverage < 0 || r.Coverage > 1 || math.IsNaN(r.Coverage) {
+			return fmt.Errorf("ruleset: rule %d coverage %v out of [0,1]", ri, r.Coverage)
+		}
+		if r.Confidence < 0 || r.Confidence > 1 || math.IsNaN(r.Confidence) {
+			return fmt.Errorf("ruleset: rule %d confidence %v out of [0,1]", ri, r.Confidence)
+		}
+		prev := -1
+		for _, c := range r.Conds {
+			if c.Feature <= prev || c.Feature >= e.Dim {
+				return fmt.Errorf("ruleset: rule %d has out-of-order or out-of-range feature %d", ri, c.Feature)
+			}
+			prev = c.Feature
+			if c.Gt == nil && c.Le == nil {
+				return fmt.Errorf("ruleset: rule %d has an empty bound on feature %d", ri, c.Feature)
+			}
+			if c.Gt != nil && !finite(*c.Gt) || c.Le != nil && !finite(*c.Le) {
+				return fmt.Errorf("ruleset: rule %d has a non-finite bound on feature %d", ri, c.Feature)
+			}
+			if c.Gt != nil && c.Le != nil && !(*c.Gt < *c.Le) {
+				return fmt.Errorf("ruleset: rule %d has an empty interval on feature %d", ri, c.Feature)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// bound is the per-feature interval accumulator of the path walk.
+type bound struct {
+	gt, le       float64
+	hasGt, hasLe bool
+}
+
+// treeRules enumerates one simplified tree's root-to-leaf paths as
+// rules with tightest per-feature bounds, in tree layout order. st
+// supplies the per-leaf selection-sample stats; sampleN normalizes
+// coverage.
+func treeRules(tree []flattree.Node, st leafStats, boundary float64, sampleN int) []Rule {
+	var out []Rule
+	bounds := map[int32]bound{}
+	var walk func(idx int32)
+	walk = func(idx int32) {
+		nd := &tree[idx]
+		if nd.Leaf {
+			feats := make([]int32, 0, len(bounds))
+			for f := range bounds {
+				feats = append(feats, f)
+			}
+			sort.Slice(feats, func(a, b int) bool { return feats[a] < feats[b] })
+			conds := make([]Cond, 0, len(feats))
+			for _, f := range feats {
+				b := bounds[f]
+				c := Cond{Feature: int(f)}
+				if b.hasGt {
+					g := b.gt
+					c.Gt = &g
+				}
+				if b.hasLe {
+					l := b.le
+					c.Le = &l
+				}
+				conds = append(conds, c)
+			}
+			conf := 0.0
+			if st.cover[idx] > 0 {
+				conf = st.agree[idx] / st.cover[idx]
+			}
+			out = append(out, Rule{
+				Conds:      conds,
+				Value:      nd.Value,
+				Weight:     1,
+				Coverage:   st.cover[idx] / float64(sampleN),
+				Confidence: conf,
+			})
+			return
+		}
+		// Left branch: x <= split tightens the upper bound.
+		save, had := bounds[nd.Feature], false
+		if _, ok := bounds[nd.Feature]; ok {
+			had = true
+		}
+		b := save
+		if !b.hasLe || nd.Split < b.le {
+			b.le, b.hasLe = nd.Split, true
+		}
+		bounds[nd.Feature] = b
+		walk(nd.Left)
+		// Right branch: NOT (x <= split) tightens the lower bound.
+		b = save
+		if !b.hasGt || nd.Split > b.gt {
+			b.gt, b.hasGt = nd.Split, true
+		}
+		bounds[nd.Feature] = b
+		walk(nd.Right)
+		if had {
+			bounds[nd.Feature] = save
+		} else {
+			delete(bounds, nd.Feature)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// condKey canonicalizes a rule's box for deduplication: exact float
+// bits, so only truly identical boxes merge.
+func condKey(conds []Cond) string {
+	var buf bytes.Buffer
+	for _, c := range conds {
+		fmt.Fprintf(&buf, "%d:", c.Feature)
+		if c.Gt != nil {
+			fmt.Fprintf(&buf, "g%016x", math.Float64bits(*c.Gt))
+		}
+		if c.Le != nil {
+			fmt.Fprintf(&buf, "l%016x", math.Float64bits(*c.Le))
+		}
+		buf.WriteByte('|')
+	}
+	return buf.String()
+}
+
+// buildExport assembles the artifact: every selected tree's rules,
+// with identical boxes merged across trees (weights add, values
+// combine weight-averaged — exact under the weighted-sum evaluation,
+// since a point either satisfies all merged copies or none).
+func buildExport(m *Model, src flattree.Ensemble, selected []int, simplified [][]flattree.Node, stats []leafStats, opts Options) *Export {
+	boundary := 0.5
+	if src.Margin {
+		boundary = 0.0
+	}
+	kind := KindMean
+	if src.Margin {
+		kind = KindMargin
+	}
+	e := &Export{
+		Kind:        kind,
+		Dim:         opts.Dim,
+		Trees:       len(selected),
+		ParentTrees: len(src.Trees),
+		Init:        src.Init,
+		Scale:       src.Scale,
+	}
+	index := map[string]int{}
+	for _, ti := range selected {
+		for _, r := range treeRules(simplified[ti], stats[ti], boundary, opts.SampleN) {
+			key := condKey(r.Conds)
+			if at, ok := index[key]; ok {
+				merged := &e.Rules[at]
+				w := merged.Weight + r.Weight
+				merged.Value = (merged.Value*merged.Weight + r.Value*r.Weight) / w
+				merged.Confidence = (merged.Confidence*merged.Weight + r.Confidence*r.Weight) / w
+				merged.Weight = w
+				continue
+			}
+			index[key] = len(e.Rules)
+			e.Rules = append(e.Rules, r)
+		}
+	}
+	return e
+}

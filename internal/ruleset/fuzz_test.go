@@ -1,0 +1,68 @@
+package ruleset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeExport fuzzes the rule-set wire format. Inputs the decoder
+// rejects only need to fail cleanly; inputs it accepts must satisfy the
+// format's contract — the canonical re-encoding is stable (encode →
+// decode → encode is byte-identical) and the document is safe to
+// evaluate at any point, NaN coordinates included.
+func FuzzDecodeExport(f *testing.F) {
+	seeds := []string{
+		// Minimal valid mean-kind document (a single-leaf tree: the
+		// empty-conds rule covers everything).
+		`{"kind":"mean","dim":2,"trees":1,"parent_trees":2,"init":0,"scale":1,"label_fidelity":1,"prob_fidelity":1,"rules":[{"value":1,"weight":1,"coverage":0.5,"confidence":1}]}`,
+		// Margin kind with one-sided and two-sided intervals and a
+		// merged (weight 2) box.
+		`{"kind":"margin","dim":3,"trees":2,"parent_trees":5,"init":-0.5,"scale":0.1,"label_fidelity":0.99,"prob_fidelity":0.98,"rules":[{"conds":[{"feature":0,"le":0.5}],"value":-1,"weight":1,"coverage":0.25,"confidence":0.9},{"conds":[{"feature":0,"gt":0.5},{"feature":2,"gt":0.1,"le":0.9}],"value":2,"weight":2,"coverage":0.1,"confidence":0.8}]}`,
+		// Rejections the fuzzer should mutate from: unknown field,
+		// empty interval, out-of-range feature, trailing data, garbage.
+		`{"kind":"mean","dim":1,"trees":1,"parent_trees":1,"extra":true,"rules":[{"value":0,"weight":1}]}`,
+		`{"kind":"mean","dim":1,"trees":1,"parent_trees":1,"init":0,"scale":1,"label_fidelity":1,"prob_fidelity":1,"rules":[{"conds":[{"feature":0,"gt":0.9,"le":0.1}],"value":0,"weight":1,"coverage":0,"confidence":0}]}`,
+		`{"kind":"mean","dim":1,"trees":1,"parent_trees":1,"init":0,"scale":1,"label_fidelity":1,"prob_fidelity":1,"rules":[{"conds":[{"feature":7,"le":0.1}],"value":0,"weight":1,"coverage":0,"confidence":0}]}`,
+		`{"kind":"mean","dim":1,"trees":1,"parent_trees":1,"init":0,"scale":1,"label_fidelity":1,"prob_fidelity":1,"rules":[{"value":1,"weight":1,"coverage":0,"confidence":0}]}{"more":1}`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeExport(data)
+		if err != nil {
+			return
+		}
+		b1, err := e.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("accepted document does not re-encode: %v", err)
+		}
+		e2, err := DecodeExport(b1)
+		if err != nil {
+			t.Fatalf("canonical form rejected by own decoder: %v\n%s", err, b1)
+		}
+		b2, err := e2.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonical encoding unstable:\n%s\nvs\n%s", b1, b2)
+		}
+		// A validated export must evaluate without panicking and produce
+		// hard labels in {0,1} at any point of the declared dimension.
+		zero := make([]float64, e.Dim)
+		nans := make([]float64, e.Dim)
+		for j := range nans {
+			nans[j] = math.NaN()
+		}
+		for _, x := range [][]float64{zero, nans} {
+			_ = e.ScoreAt(x)
+			_ = e.ProbAt(x)
+			if l := e.LabelAt(x); l != 0 && l != 1 {
+				t.Fatalf("label %v not in {0,1}", l)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package ruleset
+
+import (
+	"math"
+
+	"github.com/reds-go/reds/internal/flattree"
+)
+
+// Model is a distilled rule set in executable form: the selected,
+// simplified trees recompiled into a flattree.Table so predictions run
+// the same branch-free lockstep descent as the parent ensemble — over
+// K selected trees instead of the parent's T, which is where the
+// speedup comes from. It implements metamodel.Model,
+// metamodel.BatchModel and metamodel.MemorySizer, so it drops into
+// core.PseudoLabel and the engine's caches unchanged. Immutable after
+// Distill; safe for concurrent use.
+type Model struct {
+	table       *flattree.Table
+	trees       int
+	dim         int
+	init, scale float64
+	margin      bool
+	export      *Export
+	exportJSON  []byte
+	stats       Stats
+}
+
+// Stats returns the distillation's size and fidelity measurements.
+func (m *Model) Stats() Stats { return m.stats }
+
+// Export returns the interpretable artifact. Callers must treat it as
+// read-only — it is shared with ExportJSON and concurrent readers.
+func (m *Model) Export() *Export { return m.export }
+
+// ExportJSON returns the canonical wire encoding of the artifact,
+// computed once at distillation time.
+func (m *Model) ExportJSON() []byte { return m.exportJSON }
+
+// PredictProb implements metamodel.Model.
+func (m *Model) PredictProb(x []float64) float64 {
+	var dst [1]float64
+	m.PredictProbBatchInto(dst[:], [][]float64{x})
+	return dst[0]
+}
+
+// PredictLabel implements metamodel.Model.
+func (m *Model) PredictLabel(x []float64) float64 {
+	var dst [1]float64
+	m.PredictLabelBatchInto(dst[:], [][]float64{x})
+	return dst[0]
+}
+
+// sumInto runs the compiled descent with the source ensemble's
+// accumulation constants.
+func (m *Model) sumInto(dst []float64, pts [][]float64) {
+	m.table.SumInto(dst, pts, len(pts[0]), m.init, m.scale)
+}
+
+// PredictProbBatchInto implements metamodel.BatchModel: the mean leaf
+// value over the selected trees (mean kind) or the logistic link on
+// the accumulated margin (margin kind).
+func (m *Model) PredictProbBatchInto(dst []float64, pts [][]float64) {
+	if len(pts) == 0 {
+		return
+	}
+	m.sumInto(dst, pts)
+	if m.margin {
+		for i, z := range dst {
+			dst[i] = sigmoid(z)
+		}
+		return
+	}
+	inv := float64(m.trees)
+	for i := range dst {
+		dst[i] /= inv
+	}
+}
+
+// PredictLabelBatchInto implements metamodel.BatchModel with the
+// parent families' decision boundaries: raw margin > 0 for margin
+// kinds (like gbt), mean vote > 0.5 for mean kinds (like rf).
+func (m *Model) PredictLabelBatchInto(dst []float64, pts [][]float64) {
+	if len(pts) == 0 {
+		return
+	}
+	m.sumInto(dst, pts)
+	if m.margin {
+		for i, z := range dst {
+			if z > 0 {
+				dst[i] = 1
+			} else {
+				dst[i] = 0
+			}
+		}
+		return
+	}
+	inv := float64(m.trees)
+	for i := range dst {
+		if dst[i]/inv > 0.5 {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ApproxMemoryBytes implements metamodel.MemorySizer: the compiled
+// table plus the retained export (rules dominate it; the JSON copy is
+// charged too since the model keeps it alive).
+func (m *Model) ApproxMemoryBytes() int64 {
+	const ruleBytes = 96 // Rule struct + average bound allocations
+	return m.table.MemoryBytes() + int64(len(m.export.Rules))*ruleBytes + int64(len(m.exportJSON))
+}
+
+func sigmoid(z float64) float64 {
+	return 1 / (1 + math.Exp(-z))
+}

@@ -1,0 +1,93 @@
+package ruleset
+
+import (
+	"sort"
+
+	"github.com/reds-go/reds/internal/flattree"
+)
+
+// selectTrees picks the subset of simplified trees the distilled model
+// keeps, scored by label agreement with the parent on the selection
+// sample:
+//
+//   - mean ensembles (rf): trees vote independently, so they are
+//     ranked by standalone agreement and the scan grows the prefix of
+//     that ranking — the smallest K whose mean vote meets the target
+//     wins;
+//   - margin ensembles (gbt): boosting stages correct their
+//     predecessors, so only natural prefixes are valid sub-models and
+//     the scan grows them in training order.
+//
+// A MaxRules budget (> 0) stops the scan once the cumulative leaf
+// count of the prefix would exceed it (at least one tree is always
+// kept). If no prefix inside the budget meets the target, the
+// best-agreeing (then smallest) prefix is returned — the holdout
+// fidelity measurement, not the selection, decides whether the result
+// is usable.
+func selectTrees(src flattree.Ensemble, cols [][]float64, parentLabels []float64, boundary, target float64, maxRules int, simplified [][]flattree.Node) []int {
+	T := len(cols)
+	order := make([]int, T)
+	for i := range order {
+		order[i] = i
+	}
+	if !src.Margin {
+		// Standalone agreement of each tree's own vote with the parent.
+		agree := make([]float64, T)
+		for t, col := range cols {
+			n := 0.0
+			for i, v := range col {
+				label := 0.0
+				if v > boundary {
+					label = 1
+				}
+				if label == parentLabels[i] {
+					n++
+				}
+			}
+			agree[t] = n
+		}
+		sort.SliceStable(order, func(a, b int) bool { return agree[order[a]] > agree[order[b]] })
+	}
+
+	S := len(parentLabels)
+	acc := make([]float64, S)
+	bestK, bestAgree := 1, -1.0
+	rules := 0
+	for k := 0; k < T; k++ {
+		ti := order[k]
+		leaves := countLeaves(simplified[ti])
+		if maxRules > 0 && k > 0 && rules+leaves > maxRules {
+			break
+		}
+		rules += leaves
+		col := cols[ti]
+		for i := range acc {
+			acc[i] += col[i]
+		}
+		n := 0
+		for i, s := range acc {
+			var label float64
+			if src.Margin {
+				if src.Init+src.Scale*s > 0 {
+					label = 1
+				}
+			} else {
+				if (src.Init+src.Scale*s)/float64(k+1) > 0.5 {
+					label = 1
+				}
+			}
+			if label == parentLabels[i] {
+				n++
+			}
+		}
+		a := float64(n) / float64(S)
+		if a > bestAgree {
+			bestAgree, bestK = a, k+1
+		}
+		if a >= target {
+			bestK = k + 1
+			break
+		}
+	}
+	return order[:bestK]
+}

@@ -13,8 +13,8 @@
 //	reds_<subsystem>_<name>_<unit>
 //
 // lower_snake_case throughout, with the trailing unit one of "total"
-// (monotone counters), "seconds", "bytes", "jobs", "entries" or
-// "workers". CheckName enforces the convention and every Must*
+// (monotone counters), "seconds", "bytes", "jobs", "entries",
+// "workers", "rules" or "fidelity". CheckName enforces the convention and every Must*
 // registration applies it, so a misnamed metric fails loudly at
 // startup rather than drifting into dashboards; the
 // scripts/check-metric-names tool applies the same check to every
@@ -53,12 +53,14 @@ var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
 
 // validUnits are the accepted trailing unit segments of a metric name.
 var validUnits = map[string]bool{
-	"total":   true, // monotone counters
-	"seconds": true,
-	"bytes":   true,
-	"jobs":    true,
-	"entries": true,
-	"workers": true,
+	"total":    true, // monotone counters
+	"seconds":  true,
+	"bytes":    true,
+	"jobs":     true,
+	"entries":  true,
+	"workers":  true,
+	"rules":    true, // rule-set distillation sizes
+	"fidelity": true, // distilled-vs-parent agreement ratios in [0,1]
 }
 
 // CheckName validates a metric name against the repository convention
@@ -75,7 +77,7 @@ func CheckName(name string) error {
 		return fmt.Errorf("telemetry: metric %q needs at least reds_<subsystem>_<unit>", name)
 	}
 	if unit := parts[len(parts)-1]; !validUnits[unit] {
-		return fmt.Errorf("telemetry: metric %q ends in %q, want a unit suffix (total, seconds, bytes, jobs, entries or workers)", name, unit)
+		return fmt.Errorf("telemetry: metric %q ends in %q, want a unit suffix (total, seconds, bytes, jobs, entries, workers, rules or fidelity)", name, unit)
 	}
 	return nil
 }
