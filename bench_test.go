@@ -15,7 +15,9 @@ import (
 	"testing"
 
 	reds "github.com/reds-go/reds"
+	"github.com/reds-go/reds/internal/benchdata"
 	"github.com/reds-go/reds/internal/experiment"
+	"github.com/reds-go/reds/internal/metamodel"
 	"github.com/reds-go/reds/internal/ruleset"
 )
 
@@ -185,22 +187,11 @@ func BenchmarkFig14SemiSupervised(b *testing.B) {
 
 // --- Component micro-benchmarks ---
 
+// benchTrain delegates to the generator shared with cmd/redsbench
+// (internal/benchdata), so the two harnesses measure identical
+// workloads. reds.Dataset aliases the internal dataset type.
 func benchTrain(n, m int, seed int64) *reds.Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	x := make([][]float64, n)
-	y := make([]float64, n)
-	for i := range x {
-		row := make([]float64, m)
-		for j := range row {
-			row[j] = rng.Float64()
-		}
-		x[i] = row
-		if row[0] < 0.5 && row[1] > 0.3 {
-			y[i] = 1
-		}
-	}
-	d, _ := reds.NewDataset(x, y)
-	return d
+	return benchdata.Gen(n, m, seed)
 }
 
 func BenchmarkPRIMPeel(b *testing.B) {
@@ -304,6 +295,94 @@ func BenchmarkGradientBoostingTrainReference(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(8))
 		if _, err := (&reds.GradientBoosting{Reference: true}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomForestTrainBinned measures the histogram-binned fast
+// path on the exact-path workload above.
+func BenchmarkRandomForestTrainBinned(b *testing.B) {
+	d := benchTrain(400, 10, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(6))
+		if _, err := (&reds.RandomForestBinned{Trainer: reds.RandomForest{NTrees: 100}}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGradientBoostingTrainBinned measures the histogram-binned
+// fast path on the exact-path workload above.
+func BenchmarkGradientBoostingTrainBinned(b *testing.B) {
+	d := benchTrain(400, 10, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(8))
+		if _, err := (&reds.GradientBoostingBinned{}).Train(d, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tuned (fold × grid) training at paper scale ---
+
+// tunedRFPaper is the caret-style mtry grid ({sqrt(M), M/3, 2M/3} → {3, 6}
+// for M=10) at the paper's ntree=500, exact or histogram-binned. This is
+// the fold × grid workload the binned fast path targets: 3 folds × 2
+// candidates plus the final refit, 3500 trees per op.
+func tunedRFPaper(binned bool) reds.MetamodelTrainer {
+	var grid []reds.MetamodelTrainer
+	for _, mtry := range []int{3, 6} {
+		if binned {
+			grid = append(grid, &reds.RandomForestBinned{Trainer: reds.RandomForest{NTrees: 500, MTry: mtry}})
+		} else {
+			grid = append(grid, &reds.RandomForest{NTrees: 500, MTry: mtry})
+		}
+	}
+	return &metamodel.Tuned{Family: "rf", Grid: grid}
+}
+
+func BenchmarkTunedTrainRF(b *testing.B) {
+	d := benchTrain(400, 10, 5)
+	tr := tunedRFPaper(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Train(d, rand.New(rand.NewSource(6))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTunedTrainRFBinned(b *testing.B) {
+	d := benchTrain(400, 10, 5)
+	tr := tunedRFPaper(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Train(d, rand.New(rand.NewSource(6))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTunedTrainGBT(b *testing.B) {
+	d := benchTrain(400, 10, 7)
+	tr := reds.TunedGradientBoosting()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Train(d, rand.New(rand.NewSource(8))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTunedTrainGBTBinned(b *testing.B) {
+	d := benchTrain(400, 10, 7)
+	tr := reds.TunedGradientBoostingBinned(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Train(d, rand.New(rand.NewSource(8))); err != nil {
 			b.Fatal(err)
 		}
 	}

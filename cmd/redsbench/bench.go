@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/reds-go/reds/internal/benchdata"
 	"github.com/reds-go/reds/internal/bi"
 	"github.com/reds-go/reds/internal/core"
 	"github.com/reds-go/reds/internal/dataset"
@@ -36,30 +37,37 @@ type benchResult struct {
 // emits; snapshots of it (BENCH_PR2.json, ...) record the perf
 // trajectory across PRs.
 type benchReport struct {
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	CPU        int           `json:"num_cpu"`
-	Date       string        `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPU        int    `json:"num_cpu"`
+	Date       string `json:"date"`
+	// Note flags non-obvious measurement conditions; set on single-core
+	// runs, where the parallel-path benchmarks measure serialized
+	// execution and understate their multi-core speedups.
+	Note       string        `json:"note,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
-// benchData mirrors the dataset generator of the repo's bench_test.go so
-// the binary reports the same workloads `go test -bench` measures.
+// benchData is the dataset generator shared with the repo's
+// bench_test.go (internal/benchdata), so the binary reports the same
+// workloads `go test -bench` measures.
 func benchData(n, m int, seed int64) *dataset.Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	x := make([][]float64, n)
-	y := make([]float64, n)
-	for i := range x {
-		row := make([]float64, m)
-		for j := range row {
-			row[j] = rng.Float64()
-		}
-		x[i] = row
-		if row[0] < 0.5 && row[1] > 0.3 {
-			y[i] = 1
+	return benchdata.Gen(n, m, seed)
+}
+
+// tunedRFPaper mirrors bench_test.go's fold × grid workload: the
+// caret-style mtry grid ({3, 6} for M=10) at the paper's ntree=500,
+// exact or histogram-binned.
+func tunedRFPaper(binned bool) metamodel.Trainer {
+	var grid []metamodel.Trainer
+	for _, mtry := range []int{3, 6} {
+		if binned {
+			grid = append(grid, &rf.BinnedTrainer{Trainer: rf.Trainer{NTrees: 500, MTry: mtry}})
+		} else {
+			grid = append(grid, &rf.Trainer{NTrees: 500, MTry: mtry})
 		}
 	}
-	return dataset.MustNew(x, y)
+	return &metamodel.Tuned{Family: "rf", Grid: grid}
 }
 
 // componentBenchmarks enumerates the hot-path benchmarks: each optimized
@@ -159,6 +167,56 @@ func componentBenchmarks() []struct {
 				}
 			}
 		}},
+		// The histogram-binned training fast path next to the exact pair
+		// above, then the paper-scale tuned (fold × grid) workload it
+		// targets — exact vs binned is the headline training speedup
+		// (BENCH_PR9.json).
+		{"rf_train_binned", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&rf.BinnedTrainer{Trainer: rf.Trainer{NTrees: 100}}).Train(mmTrain, rand.New(rand.NewSource(6))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"gbt_train_binned", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&gbt.BinnedTrainer{}).Train(mmTrain, rand.New(rand.NewSource(8))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"train_tuned_rf", func(b *testing.B) {
+			tr := tunedRFPaper(false)
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Train(mmTrain, rand.New(rand.NewSource(6))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"train_tuned_rf_binned", func(b *testing.B) {
+			tr := tunedRFPaper(true)
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Train(mmTrain, rand.New(rand.NewSource(6))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"train_tuned_gbt", func(b *testing.B) {
+			tr := gbt.TunedTrainer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Train(mmTrain, rand.New(rand.NewSource(8))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"train_tuned_gbt_binned", func(b *testing.B) {
+			tr := gbt.TunedTrainerBinned(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Train(mmTrain, rand.New(rand.NewSource(8))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		// The full pseudo-label stage (Algorithm 4, lines 3-6) at the
 		// paper's L=10^5 on the paper-scale rf: the batch component runs
 		// flat-allocation LHS + flattened batch inference; the reference
@@ -242,8 +300,14 @@ func runComponentBenchmarks(w io.Writer, jsonPath string) error {
 		CPU:        runtime.NumCPU(),
 		Date:       time.Now().UTC().Format(time.RFC3339),
 	}
+	if report.GOMAXPROCS == 1 {
+		report.Note = "single-core run (GOMAXPROCS=1): parallel-path benchmarks measure serialized execution and understate multi-core speedups"
+	}
 	fmt.Fprintf(w, "%-28s %14s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "B/op")
 	for _, bm := range componentBenchmarks() {
+		// Settle the heap between benchmarks: garbage from one must not
+		// inflate GC pressure (and ns/op) of the next.
+		runtime.GC()
 		r := testing.Benchmark(bm.fn)
 		res := benchResult{
 			Name:        bm.name,

@@ -27,34 +27,76 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"github.com/reds-go/reds/internal/experiment"
 )
 
-func main() {
+func main() { os.Exit(mainRun()) }
+
+// mainRun is main with an exit code instead of os.Exit, so the deferred
+// profile writers run on every path.
+func mainRun() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1, fig6, table3, fig7, table4, fig8, fig9, fig10, fig11, fig12, fig13, table5, fig14, ablation, all)")
-		reps    = flag.Int("reps", 0, "repetitions per cell (0 = config default)")
-		funcsCS = flag.String("funcs", "", "comma-separated function subset (default: representative cross-section)")
-		paper   = flag.Bool("paper", false, "full paper scale: 50 reps, 33 functions, L=100000 (CPU-hours)")
-		testN   = flag.Int("testn", 0, "test-set size (0 = config default)")
-		lprim   = flag.Int("lprim", 0, "REDS L for PRIM-based methods (0 = config default)")
-		lbi     = flag.Int("lbi", 0, "REDS L for BI-based methods (0 = config default)")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		workers = flag.Int("workers", 0, "parallel repetitions (0 = GOMAXPROCS)")
-		bench   = flag.Bool("bench", false, "run the component hot-path benchmarks instead of an experiment")
-		jsonOut = flag.String("json", "", "with -bench: write the machine-readable report to this path ('-' = stdout)")
+		exp        = flag.String("exp", "all", "experiment id (table1, fig6, table3, fig7, table4, fig8, fig9, fig10, fig11, fig12, fig13, table5, fig14, ablation, all)")
+		reps       = flag.Int("reps", 0, "repetitions per cell (0 = config default)")
+		funcsCS    = flag.String("funcs", "", "comma-separated function subset (default: representative cross-section)")
+		paper      = flag.Bool("paper", false, "full paper scale: 50 reps, 33 functions, L=100000 (CPU-hours)")
+		testN      = flag.Int("testn", 0, "test-set size (0 = config default)")
+		lprim      = flag.Int("lprim", 0, "REDS L for PRIM-based methods (0 = config default)")
+		lbi        = flag.Int("lbi", 0, "REDS L for BI-based methods (0 = config default)")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		workers    = flag.Int("workers", 0, "parallel repetitions (0 = GOMAXPROCS)")
+		bench      = flag.Bool("bench", false, "run the component hot-path benchmarks instead of an experiment")
+		jsonOut    = flag.String("json", "", "with -bench: write the machine-readable report to this path ('-' = stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path at exit (after a final GC)")
+		maxProcs   = flag.Int("gomaxprocs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default; committed snapshots use 1)")
 	)
 	flag.Parse()
+
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redsbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "redsbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "redsbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "redsbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *bench {
 		if err := runComponentBenchmarks(os.Stdout, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "redsbench: bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	cfg := experiment.Default()
@@ -88,10 +130,11 @@ func main() {
 		start := time.Now()
 		if err := run(id, cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "redsbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stdout, "\n[%s done in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+	return 0
 }
 
 // run executes one experiment. Table3/Fig7 and Table4/Fig8 share their

@@ -1,0 +1,31 @@
+// Package benchdata holds the one dataset generator shared by the root
+// benchmark suite (bench_test.go) and the cmd/redsbench binary. The two
+// harnesses measure the same hot paths and their workloads must stay
+// bit-identical; a single generator makes drift impossible.
+package benchdata
+
+import (
+	"math/rand"
+
+	"github.com/reds-go/reds/internal/dataset"
+)
+
+// Gen draws n points with m uniform [0,1) inputs and the benchmark
+// suite's standard label: y = 1 iff x0 < 0.5 and x1 > 0.3 (a
+// two-feature interaction box covering ~35% of the space).
+func Gen(n, m int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0] < 0.5 && row[1] > 0.3 {
+			y[i] = 1
+		}
+	}
+	return dataset.MustNew(x, y)
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func binsTestData(n, m int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, m)
+		for j := range row {
+			switch j % 3 {
+			case 0:
+				row[j] = rng.Float64()
+			case 1:
+				row[j] = float64(rng.Intn(5)) // heavy ties
+			default:
+				row[j] = rng.NormFloat64() * 100
+			}
+		}
+		x[i] = row
+		if rng.Float64() < 0.3 {
+			y[i] = 1
+		}
+	}
+	return MustNew(x, y)
+}
+
+// TestBinsCodeMonotone: the bin code is monotone non-decreasing in the
+// feature value — the property that makes "bin <= c" equivalent to a
+// float threshold predicate.
+func TestBinsCodeMonotone(t *testing.T) {
+	d := binsTestData(500, 6, 1)
+	rng := rand.New(rand.NewSource(2))
+	for _, maxBins := range []int{2, 7, 64, 256} {
+		b := d.Bins(maxBins)
+		for j := 0; j < d.M(); j++ {
+			for trial := 0; trial < 2000; trial++ {
+				v1 := rng.NormFloat64() * 150
+				v2 := v1 + rng.Float64()*10
+				if b.Code(j, v1) > b.Code(j, v2) {
+					t.Fatalf("maxBins=%d feature %d: Code(%v)=%d > Code(%v)=%d",
+						maxBins, j, v1, b.Code(j, v1), v2, b.Code(j, v2))
+				}
+			}
+		}
+	}
+}
+
+// TestBinsEveryPointOneBin: every dataset cell maps to exactly one bin,
+// the precomputed code agrees with the mapper, and codes stay in range.
+func TestBinsEveryPointOneBin(t *testing.T) {
+	d := binsTestData(400, 6, 3)
+	for _, maxBins := range []int{2, 13, 64, 256} {
+		b := d.Bins(maxBins)
+		for j := 0; j < d.M(); j++ {
+			nb := b.NumBins(j)
+			if nb < 1 || nb > maxBins {
+				t.Fatalf("maxBins=%d feature %d: %d bins", maxBins, j, nb)
+			}
+			codes := b.ColumnCodes(j)
+			for i := range d.X {
+				c := b.Code(j, d.X[i][j])
+				if int(c) >= nb {
+					t.Fatalf("feature %d row %d: code %d out of %d bins", j, i, c, nb)
+				}
+				if codes[i] != c {
+					t.Fatalf("feature %d row %d: cached code %d != mapped %d", j, i, codes[i], c)
+				}
+				// The code is consistent with the edges: v <= Edge(j,c)
+				// and (for c > 0) v > Edge(j,c-1).
+				v := d.X[i][j]
+				if int(c) < nb-1 && !(v <= b.Edge(j, int(c))) {
+					t.Fatalf("feature %d: %v in bin %d above its edge %v", j, v, c, b.Edge(j, int(c)))
+				}
+				if c > 0 && !(v > b.Edge(j, int(c)-1)) && !math.IsNaN(v) {
+					t.Fatalf("feature %d: %v in bin %d not above lower edge %v", j, v, c, b.Edge(j, int(c)-1))
+				}
+			}
+		}
+	}
+}
+
+// TestBinsSpecialValues: NaN and +Inf deterministically route to the last
+// bin, -Inf to the first — including when those values appear in the data.
+func TestBinsSpecialValues(t *testing.T) {
+	x := [][]float64{
+		{math.Inf(-1)}, {math.NaN()}, {0.1}, {0.2}, {0.3}, {0.4},
+		{0.5}, {0.6}, {0.7}, {math.Inf(1)},
+	}
+	y := make([]float64, len(x))
+	d := MustNew(x, y)
+	b := d.Bins(4)
+	last := uint8(b.NumBins(0) - 1)
+	for trial := 0; trial < 3; trial++ {
+		if got := b.Code(0, math.NaN()); got != last {
+			t.Fatalf("NaN routed to bin %d, want last bin %d", got, last)
+		}
+		if got := b.Code(0, math.Inf(1)); got != last {
+			t.Fatalf("+Inf routed to bin %d, want last bin %d", got, last)
+		}
+		if got := b.Code(0, math.Inf(-1)); got != 0 {
+			t.Fatalf("-Inf routed to bin %d, want 0", got)
+		}
+	}
+	for c := 0; c < b.NumBins(0)-1; c++ {
+		if e := b.Edge(0, c); math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("edge %d is non-finite: %v", c, e)
+		}
+	}
+}
+
+// TestBinsStableUnderPermutation: bin edges depend only on the multiset
+// of feature values, so shuffling rows must not move them.
+func TestBinsStableUnderPermutation(t *testing.T) {
+	d := binsTestData(300, 4, 7)
+	shuffled := d.Shuffled(rand.New(rand.NewSource(8)))
+	for _, maxBins := range []int{2, 16, 64} {
+		a, b := d.Bins(maxBins), shuffled.Bins(maxBins)
+		for j := 0; j < d.M(); j++ {
+			if !reflect.DeepEqual(a.edges[j], b.edges[j]) {
+				t.Fatalf("maxBins=%d feature %d: edges moved under permutation:\n%v\nvs\n%v",
+					maxBins, j, a.edges[j], b.edges[j])
+			}
+		}
+	}
+}
+
+// TestBinsDistinctValues: when a feature has no more distinct values than
+// the budget, every distinct value gets its own bin — so the binned
+// candidate cut set equals the exact one.
+func TestBinsDistinctValues(t *testing.T) {
+	d := binsTestData(400, 6, 9) // feature 1 takes 5 distinct values
+	b := d.Bins(64)
+	if got := b.NumBins(1); got != 5 {
+		t.Fatalf("5 distinct values got %d bins, want 5", got)
+	}
+}
+
+// TestBinsCached: repeated calls at the same budget share one view;
+// different budgets get their own.
+func TestBinsCached(t *testing.T) {
+	d := binsTestData(100, 3, 11)
+	if d.Bins(64) != d.Bins(64) {
+		t.Fatal("same budget returned distinct views")
+	}
+	if d.Bins(64) == d.Bins(32) {
+		t.Fatal("different budgets shared a view")
+	}
+	// Out-of-range budgets clamp onto the shared views.
+	if d.Bins(1) != d.Bins(2) || d.Bins(1000) != d.Bins(256) {
+		t.Fatal("clamped budgets not shared")
+	}
+}

@@ -49,6 +49,10 @@ func (d *Dataset) columnsLocked() [][]float64 {
 func (d *Dataset) SortedOrders() [][]int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.sortedOrdersLocked()
+}
+
+func (d *Dataset) sortedOrdersLocked() [][]int {
 	if d.ords != nil {
 		return d.ords
 	}
@@ -83,7 +87,7 @@ func (d *Dataset) SortedOrders() [][]int {
 // are replaced wholesale (JSON decode into a reused receiver).
 func (d *Dataset) invalidate() {
 	d.mu.Lock()
-	d.cols, d.ords = nil, nil
+	d.cols, d.ords, d.bins = nil, nil, nil
 	d.mu.Unlock()
 }
 

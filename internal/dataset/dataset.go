@@ -51,6 +51,7 @@ type Dataset struct {
 	mu   sync.Mutex // guards the lazy caches below
 	cols [][]float64
 	ords [][]int
+	bins map[int]*Bins // quantization views, keyed by bin budget
 }
 
 // New builds a dataset and validates the shape.

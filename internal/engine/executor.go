@@ -176,6 +176,36 @@ func (r Request) effectiveDistillFidelity(def float64) float64 {
 	return def
 }
 
+// effectiveTrainMode is the requested training mode with the executor
+// default applied.
+func (r Request) effectiveTrainMode(def string) string {
+	if r.TrainMode != "" {
+		return r.TrainMode
+	}
+	if def != "" {
+		return def
+	}
+	return "exact"
+}
+
+// effectiveTrainBins is the binned training bin budget with the
+// executor default applied (0 = the trainers' own default).
+func (r Request) effectiveTrainBins(def int) int {
+	if r.TrainBins > 0 {
+		return r.TrainBins
+	}
+	return def
+}
+
+// effectiveTrainQuality is the holdout accuracy threshold the binned
+// gate model must clear, with the executor default applied.
+func (r Request) effectiveTrainQuality(def float64) float64 {
+	if r.TrainQuality > 0 {
+		return r.TrainQuality
+	}
+	return def
+}
+
 // LocalExecutorOptions configure the in-process execution layer.
 type LocalExecutorOptions struct {
 	// CacheBytes bounds the metamodel LRU cache by the approximate
@@ -209,6 +239,18 @@ type LocalExecutorOptions struct {
 	// falls back to the full ensemble (default 0.99). Requests can raise
 	// or lower it per job (Request.DistillFidelity).
 	DistillFidelity float64
+	// TrainMode is the default training mode for tree-ensemble
+	// metamodels: "exact" (the default) or "binned" (the histogram fast
+	// path). Requests override it per job (Request.TrainMode).
+	TrainMode string
+	// TrainBins is the default per-feature bin budget for binned
+	// training (0 = the trainers' default, 64).
+	TrainBins int
+	// TrainQuality is the default holdout accuracy the binned gate model
+	// must reach before the fast path trains a variant (default 0.55 —
+	// just above coin-flipping; the gate catches pathologies, the
+	// differential test suite owns the fine-grained parity guarantees).
+	TrainQuality float64
 	// Metrics is the registry the executor's instruments live in: the
 	// per-stage latency histograms and both caches' counters. nil gets
 	// a private registry, which keeps instruments working (and tests
@@ -232,6 +274,9 @@ func (o LocalExecutorOptions) withDefaults() LocalExecutorOptions {
 	if o.DistillFidelity <= 0 {
 		o.DistillFidelity = 0.99
 	}
+	if o.TrainQuality <= 0 {
+		o.TrainQuality = 0.55
+	}
 	return o
 }
 
@@ -251,6 +296,14 @@ type LocalExecutor struct {
 	// distillFidelity is the default fallback threshold for distilled
 	// labeling kernels.
 	distillFidelity float64
+	// Train-mode defaults (LocalExecutorOptions.Train*) and the
+	// per-(family, data, knobs) resolution memo, so sibling variants and
+	// repeat jobs run the binned quality gate once.
+	trainMode    string
+	trainBins    int
+	trainQuality float64
+	trainModeMu  sync.Mutex
+	trainModes   map[string]trainResolution
 	// checkpointBytes bounds the inline labeled data per checkpoint.
 	checkpointBytes int64
 	// stageSeconds is the per-stage latency histogram
@@ -270,6 +323,11 @@ type LocalExecutor struct {
 	mDistillRules    *telemetry.Histogram
 	mDistillFidelity *telemetry.Histogram
 	mDistillFallback *telemetry.Counter
+	// Training instruments: metamodel training latency by family and
+	// mode (cache misses only), and the number of family resolutions
+	// that fell back from binned to exact training.
+	mTrainSeconds  *telemetry.HistogramVec
+	mTrainFallback *telemetry.Counter
 }
 
 // NewLocalExecutor returns an in-process executor with its own
@@ -285,6 +343,10 @@ func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
 		labels:          newLabelCache(opts.LabelCacheBytes, opts.LabelCacheTTL, reg),
 		rulesets:        newRulesetCache(opts.RulesetCacheBytes, opts.RulesetCacheTTL, reg),
 		distillFidelity: opts.DistillFidelity,
+		trainMode:       opts.TrainMode,
+		trainBins:       opts.TrainBins,
+		trainQuality:    opts.TrainQuality,
+		trainModes:      make(map[string]trainResolution),
 		checkpointBytes: opts.CheckpointBytes,
 		stageSeconds: reg.HistogramVec("reds_exec_stage_seconds",
 			"Pipeline stage latency, labeled by stage (simulate, train, sample, label, discover) and variant.",
@@ -306,6 +368,11 @@ func NewLocalExecutor(opts LocalExecutorOptions) *LocalExecutor {
 			[]float64{0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 0.995, 0.999, 1}),
 		mDistillFallback: reg.Counter("reds_ruleset_fallbacks_total",
 			"Variant label-kernel resolutions that requested the distilled kernel but fell back to the full ensemble (unsupported family or fidelity below threshold)."),
+		mTrainSeconds: reg.HistogramVec("reds_train_seconds",
+			"Metamodel training latency (cache misses only), labeled by family and training mode (exact, binned).",
+			telemetry.ExponentialBuckets(0.001, 2, 16), "metamodel", "mode"),
+		mTrainFallback: reg.Counter("reds_train_fallbacks_total",
+			"Metamodel family resolutions that requested binned training but fell back to exact (unsupported family or gate quality below threshold)."),
 	}
 }
 
@@ -323,6 +390,10 @@ func (x *LocalExecutor) RulesetCacheStats() CacheStats { return x.rulesets.Stats
 // RulesetFallbacks returns the cumulative count of distilled-kernel
 // resolutions that fell back to the full ensemble.
 func (x *LocalExecutor) RulesetFallbacks() int64 { return x.mDistillFallback.Value() }
+
+// TrainFallbacks returns the cumulative count of metamodel family
+// resolutions that requested binned training but fell back to exact.
+func (x *LocalExecutor) TrainFallbacks() int64 { return x.mTrainFallback.Value() }
 
 // progressSink aggregates concurrent progress updates for one execution
 // and forwards each new snapshot to the callback. Updates mutate the

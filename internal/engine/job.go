@@ -123,6 +123,24 @@ type Request struct {
 	// Mostly a test lever: a tiny budget deterministically forces the
 	// fidelity fallback.
 	DistillMaxRules int `json:"distill_max_rules,omitempty"`
+	// TrainMode selects how tree-ensemble metamodels train: "exact"
+	// (default) runs the exhaustive-cut path; "binned" runs the
+	// histogram-binned fast path (features quantized once per dataset,
+	// splits swept over bin histograms, tuning folds sharing one
+	// quantization) — automatically falling back to exact when the
+	// family has no binned path (svm) or a quick holdout quality gate
+	// misses the threshold. The mode actually used is reported per
+	// variant (VariantResult.TrainMode). Empty keeps the executor
+	// default.
+	TrainMode string `json:"train_mode,omitempty"`
+	// TrainBins caps the per-feature quantile bin budget of binned
+	// training (2..256; 0 keeps the default, 64).
+	TrainBins int `json:"train_bins,omitempty"`
+	// TrainQuality overrides the executor's holdout accuracy threshold
+	// the binned gate model must reach before the fast path trains a
+	// variant; below it the family falls back to exact training. 0 keeps
+	// the executor default (0.55).
+	TrainQuality float64 `json:"train_quality,omitempty"`
 	// Checkpoint resumes the request from a partially executed state:
 	// the executor reuses the finished variants and skips the stages the
 	// snapshot proves complete. It is set by the infrastructure — the
@@ -194,6 +212,17 @@ func (r *Request) Validate() error {
 	if r.DistillMaxRules < 0 {
 		return fmt.Errorf("engine: negative distill_max_rules")
 	}
+	switch r.TrainMode {
+	case "", "exact", "binned":
+	default:
+		return fmt.Errorf("engine: unknown train mode %q (want exact or binned)", r.TrainMode)
+	}
+	if r.TrainBins != 0 && (r.TrainBins < 2 || r.TrainBins > dataset.MaxBins) {
+		return fmt.Errorf("engine: train_bins %d out of [2,%d]", r.TrainBins, dataset.MaxBins)
+	}
+	if r.TrainQuality < 0 || r.TrainQuality > 1 || math.IsNaN(r.TrainQuality) {
+		return fmt.Errorf("engine: train_quality %v out of [0,1]", r.TrainQuality)
+	}
 	return nil
 }
 
@@ -237,6 +266,17 @@ type VariantResult struct {
 	// distilled kernel. GET /v1/jobs/{id}/rules serves it; the /result
 	// payload strips it to stay small.
 	Ruleset json.RawMessage `json:"ruleset,omitempty"`
+	// TrainMode is the training mode that actually ran: "binned" (the
+	// histogram fast path) or "exact". A request that asked for "binned"
+	// can still report "exact" here — see TrainFallbackReason.
+	TrainMode string `json:"train_mode,omitempty"`
+	// TrainQuality is the binned gate model's measured holdout accuracy.
+	// Only set when the gate ran (even when it forced a fallback).
+	TrainQuality float64 `json:"train_quality,omitempty"`
+	// TrainFallbackReason explains why a requested binned mode was not
+	// used: "unsupported" (the family has no binned path, e.g. svm) or
+	// "quality <measured> below threshold <t>".
+	TrainFallbackReason string `json:"train_fallback_reason,omitempty"`
 	// Resumed reports that the variant was not re-run at all: a
 	// checkpoint from an earlier execution already carried its finished
 	// result.

@@ -50,9 +50,18 @@ func knownSD(name string) bool {
 	return false
 }
 
-func trainerByName(name string, m int, tuned bool) metamodel.Trainer {
+// trainerByName builds the metamodel trainer for one variant. binned
+// selects the histogram fast path with the given bin budget (resolved
+// upstream — svm never reaches here with binned set).
+func trainerByName(name string, m int, tuned, binned bool, bins int) metamodel.Trainer {
 	switch name {
 	case "xgb":
+		if binned {
+			if tuned {
+				return gbt.TunedTrainerBinned(bins)
+			}
+			return &gbt.BinnedTrainer{Bins: bins}
+		}
 		if tuned {
 			return gbt.TunedTrainer()
 		}
@@ -63,6 +72,12 @@ func trainerByName(name string, m int, tuned bool) metamodel.Trainer {
 		}
 		return &svm.Trainer{}
 	default: // "rf"
+		if binned {
+			if tuned {
+				return rf.TunedTrainerBinned(m, bins)
+			}
+			return &rf.BinnedTrainer{Bins: bins}
+		}
 		if tuned {
 			return rf.TunedTrainer(m)
 		}
@@ -276,11 +291,37 @@ type variantConfig struct {
 // the sink.
 func (x *LocalExecutor) runVariant(ctx context.Context, req Request, sink *progressSink, train *dataset.Dataset, hash string, smp sample.Sampler, l int, v variantSpec, cfg variantConfig) VariantResult {
 	out := VariantResult{Metamodel: v.metamodel, SD: v.sd}
+	// The training mode resolves before the cache key is formed: binned
+	// models are approximations and must never be served to (or from) an
+	// exact-mode entry, while a binned request that falls back to exact
+	// shares the exact entry — its model is the exact model.
+	mode := x.resolveTrainMode(req, v.metamodel, train, hash, cfg.trainSeed)
+	out.TrainMode = mode.mode
+	out.TrainQuality = mode.quality
+	out.TrainFallbackReason = mode.fallbackReason
+	key := fmt.Sprintf("%s|%s|tuned=%v|seed=%d", hash, v.metamodel, req.Tuned, cfg.trainSeed)
+	binned := mode.mode == "binned"
+	bins := req.effectiveTrainBins(x.trainBins)
+	if binned {
+		key += fmt.Sprintf("|mode=binned|bins=%d", bins)
+	}
+	inner := trainerByName(v.metamodel, train.M(), req.Tuned, binned, bins)
+	if binned {
+		// The shared-fold tuner can evaluate fold × candidate cells
+		// concurrently without changing its outcome; give it the
+		// variant's worker budget.
+		if tu, ok := inner.(*metamodel.Tuned); ok {
+			tu.Workers = cfg.labelWorkers
+		}
+	}
 	trainer := &cachedTrainer{
-		cache: x.cache,
-		key:   fmt.Sprintf("%s|%s|tuned=%v|seed=%d", hash, v.metamodel, req.Tuned, cfg.trainSeed),
-		seed:  cfg.trainSeed,
-		inner: trainerByName(v.metamodel, train.M(), req.Tuned),
+		cache:        x.cache,
+		key:          key,
+		seed:         cfg.trainSeed,
+		inner:        inner,
+		trainSeconds: x.mTrainSeconds,
+		family:       v.metamodel,
+		mode:         mode.mode,
 	}
 	// Each stage-entry notification closes the previous stage's span:
 	// the span is recorded into the job trace under its variant-
@@ -454,13 +495,22 @@ type cachedTrainer struct {
 	seed  int64
 	inner metamodel.Trainer
 	hit   atomic.Bool
+	// trainSeconds observes actual training latency (cache misses only)
+	// under the variant's family and resolved mode labels.
+	trainSeconds *telemetry.HistogramVec
+	family, mode string
 }
 
 func (c *cachedTrainer) Name() string { return c.inner.Name() }
 
 func (c *cachedTrainer) Train(d *dataset.Dataset, _ *rand.Rand) (metamodel.Model, error) {
 	m, hit, err := c.cache.getOrTrain(c.key, func() (metamodel.Model, error) {
-		return c.inner.Train(d, rand.New(rand.NewSource(c.seed)))
+		start := time.Now()
+		m, err := c.inner.Train(d, rand.New(rand.NewSource(c.seed)))
+		if err == nil && c.trainSeconds != nil {
+			c.trainSeconds.With(c.family, c.mode).Observe(time.Since(start).Seconds())
+		}
+		return m, err
 	})
 	c.hit.Store(hit)
 	return m, err

@@ -231,6 +231,24 @@ func Accuracy(m Model, d *dataset.Dataset) float64 {
 	return float64(correct) / float64(d.N())
 }
 
+// SubsetTrainer is optionally implemented by trainers that can fit on a
+// row subset of a shared dataset without materializing a sub-dataset.
+// The tuner uses it to evaluate every fold × grid cell against one
+// shared view of the parent data — for the histogram-binned rf/gbt
+// trainers that means bin edges and codes are computed once per dataset
+// and every cell trains through per-fold row masks instead of per-fold
+// column copies and re-sorts.
+type SubsetTrainer interface {
+	Trainer
+	// SharedFolds reports whether the trainer wants the shared-fold
+	// path. Trainers whose fast path needs materialized per-fold state
+	// (the exact columnar trainers) return false.
+	SharedFolds() bool
+	// TrainSubset fits on the rows (indices into d) of the shared
+	// dataset d.
+	TrainSubset(d *dataset.Dataset, rows []int, rng *rand.Rand) (Model, error)
+}
+
 // Tuned wraps a parameterized trainer family with k-fold cross-validated
 // grid search, standing in for the default caret tuning of Section 8.4.3.
 type Tuned struct {
@@ -240,6 +258,12 @@ type Tuned struct {
 	Grid []Trainer
 	// Folds is the number of CV folds (default 3).
 	Folds int
+	// Workers bounds the pool evaluating fold × grid cells (default 1,
+	// serial). Every cell trains from its own candidateSeed-derived RNG
+	// and accuracies reduce in fixed grid order, so any worker count
+	// produces the identical tuning outcome — the engine wires this to
+	// its per-variant CPU budget.
+	Workers int
 }
 
 // Name implements Trainer.
@@ -284,16 +308,74 @@ func (t *Tuned) Train(d *dataset.Dataset, rng *rand.Rand) (Model, error) {
 	}
 	tuneSeed := rng.Int63()
 	refitSeed := rng.Int63()
-	best, bestAcc := 0, -1.0
-	for gi, tr := range t.Grid {
-		acc := 0.0
-		for fi, f := range kf {
-			child := rand.New(rand.NewSource(candidateSeed(tuneSeed, tr, fi)))
-			m, err := tr.Train(f.Train, child)
-			if err != nil {
-				return nil, fmt.Errorf("metamodel: tuning %s: %w", t.Family, err)
+
+	// evalCell trains one fold × grid candidate and scores it on the
+	// fold's holdout. Trainers on the shared-fold path fit through a row
+	// mask against the parent dataset, so its cached views (columns,
+	// sorted orders, bin edges and codes) are computed once and shared
+	// by every cell instead of rebuilt per fold.
+	evalCell := func(gi, fi int) (float64, error) {
+		tr, f := t.Grid[gi], kf[fi]
+		child := rand.New(rand.NewSource(candidateSeed(tuneSeed, tr, fi)))
+		var m Model
+		var cellErr error
+		if st, ok := tr.(SubsetTrainer); ok && st.SharedFolds() {
+			m, cellErr = st.TrainSubset(d, f.TrainIdx, child)
+		} else {
+			m, cellErr = tr.Train(f.Train, child)
+		}
+		if cellErr != nil {
+			return 0, fmt.Errorf("metamodel: tuning %s: %w", t.Family, cellErr)
+		}
+		return Accuracy(m, f.Test), nil
+	}
+
+	nCells := len(t.Grid) * len(kf)
+	accs := make([]float64, nCells) // accs[gi*len(kf)+fi]
+	errs := make([]error, nCells)
+	workers := t.Workers
+	if workers > nCells {
+		workers = nCells
+	}
+	if workers <= 1 {
+		for c := 0; c < nCells; c++ {
+			accs[c], errs[c] = evalCell(c/len(kf), c%len(kf))
+			if errs[c] != nil {
+				return nil, errs[c]
 			}
-			acc += Accuracy(m, f.Test)
+		}
+	} else {
+		// Cells are independent (per-cell seeded RNGs) and the reduction
+		// below runs in fixed grid order, so scheduling cannot change
+		// the outcome — only the wall clock.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= nCells {
+						return
+					}
+					accs[c], errs[c] = evalCell(c/len(kf), c%len(kf))
+				}
+			}()
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+	}
+
+	best, bestAcc := 0, -1.0
+	for gi := range t.Grid {
+		acc := 0.0
+		for fi := range kf {
+			acc += accs[gi*len(kf)+fi]
 		}
 		acc /= float64(len(kf))
 		if acc > bestAcc {

@@ -131,12 +131,30 @@ type GradientBoosting = gbt.Trainer
 // SVM configures an RBF support-vector machine metamodel ("s").
 type SVM = svm.Trainer
 
+// RandomForestBinned configures a random forest on the histogram-binned
+// training fast path: quantile-binned features, per-node bin histograms
+// with sibling subtraction instead of sorted-order partitions. Trees are
+// near-equivalent but not byte-identical to RandomForest's.
+type RandomForestBinned = rf.BinnedTrainer
+
+// GradientBoostingBinned configures boosting on the histogram-binned
+// training fast path.
+type GradientBoostingBinned = gbt.BinnedTrainer
+
 // TunedRandomForest returns a cross-validated random-forest trainer for
 // m-dimensional inputs.
 var TunedRandomForest = rf.TunedTrainer
 
+// TunedRandomForestBinned is TunedRandomForest on the histogram-binned
+// fast path: one shared quantization serves all fold × grid cells.
+var TunedRandomForestBinned = rf.TunedTrainerBinned
+
 // TunedGradientBoosting returns a cross-validated boosting trainer.
 var TunedGradientBoosting = gbt.TunedTrainer
+
+// TunedGradientBoostingBinned is TunedGradientBoosting on the
+// histogram-binned fast path.
+var TunedGradientBoostingBinned = gbt.TunedTrainerBinned
 
 // TunedSVM returns a cross-validated SVM trainer.
 var TunedSVM = svm.TunedTrainer
