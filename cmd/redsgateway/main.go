@@ -27,6 +27,13 @@
 // gateway's telemetry registry (engine, dispatcher, prober, store, HTTP
 // series) in Prometheus text format; -log.level/-log.format control the
 // structured logs; -debug.addr starts a pprof listener.
+//
+// Admission control mirrors redsserver (see docs/API.md "Authentication
+// & quotas"): -auth.tokens, -quota.*, -caps.*, -job.max-runtime. The
+// -internal.secret flag (or REDS_INTERNAL_SECRET) serves double duty:
+// the gateway sends it on every dispatch and fan-out to workers started
+// with the same secret, and requires it (or an admin token) on its own
+// /internal/v1/workers admin API.
 package main
 
 import (
@@ -42,12 +49,54 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/reds-go/reds/internal/admission"
 	"github.com/reds-go/reds/internal/cluster"
 	"github.com/reds-go/reds/internal/engine"
 	"github.com/reds-go/reds/internal/engine/store"
 	"github.com/reds-go/reds/internal/faultinject"
 	"github.com/reds-go/reds/internal/telemetry"
 )
+
+// HTTP server timeouts: generous enough for a paper-scale inline-CSV
+// upload or a slow scrape, small enough that stuck clients cannot pin
+// connections forever.
+const (
+	httpReadTimeout  = 2 * time.Minute
+	httpWriteTimeout = 2 * time.Minute
+	httpIdleTimeout  = 5 * time.Minute
+)
+
+// buildAdmission assembles the admission controller: token store (when
+// -auth.tokens is set), quotas, caps and the internal secret.
+func buildAdmission(opts admission.Options, tokensPath string, logger *slog.Logger) (*admission.Controller, error) {
+	if tokensPath != "" {
+		tokens, err := admission.LoadTokens(tokensPath)
+		if err != nil {
+			return nil, err
+		}
+		opts.Tokens = tokens
+		logger.Info("bearer-token authentication enabled", "path", tokensPath, "tokens", tokens.Len())
+	}
+	opts.Logger = logger
+	return admission.New(opts), nil
+}
+
+// reloadOnSIGHUP re-reads the token file whenever the process receives
+// SIGHUP, so operators rotate tokens without a restart. A bad file
+// keeps the previous table (and logs the parse error).
+func reloadOnSIGHUP(ctrl *admission.Controller, logger *slog.Logger) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	go func() {
+		for range ch {
+			if err := ctrl.ReloadTokens(); err != nil {
+				logger.Error("token reload failed; keeping the previous table", "error", err)
+				continue
+			}
+			logger.Info("token file reloaded")
+		}
+	}()
+}
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
@@ -63,6 +112,17 @@ func main() {
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
 	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
 	drainTimeout := flag.Duration("drain.timeout", 10*time.Second, "how long shutdown waits for in-flight jobs to finish before canceling them")
+	internalSecret := flag.String("internal.secret", "", "shared secret sent to workers on every dispatch and required on /internal/v1/workers (also read from REDS_INTERNAL_SECRET); empty: no secret")
+	authTokens := flag.String("auth.tokens", "", "path to the bearer-token JSON file enabling authentication (hot-reloaded on SIGHUP); empty: no auth")
+	quotaRPS := flag.Float64("quota.rps", 0, "per-client job-submission rate limit in requests/second (0: unlimited; token-file entries may override)")
+	quotaBurst := flag.Int("quota.burst", 0, "per-client submission burst on top of -quota.rps (min 1 when rate limiting)")
+	quotaInflight := flag.Int("quota.inflight", 0, "max unfinished jobs one client may have at once (0: unlimited)")
+	capMaxL := flag.Int("caps.max-l", 0, "max Monte Carlo label budget l one job may request (0: unlimited)")
+	capMaxN := flag.Int("caps.max-n", 0, "max design size n / inline dataset rows one job may submit (0: unlimited)")
+	capMaxVariants := flag.Int("caps.max-variants", 0, "max metamodel variant-grid size one job may request (0: unlimited)")
+	capMaxTrainBins := flag.Int("caps.max-train-bins", 0, "max train_bins one job may request (0: unlimited)")
+	capMaxBody := flag.Int64("caps.max-body-bytes", 64<<20, "max POST /v1/jobs request body size in bytes (0: unlimited)")
+	maxRuntime := flag.Duration("job.max-runtime", 0, "hard wall-clock ceiling on any job's execution, and the ceiling on deadline_seconds requests (0: none)")
 	faults := flag.String("faults", "", "arm fault-injection points, e.g. store.wal.torn=1 (testing only; also read from REDS_FAULTS)")
 	logLevel := flag.String("log.level", "info", "minimum log level: debug, info, warn, error")
 	logFormat := flag.String("log.format", "json", "log output format: json or text")
@@ -100,12 +160,14 @@ func main() {
 	// the HTTP middleware all record here; /metrics serves it.
 	reg := telemetry.NewRegistry()
 
+	secret := firstNonEmpty(*internalSecret, os.Getenv("REDS_INTERNAL_SECRET"))
 	client := &http.Client{Timeout: 15 * time.Second}
 	disp, err := cluster.NewDispatcher(workers, cluster.DispatcherOptions{
-		Replicas:     *replicas,
-		PollInterval: *pollInterval,
-		Client:       client,
-		Metrics:      reg,
+		Replicas:       *replicas,
+		PollInterval:   *pollInterval,
+		Client:         client,
+		Metrics:        reg,
+		InternalSecret: secret,
 		Health: cluster.HealthOptions{
 			Interval: *healthInterval,
 			Timeout:  *healthTimeout,
@@ -145,20 +207,45 @@ func main() {
 			"recovered", rec.Recovered, "reenqueued", rec.Reenqueued, "orphaned", rec.Orphaned)
 	}
 
+	ctrl, err := buildAdmission(admission.Options{
+		RPS:         *quotaRPS,
+		Burst:       *quotaBurst,
+		MaxInFlight: *quotaInflight,
+		Caps: admission.Caps{
+			MaxL:         *capMaxL,
+			MaxN:         *capMaxN,
+			MaxVariants:  *capMaxVariants,
+			MaxTrainBins: *capMaxTrainBins,
+			MaxBodyBytes: *capMaxBody,
+			MaxRuntime:   *maxRuntime,
+		},
+		InternalSecret: secret,
+		Metrics:        reg,
+	}, *authTokens, logger)
+	if err != nil {
+		fatal("loading -auth.tokens failed", err)
+	}
+	reloadOnSIGHUP(ctrl, logger)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", gatewayHealthz(eng, disp))
 	mux.HandleFunc("GET /v1/readyz", gatewayReadyz(disp))
-	mux.HandleFunc("GET /v1/jobs", gatewayJobs(eng, disp, client))
+	mux.HandleFunc("GET /v1/jobs", gatewayJobs(eng, disp, client, secret))
 	mux.HandleFunc("GET /internal/v1/workers", listWorkers(disp))
 	mux.HandleFunc("POST /internal/v1/workers", addWorker(disp, logger))
 	mux.HandleFunc("DELETE /internal/v1/workers", removeWorker(disp, logger))
 	mux.Handle("GET /metrics", reg.Handler())
-	mux.Handle("/", engine.NewHandler(eng))
+	mux.Handle("/", engine.NewHandler(eng, engine.WithAdmission(ctrl)))
 
+	// Admission sits inside Instrument so rejected requests still get
+	// request IDs and access-log lines.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           telemetry.Instrument(mux, reg, logger),
+		Handler:           telemetry.Instrument(ctrl.Middleware(mux), reg, logger),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
 	}
 
 	var debugSrv *http.Server
@@ -167,6 +254,10 @@ func main() {
 			Addr:              *debugAddr,
 			Handler:           telemetry.DebugHandler(reg),
 			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       httpReadTimeout,
+			// No WriteTimeout: pprof profile streams (?seconds=N) may
+			// legitimately run long.
+			IdleTimeout: httpIdleTimeout,
 		}
 		go func() {
 			logger.Info("debug server listening", "addr", *debugAddr)
@@ -372,12 +463,17 @@ func firstNonEmpty(vals ...string) string {
 // gatewayJobs aggregates the cluster's job listings: the gateway's own
 // jobs (the ones clients submitted here) plus each worker's /v1/jobs,
 // fetched concurrently — jobs submitted directly to a worker stay
-// visible through the gateway's single pane.
-func gatewayJobs(eng *engine.Engine, disp *cluster.Dispatcher, client *http.Client) http.HandlerFunc {
+// visible through the gateway's single pane. The fan-out carries the
+// internal secret so secret-guarded workers admit it.
+func gatewayJobs(eng *engine.Engine, disp *cluster.Dispatcher, client *http.Client, secret string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
 		defer cancel()
-		fetched := cluster.FanOutJSON(ctx, client, disp.Ring().Nodes(), "/v1/jobs")
+		var hdr http.Header
+		if secret != "" {
+			hdr = http.Header{admission.InternalSecretHeader: []string{secret}}
+		}
+		fetched := cluster.FanOutJSON(ctx, client, disp.Ring().Nodes(), "/v1/jobs", hdr)
 		writeJSON(w, http.StatusOK, map[string]any{
 			"jobs":    eng.Jobs(),
 			"workers": fetched,

@@ -30,6 +30,16 @@
 // slog lines (-log.level, -log.format) carrying job and request IDs;
 // -debug.addr starts a separate listener with net/http/pprof.
 //
+// Admission control (see docs/API.md "Authentication & quotas"):
+// -auth.tokens points at a JSON bearer-token file mapping tokens to
+// client IDs with roles (hot-reloaded on SIGHUP); -quota.rps/-quota.
+// burst/-quota.inflight throttle each client's submissions;
+// -caps.max-* bound what one job may ask for; -job.max-runtime bounds
+// every job's wall-clock execution; -internal.secret (or
+// REDS_INTERNAL_SECRET) locks the internal execution API to the
+// gateway holding the same secret. All of it is opt-in: without the
+// flags the server behaves as before.
+//
 // Unless -internal.disable is set, the server also exposes the internal
 // execution API under /internal/v1/execute, which lets a redsgateway
 // dispatch jobs onto this process as a cluster worker (see
@@ -47,11 +57,54 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/reds-go/reds/internal/admission"
 	"github.com/reds-go/reds/internal/engine"
 	"github.com/reds-go/reds/internal/engine/store"
 	"github.com/reds-go/reds/internal/faultinject"
 	"github.com/reds-go/reds/internal/telemetry"
 )
+
+// HTTP server timeouts: generous enough for a paper-scale inline-CSV
+// upload or a slow scrape, small enough that stuck clients cannot pin
+// connections forever. Job execution is asynchronous (submission
+// returns immediately), so no API response takes anywhere near these.
+const (
+	httpReadTimeout  = 2 * time.Minute
+	httpWriteTimeout = 2 * time.Minute
+	httpIdleTimeout  = 5 * time.Minute
+)
+
+// buildAdmission assembles the admission controller: token store (when
+// -auth.tokens is set), quotas, caps and the internal secret.
+func buildAdmission(opts admission.Options, tokensPath string, logger *slog.Logger) (*admission.Controller, error) {
+	if tokensPath != "" {
+		tokens, err := admission.LoadTokens(tokensPath)
+		if err != nil {
+			return nil, err
+		}
+		opts.Tokens = tokens
+		logger.Info("bearer-token authentication enabled", "path", tokensPath, "tokens", tokens.Len())
+	}
+	opts.Logger = logger
+	return admission.New(opts), nil
+}
+
+// reloadOnSIGHUP re-reads the token file whenever the process receives
+// SIGHUP, so operators rotate tokens without a restart. A bad file
+// keeps the previous table (and logs the parse error).
+func reloadOnSIGHUP(ctrl *admission.Controller, logger *slog.Logger) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	go func() {
+		for range ch {
+			if err := ctrl.ReloadTokens(); err != nil {
+				logger.Error("token reload failed; keeping the previous table", "error", err)
+				continue
+			}
+			logger.Info("token file reloaded")
+		}
+	}()
+}
 
 // firstNonEmpty returns the first non-empty string, so the -faults flag
 // wins over the REDS_FAULTS environment variable.
@@ -83,6 +136,17 @@ func main() {
 	storeSweep := flag.Duration("store.sweep-interval", time.Minute, "how often the TTL sweeper runs")
 	storeFsync := flag.Duration("store.fsync-interval", 0, "batching window for job-store fsyncs (0: fsync every append)")
 	internalOff := flag.Bool("internal.disable", false, "do not expose the internal execution API used by redsgateway")
+	internalSecret := flag.String("internal.secret", "", "shared secret required on the internal execution API (also read from REDS_INTERNAL_SECRET); empty: no check")
+	authTokens := flag.String("auth.tokens", "", "path to the bearer-token JSON file enabling authentication (hot-reloaded on SIGHUP); empty: no auth")
+	quotaRPS := flag.Float64("quota.rps", 0, "per-client job-submission rate limit in requests/second (0: unlimited; token-file entries may override)")
+	quotaBurst := flag.Int("quota.burst", 0, "per-client submission burst on top of -quota.rps (min 1 when rate limiting)")
+	quotaInflight := flag.Int("quota.inflight", 0, "max unfinished jobs one client may have at once (0: unlimited)")
+	capMaxL := flag.Int("caps.max-l", 0, "max Monte Carlo label budget l one job may request (0: unlimited)")
+	capMaxN := flag.Int("caps.max-n", 0, "max design size n / inline dataset rows one job may submit (0: unlimited)")
+	capMaxVariants := flag.Int("caps.max-variants", 0, "max metamodel variant-grid size one job may request (0: unlimited)")
+	capMaxTrainBins := flag.Int("caps.max-train-bins", 0, "max train_bins one job may request (0: unlimited)")
+	capMaxBody := flag.Int64("caps.max-body-bytes", 64<<20, "max POST /v1/jobs request body size in bytes (0: unlimited)")
+	maxRuntime := flag.Duration("job.max-runtime", 0, "hard wall-clock ceiling on any job's execution, and the ceiling on deadline_seconds requests (0: none)")
 	drainTimeout := flag.Duration("drain.timeout", 10*time.Second, "how long shutdown waits for running jobs and executions to finish before canceling them")
 	faults := flag.String("faults", "", "arm fault-injection points, e.g. exec.start.delay=200ms,store.wal.torn=1 (testing only; also read from REDS_FAULTS)")
 	logLevel := flag.String("log.level", "info", "minimum log level: debug, info, warn, error")
@@ -162,16 +226,41 @@ func main() {
 			"recovered", rec.Recovered, "reenqueued", rec.Reenqueued, "orphaned", rec.Orphaned)
 	}
 
-	handlerOpts := []engine.HandlerOption{engine.WithMetrics(reg)}
+	ctrl, err := buildAdmission(admission.Options{
+		RPS:         *quotaRPS,
+		Burst:       *quotaBurst,
+		MaxInFlight: *quotaInflight,
+		Caps: admission.Caps{
+			MaxL:         *capMaxL,
+			MaxN:         *capMaxN,
+			MaxVariants:  *capMaxVariants,
+			MaxTrainBins: *capMaxTrainBins,
+			MaxBodyBytes: *capMaxBody,
+			MaxRuntime:   *maxRuntime,
+		},
+		InternalSecret: firstNonEmpty(*internalSecret, os.Getenv("REDS_INTERNAL_SECRET")),
+		Metrics:        reg,
+	}, *authTokens, logger)
+	if err != nil {
+		fatal("loading -auth.tokens failed", err)
+	}
+	reloadOnSIGHUP(ctrl, logger)
+
+	handlerOpts := []engine.HandlerOption{engine.WithMetrics(reg), engine.WithAdmission(ctrl)}
 	var execSrv *engine.ExecServer
 	if !*internalOff {
 		execSrv = engine.NewExecServer(executor, engine.ExecServerOptions{Metrics: reg, Logger: logger})
 		handlerOpts = append(handlerOpts, engine.WithExecutionAPI(execSrv))
 	}
+	// Admission sits inside Instrument so rejected requests still get
+	// request IDs and access-log lines.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           telemetry.Instrument(engine.NewHandler(eng, handlerOpts...), reg, logger),
+		Handler:           telemetry.Instrument(ctrl.Middleware(engine.NewHandler(eng, handlerOpts...)), reg, logger),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
 	}
 
 	var debugSrv *http.Server
@@ -180,6 +269,10 @@ func main() {
 			Addr:              *debugAddr,
 			Handler:           telemetry.DebugHandler(reg),
 			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       httpReadTimeout,
+			// No WriteTimeout: pprof profile streams (?seconds=N) may
+			// legitimately run long.
+			IdleTimeout: httpIdleTimeout,
 		}
 		go func() {
 			logger.Info("debug server listening", "addr", *debugAddr)

@@ -1,0 +1,425 @@
+package admission
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func writeTokenFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tokens.json")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatalf("writing token file: %v", err)
+	}
+	return path
+}
+
+const testTokens = `{"tokens": [
+  {"token": "alice-token", "client": "alice", "roles": ["submit", "read"]},
+  {"token": "bob-token", "client": "bob", "roles": ["read"]},
+  {"token": "ops-token", "client": "ops", "roles": ["admin", "read"]},
+  {"token": "tight-token", "client": "tight", "roles": ["submit"], "rps": 1, "burst": 1}
+]}`
+
+func TestTokenStoreLoadAndLookup(t *testing.T) {
+	s, err := LoadTokens(writeTokenFile(t, testTokens))
+	if err != nil {
+		t.Fatalf("LoadTokens: %v", err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	id, ok := s.Lookup("alice-token")
+	if !ok || id.Client != "alice" || !id.Roles[RoleSubmit] || id.Roles[RoleAdmin] {
+		t.Fatalf("alice lookup = %+v ok=%v", id, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatalf("unknown token resolved")
+	}
+	tight, _ := s.Lookup("tight-token")
+	if tight.RPS != 1 || tight.Burst != 1 {
+		t.Fatalf("per-client quota overrides not loaded: %+v", tight)
+	}
+}
+
+func TestTokenStoreRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"empty":          `{"tokens": []}`,
+		"no token":       `{"tokens": [{"client": "x", "roles": ["read"]}]}`,
+		"no client":      `{"tokens": [{"token": "t", "roles": ["read"]}]}`,
+		"no roles":       `{"tokens": [{"token": "t", "client": "x"}]}`,
+		"bad role":       `{"tokens": [{"token": "t", "client": "x", "roles": ["root"]}]}`,
+		"dup token":      `{"tokens": [{"token": "t", "client": "x", "roles": ["read"]}, {"token": "t", "client": "y", "roles": ["read"]}]}`,
+		"reserved":       `{"tokens": [{"token": "t", "client": "internal", "roles": ["read"]}]}`,
+		"negative quota": `{"tokens": [{"token": "t", "client": "x", "roles": ["read"], "rps": -1}]}`,
+		"not json":       `nope`,
+	}
+	for name, content := range cases {
+		if _, err := LoadTokens(writeTokenFile(t, content)); err == nil {
+			t.Errorf("%s: LoadTokens accepted invalid file", name)
+		}
+	}
+}
+
+// TestTokenStoreReloadKeepsOldStateOnError covers the SIGHUP path: a
+// bad edit must not lock clients out.
+func TestTokenStoreReloadKeepsOldStateOnError(t *testing.T) {
+	path := writeTokenFile(t, testTokens)
+	s, err := LoadTokens(path)
+	if err != nil {
+		t.Fatalf("LoadTokens: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err == nil {
+		t.Fatalf("Reload accepted garbage")
+	}
+	if _, ok := s.Lookup("alice-token"); !ok {
+		t.Fatalf("old tokens gone after failed reload")
+	}
+	// A good rewrite takes effect.
+	if err := os.WriteFile(path, []byte(`{"tokens": [{"token": "new", "client": "new", "roles": ["read"]}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if _, ok := s.Lookup("alice-token"); ok {
+		t.Fatalf("stale token survived successful reload")
+	}
+	if _, ok := s.Lookup("new"); !ok {
+		t.Fatalf("new token missing after reload")
+	}
+}
+
+// TestTokenStoreConcurrentLookupReload is the race test: lookups and
+// reloads must not tear (run with -race).
+func TestTokenStoreConcurrentLookupReload(t *testing.T) {
+	path := writeTokenFile(t, testTokens)
+	s, err := LoadTokens(path)
+	if err != nil {
+		t.Fatalf("LoadTokens: %v", err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if id, ok := s.Lookup("alice-token"); ok && id.Client != "alice" {
+					t.Errorf("torn lookup: %+v", id)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Reload(); err != nil {
+			t.Fatalf("Reload: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	l := NewLimiter()
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("c", 2, 2); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := l.Allow("c", 2, 2)
+	if ok {
+		t.Fatalf("over-burst request admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s] at 2 rps", retry)
+	}
+	// After the hinted wait the next token is there.
+	now = now.Add(retry)
+	if ok, _ := l.Allow("c", 2, 2); !ok {
+		t.Fatalf("request after Retry-After still rejected")
+	}
+	// Refill never exceeds burst.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("c", 2, 2); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after long idle, want burst=2", admitted)
+	}
+}
+
+func TestLimiterIsolatesClients(t *testing.T) {
+	l := NewLimiter()
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	if ok, _ := l.Allow("a", 1, 1); !ok {
+		t.Fatal("first a rejected")
+	}
+	if ok, _ := l.Allow("a", 1, 1); ok {
+		t.Fatal("second a admitted")
+	}
+	if ok, _ := l.Allow("b", 1, 1); !ok {
+		t.Fatal("b throttled by a's bucket")
+	}
+}
+
+// TestLimiterConcurrent is the race test: concurrent Allow calls on one
+// client never admit more than burst + refill.
+func TestLimiterConcurrent(t *testing.T) {
+	l := NewLimiter()
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	l.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	var admitted int64
+	var wg sync.WaitGroup
+	var countMu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if ok, _ := l.Allow("c", 5, 10); ok {
+					countMu.Lock()
+					admitted++
+					countMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 10 { // frozen clock: exactly the burst
+		t.Fatalf("admitted %d concurrent requests, want 10 (burst)", admitted)
+	}
+}
+
+func TestInflightTable(t *testing.T) {
+	c := New(Options{MaxInFlight: 2})
+	rel1, retry := c.AcquireJob("x")
+	if rel1 == nil || retry != 0 {
+		t.Fatalf("first acquire rejected")
+	}
+	rel2, _ := c.AcquireJob("x")
+	if rel2 == nil {
+		t.Fatalf("second acquire rejected")
+	}
+	if rel, retry := c.AcquireJob("x"); rel != nil || retry <= 0 {
+		t.Fatalf("third acquire admitted over cap")
+	}
+	if rel, _ := c.AcquireJob("y"); rel == nil {
+		t.Fatalf("other client blocked by x's slots")
+	} else {
+		rel()
+	}
+	rel1()
+	rel1() // double release must not free a second slot
+	if c.InFlight("x") != 1 {
+		t.Fatalf("InFlight(x) = %d after one release, want 1", c.InFlight("x"))
+	}
+	if rel, _ := c.AcquireJob("x"); rel == nil {
+		t.Fatalf("acquire after release rejected")
+	}
+}
+
+// newTestController builds a controller with auth + quotas + secret on.
+func newTestController(t *testing.T) *Controller {
+	t.Helper()
+	tokens, err := LoadTokens(writeTokenFile(t, testTokens))
+	if err != nil {
+		t.Fatalf("LoadTokens: %v", err)
+	}
+	return New(Options{
+		Tokens:         tokens,
+		RPS:            100,
+		Burst:          100,
+		InternalSecret: "hush",
+		Caps:           Caps{MaxBodyBytes: 1 << 20},
+	})
+}
+
+func do(h http.Handler, method, path, token, secret string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader("{}"))
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if secret != "" {
+		req.Header.Set(InternalSecretHeader, secret)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestMiddlewareAuthMatrix(t *testing.T) {
+	c := newTestController(t)
+	var gotClient string
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotClient = ClientFrom(r.Context())
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	cases := []struct {
+		name          string
+		method, path  string
+		token, secret string
+		wantStatus    int
+		wantClient    string
+		wantErrCode   string
+	}{
+		{name: "healthz open", method: "GET", path: "/v1/healthz", wantStatus: 200},
+		{name: "readyz open", method: "GET", path: "/v1/readyz", wantStatus: 200},
+		{name: "metrics open", method: "GET", path: "/metrics", wantStatus: 200},
+		{name: "submit no token", method: "POST", path: "/v1/jobs", wantStatus: 401, wantErrCode: "unauthorized"},
+		{name: "submit bad token", method: "POST", path: "/v1/jobs", token: "wrong", wantStatus: 401, wantErrCode: "unauthorized"},
+		{name: "submit ok", method: "POST", path: "/v1/jobs", token: "alice-token", wantStatus: 200, wantClient: "alice"},
+		{name: "submit read-only client", method: "POST", path: "/v1/jobs", token: "bob-token", wantStatus: 403, wantErrCode: "forbidden"},
+		{name: "cancel needs submit", method: "DELETE", path: "/v1/jobs/job-000001", token: "bob-token", wantStatus: 403, wantErrCode: "forbidden"},
+		{name: "read ok", method: "GET", path: "/v1/jobs", token: "bob-token", wantStatus: 200, wantClient: "bob"},
+		{name: "read no token", method: "GET", path: "/v1/jobs", wantStatus: 401, wantErrCode: "unauthorized"},
+		{name: "admin denied for submit role", method: "POST", path: "/internal/v1/workers", token: "alice-token", wantStatus: 403, wantErrCode: "forbidden"},
+		{name: "admin ok", method: "POST", path: "/internal/v1/workers", token: "ops-token", wantStatus: 200, wantClient: "ops"},
+		{name: "internal no secret", method: "POST", path: "/internal/v1/execute", token: "alice-token", wantStatus: 401, wantErrCode: "unauthorized"},
+		{name: "internal wrong secret", method: "POST", path: "/internal/v1/execute", secret: "nope", wantStatus: 401, wantErrCode: "unauthorized"},
+		{name: "internal ok", method: "POST", path: "/internal/v1/execute", secret: "hush", wantStatus: 200, wantClient: "internal"},
+		{name: "secret grants v1 too", method: "GET", path: "/v1/jobs", secret: "hush", wantStatus: 200, wantClient: "internal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gotClient = ""
+			rr := do(h, tc.method, tc.path, tc.token, tc.secret)
+			if rr.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", rr.Code, tc.wantStatus, rr.Body.String())
+			}
+			if tc.wantClient != "" && gotClient != tc.wantClient {
+				t.Fatalf("client = %q, want %q", gotClient, tc.wantClient)
+			}
+			if tc.wantErrCode != "" {
+				var env struct {
+					Error struct {
+						Code string `json:"code"`
+					} `json:"error"`
+				}
+				if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil || env.Error.Code != tc.wantErrCode {
+					t.Fatalf("error code = %q (err %v), want %q", env.Error.Code, err, tc.wantErrCode)
+				}
+			}
+		})
+	}
+}
+
+func TestMiddlewareRateLimit(t *testing.T) {
+	c := newTestController(t)
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	}))
+	// The "tight" client overrides to rps=1/burst=1: the first submit
+	// passes, the second gets 429 with Retry-After.
+	if rr := do(h, "POST", "/v1/jobs", "tight-token", ""); rr.Code != http.StatusCreated {
+		t.Fatalf("first submit = %d", rr.Code)
+	}
+	rr := do(h, "POST", "/v1/jobs", "tight-token", "")
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second submit = %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+	var env struct {
+		Error struct {
+			Code              string  `json:"code"`
+			RetryAfterSeconds float64 `json:"retry_after_seconds"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	if env.Error.Code != "rate_limited" || env.Error.RetryAfterSeconds <= 0 {
+		t.Fatalf("envelope = %+v", env.Error)
+	}
+	// Reads are never rate limited.
+	for i := 0; i < 5; i++ {
+		if rr := do(h, "GET", "/v1/jobs", "bob-token", ""); rr.Code != http.StatusCreated {
+			t.Fatalf("read %d = %d", i, rr.Code)
+		}
+	}
+}
+
+func TestMiddlewareDisabledAuthPassesAnonymous(t *testing.T) {
+	c := New(Options{}) // nothing armed
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, ClientFrom(r.Context()))
+	}))
+	rr := do(h, "POST", "/v1/jobs", "", "")
+	if rr.Code != http.StatusOK || rr.Body.String() != AnonymousClient {
+		t.Fatalf("anonymous submit = %d %q", rr.Code, rr.Body.String())
+	}
+	// Internal routes stay open without a secret.
+	if rr := do(h, "POST", "/internal/v1/execute", "", ""); rr.Code != http.StatusOK {
+		t.Fatalf("internal without secret = %d, want 200 when no secret configured", rr.Code)
+	}
+}
+
+func TestMiddlewareBodyCap(t *testing.T) {
+	c := New(Options{Caps: Caps{MaxBodyBytes: 16}})
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var v map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				WriteEnvelope(w, http.StatusRequestEntityTooLarge, "request_too_large", err.Error(), 0)
+				return
+			}
+			WriteEnvelope(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(`{"function": "`+strings.Repeat("x", 64)+`"}`))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", rr.Code)
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	c := New(Options{Caps: Caps{MaxRuntime: 10 * time.Second}})
+	if _, err := c.CheckDeadline(11); err == nil {
+		t.Fatalf("deadline above max accepted")
+	}
+	if d, err := c.CheckDeadline(0); err != nil || d != 10 {
+		t.Fatalf("defaulted deadline = %v, %v; want 10", d, err)
+	}
+	if d, err := c.CheckDeadline(3); err != nil || d != 3 {
+		t.Fatalf("explicit deadline = %v, %v; want 3", d, err)
+	}
+	unbounded := New(Options{})
+	if d, err := unbounded.CheckDeadline(123); err != nil || d != 123 {
+		t.Fatalf("unbounded deadline = %v, %v", d, err)
+	}
+}

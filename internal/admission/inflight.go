@@ -1,0 +1,54 @@
+package admission
+
+import (
+	"sync"
+
+	"github.com/reds-go/reds/internal/telemetry"
+)
+
+// inflightTable counts jobs per client that were submitted but have not
+// reached a terminal state, mirrored into the per-client gauge. The
+// release closure is idempotent: the engine calls it from its terminal
+// hook, and double-frees must not underflow another client's budget.
+type inflightTable struct {
+	mu    sync.Mutex
+	count map[string]int
+	gauge *telemetry.GaugeVec
+}
+
+func newInflightTable(gauge *telemetry.GaugeVec) *inflightTable {
+	return &inflightTable{count: make(map[string]int), gauge: gauge}
+}
+
+// acquire reserves a slot when the client is under limit (0 = no
+// limit). The returned release is safe to call more than once.
+func (t *inflightTable) acquire(client string, limit int) (ok bool, release func()) {
+	t.mu.Lock()
+	if limit > 0 && t.count[client] >= limit {
+		t.mu.Unlock()
+		return false, nil
+	}
+	t.count[client]++
+	t.gauge.With(client).Set(float64(t.count[client]))
+	t.mu.Unlock()
+
+	var once sync.Once
+	return true, func() {
+		once.Do(func() {
+			t.mu.Lock()
+			if t.count[client] > 0 {
+				t.count[client]--
+			}
+			t.gauge.With(client).Set(float64(t.count[client]))
+			t.mu.Unlock()
+		})
+	}
+}
+
+// InFlight returns the client's current in-flight count (test and
+// introspection helper).
+func (c *Controller) InFlight(client string) int {
+	c.inflight.mu.Lock()
+	defer c.inflight.mu.Unlock()
+	return c.inflight.count[client]
+}

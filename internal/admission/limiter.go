@@ -1,0 +1,59 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-client token-bucket rate limiter. Each client's
+// bucket holds up to burst tokens and refills at rps tokens per second;
+// one admission costs one token. The rate parameters are passed per
+// call (not stored per bucket) so per-client overrides and hot-reloaded
+// defaults take effect immediately.
+type Limiter struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns an empty limiter.
+func NewLimiter() *Limiter {
+	return &Limiter{now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// Allow takes one token from the client's bucket. When the bucket is
+// empty it reports ok=false and how long until the next token refills —
+// the Retry-After hint.
+func (l *Limiter) Allow(client string, rps float64, burst int) (ok bool, retryAfter time.Duration) {
+	if rps <= 0 {
+		return true, 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: float64(burst), last: now}
+		l.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rps
+	b.last = now
+	// A lowered burst (hot reload) clips an over-full bucket here.
+	if max := float64(burst); b.tokens > max {
+		b.tokens = max
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / rps
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,173 @@
+package admission
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Roles a token can carry. submit covers POST /v1/jobs and DELETE
+// /v1/jobs/{id}; read covers every other /v1 route; admin covers the
+// gateway's worker-admin API (/internal/v1/workers).
+const (
+	RoleSubmit = "submit"
+	RoleRead   = "read"
+	RoleAdmin  = "admin"
+)
+
+func allRoles() map[string]bool {
+	return map[string]bool{RoleSubmit: true, RoleRead: true, RoleAdmin: true}
+}
+
+// Identity is what a bearer token resolves to: a client ID, its roles,
+// and optional per-client quota overrides (0 = use the server default).
+type Identity struct {
+	Client      string
+	Roles       map[string]bool
+	RPS         float64
+	Burst       int
+	MaxInFlight int
+}
+
+// tokenFile is the on-disk format of -auth.tokens:
+//
+//	{"tokens": [
+//	  {"token": "s3cr3t", "client": "alice", "roles": ["submit", "read"],
+//	   "rps": 2, "burst": 4, "max_inflight": 2},
+//	  {"token": "0p5", "client": "ops", "roles": ["admin", "read"]}
+//	]}
+//
+// Tokens are opaque strings; rps/burst/max_inflight override the
+// server-wide -quota.* defaults for that client.
+type tokenFile struct {
+	Tokens []tokenEntry `json:"tokens"`
+}
+
+type tokenEntry struct {
+	Token       string   `json:"token"`
+	Client      string   `json:"client"`
+	Roles       []string `json:"roles"`
+	RPS         float64  `json:"rps,omitempty"`
+	Burst       int      `json:"burst,omitempty"`
+	MaxInFlight int      `json:"max_inflight,omitempty"`
+}
+
+// TokenStore maps bearer tokens to client identities, loaded from a
+// JSON file and hot-reloadable (both binaries re-read it on SIGHUP).
+// Lookups take a read lock only; Reload swaps the whole table or — on
+// any error — keeps the previous one, so a bad edit never locks every
+// client out.
+type TokenStore struct {
+	path string
+
+	mu       sync.RWMutex
+	byToken  map[string]Identity
+	byClient map[string]Identity
+}
+
+// LoadTokens reads and validates a token file.
+func LoadTokens(path string) (*TokenStore, error) {
+	s := &TokenStore{path: path}
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reload re-reads the token file. On error the store keeps serving the
+// previously loaded table.
+func (s *TokenStore) Reload() error {
+	byToken, byClient, err := parseTokenFile(s.path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.byToken = byToken
+	s.byClient = byClient
+	s.mu.Unlock()
+	return nil
+}
+
+func parseTokenFile(path string) (map[string]Identity, map[string]Identity, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("admission: reading token file: %w", err)
+	}
+	var tf tokenFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return nil, nil, fmt.Errorf("admission: parsing token file %s: %w", path, err)
+	}
+	if len(tf.Tokens) == 0 {
+		return nil, nil, fmt.Errorf("admission: token file %s has no tokens", path)
+	}
+	byToken := make(map[string]Identity, len(tf.Tokens))
+	byClient := make(map[string]Identity, len(tf.Tokens))
+	for i, e := range tf.Tokens {
+		if e.Token == "" {
+			return nil, nil, fmt.Errorf("admission: token file %s: entry %d has an empty token", path, i)
+		}
+		if e.Client == "" {
+			return nil, nil, fmt.Errorf("admission: token file %s: entry %d has an empty client", path, i)
+		}
+		if e.Client == InternalClient {
+			return nil, nil, fmt.Errorf("admission: token file %s: client name %q is reserved", path, InternalClient)
+		}
+		if _, dup := byToken[e.Token]; dup {
+			return nil, nil, fmt.Errorf("admission: token file %s: duplicate token (entry %d)", path, i)
+		}
+		if e.RPS < 0 || e.Burst < 0 || e.MaxInFlight < 0 {
+			return nil, nil, fmt.Errorf("admission: token file %s: entry %d has a negative quota", path, i)
+		}
+		roles := make(map[string]bool, len(e.Roles))
+		for _, role := range e.Roles {
+			switch role {
+			case RoleSubmit, RoleRead, RoleAdmin:
+				roles[role] = true
+			default:
+				return nil, nil, fmt.Errorf("admission: token file %s: entry %d has unknown role %q (want submit, read or admin)", path, i, role)
+			}
+		}
+		if len(roles) == 0 {
+			return nil, nil, fmt.Errorf("admission: token file %s: entry %d has no roles", path, i)
+		}
+		id := Identity{
+			Client:      e.Client,
+			Roles:       roles,
+			RPS:         e.RPS,
+			Burst:       e.Burst,
+			MaxInFlight: e.MaxInFlight,
+		}
+		byToken[e.Token] = id
+		// Several tokens may share a client; the first entry's quota
+		// overrides win so the mapping stays deterministic.
+		if _, ok := byClient[e.Client]; !ok {
+			byClient[e.Client] = id
+		}
+	}
+	return byToken, byClient, nil
+}
+
+// Lookup resolves a bearer token to its identity.
+func (s *TokenStore) Lookup(token string) (Identity, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byToken[token]
+	return id, ok
+}
+
+// client resolves a client ID to its identity (for quota overrides
+// after the middleware has already authenticated the request).
+func (s *TokenStore) client(name string) (Identity, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byClient[name]
+	return id, ok
+}
+
+// Len returns the number of loaded tokens.
+func (s *TokenStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byToken)
+}

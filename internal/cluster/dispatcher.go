@@ -32,6 +32,11 @@ type DispatcherOptions struct {
 	// — unless Health.Metrics is set separately — the health prober's.
 	// nil gets a private registry.
 	Metrics *telemetry.Registry
+	// InternalSecret authenticates the dispatcher's RemoteExecutors to
+	// workers started with -internal.secret (sent in the
+	// X-Reds-Internal-Secret header on every internal-API call). Empty
+	// sends no header. Ignored when ExecutorFor is overridden.
+	InternalSecret string
 }
 
 // Dispatcher implements engine.Executor across a fleet of workers: each
@@ -83,10 +88,11 @@ func NewDispatcher(workers []string, opts DispatcherOptions) (*Dispatcher, error
 			"Per-attempt HTTP retries against workers (op = start|poll).", "worker", "op")
 		executorFor = func(node string) engine.Executor {
 			return &engine.RemoteExecutor{
-				BaseURL:      node,
-				Client:       client,
-				PollInterval: opts.PollInterval,
-				OnRetry:      func(op string) { retries.With(node, op).Inc() },
+				BaseURL:        node,
+				Client:         client,
+				PollInterval:   opts.PollInterval,
+				OnRetry:        func(op string) { retries.With(node, op).Inc() },
+				InternalSecret: opts.InternalSecret,
 			}
 		}
 	}

@@ -20,10 +20,16 @@ type Fetched struct {
 // FanOutJSON GETs path on every node concurrently and returns each
 // node's JSON body (or error) keyed by node. It never fails as a whole
 // — a dead worker shows up as its own error entry, which is exactly
-// what an aggregated listing wants to display.
-func FanOutJSON(ctx context.Context, client *http.Client, nodes []string, path string) map[string]Fetched {
+// what an aggregated listing wants to display. The optional headers are
+// sent on every request (the gateway passes its internal secret here so
+// secret-guarded workers admit the fan-out).
+func FanOutJSON(ctx context.Context, client *http.Client, nodes []string, path string, headers ...http.Header) map[string]Fetched {
 	if client == nil {
 		client = http.DefaultClient
+	}
+	var hdr http.Header
+	if len(headers) > 0 {
+		hdr = headers[0]
 	}
 	out := make(map[string]Fetched, len(nodes))
 	var mu sync.Mutex
@@ -32,7 +38,7 @@ func FanOutJSON(ctx context.Context, client *http.Client, nodes []string, path s
 		wg.Add(1)
 		go func(node string) {
 			defer wg.Done()
-			f := fetchJSON(ctx, client, strings.TrimRight(node, "/")+path)
+			f := fetchJSON(ctx, client, strings.TrimRight(node, "/")+path, hdr)
 			mu.Lock()
 			out[node] = f
 			mu.Unlock()
@@ -42,10 +48,15 @@ func FanOutJSON(ctx context.Context, client *http.Client, nodes []string, path s
 	return out
 }
 
-func fetchJSON(ctx context.Context, client *http.Client, url string) Fetched {
+func fetchJSON(ctx context.Context, client *http.Client, url string, hdr http.Header) Fetched {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return Fetched{Err: err.Error()}
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := client.Do(req)
 	if err != nil {

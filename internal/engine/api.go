@@ -2,10 +2,15 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
+	"github.com/reds-go/reds/internal/admission"
 	"github.com/reds-go/reds/internal/dataset"
 	"github.com/reds-go/reds/internal/funcs"
 	"github.com/reds-go/reds/internal/telemetry"
@@ -27,6 +32,9 @@ type apiJobRequest struct {
 type apiError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterSeconds hints when a throttled request (429) is worth
+	// retrying; mirrors the Retry-After header.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // Error codes used by the /v1 API (documented in docs/API.md).
@@ -34,10 +42,18 @@ const (
 	errBadRequest       = "bad_request"        // malformed JSON or invalid request fields
 	errNotFound         = "not_found"          // unknown job id or route
 	errMethodNotAllowed = "method_not_allowed" // known route, wrong HTTP method
-	errQueueFull        = "queue_full"         // submission rejected by backpressure
+	errQueueFull        = "queue_full"         // submission rejected by backpressure (429)
+	errInflightLimit    = "inflight_limit"     // client at its in-flight job cap (429)
+	errLimitExceeded    = "limit_exceeded"     // request exceeds a server resource cap (400)
+	errBodyTooLarge     = "body_too_large"     // request body over the byte limit (413)
 	errNotReady         = "not_ready"          // result requested before the job finished
 	errInternal         = "internal"           // unexpected server-side failure
 )
+
+// defaultMaxBodyBytes bounds POST /v1/jobs bodies when no admission
+// controller is configured: large enough for paper-scale inline CSVs,
+// small enough that a stray upload cannot exhaust memory.
+const defaultMaxBodyBytes = 64 << 20
 
 // FunctionInfo describes one registry entry for GET /v1/functions.
 type FunctionInfo struct {
@@ -53,6 +69,7 @@ type HandlerOption func(*handlerConfig)
 type handlerConfig struct {
 	execServer *ExecServer
 	metrics    *telemetry.Registry
+	admission  *admission.Controller
 }
 
 // WithExecutionAPI mounts the internal execution API (the worker side
@@ -65,6 +82,17 @@ func WithExecutionAPI(es *ExecServer) HandlerOption {
 // WithMetrics mounts Prometheus text exposition of reg at GET /metrics.
 func WithMetrics(reg *telemetry.Registry) HandlerOption {
 	return func(c *handlerConfig) { c.metrics = reg }
+}
+
+// WithAdmission connects the handler to an admission controller: job
+// submissions are validated against its resource caps (l, n, variant
+// grid, train_bins, deadline), charged against the submitting client's
+// in-flight budget, and stamped with the authenticated client identity
+// the controller's Middleware put on the request context. The
+// middleware itself must be mounted separately, in front of the whole
+// handler (see cmd/redsserver).
+func WithAdmission(ctrl *admission.Controller) HandlerOption {
+	return func(c *handlerConfig) { c.admission = ctrl }
 }
 
 // NewHandler returns the /v1 HTTP API over an engine:
@@ -94,10 +122,28 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 		mux.Handle("GET /metrics", cfg.metrics.Handler())
 	}
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// The authenticated client, when the admission middleware ran in
+		// front of this handler ("" otherwise).
+		client := admission.ClientFrom(r.Context())
+		if cfg.admission == nil {
+			// No admission controller: still bound the body, with the
+			// default limit (the controller's middleware wraps the body
+			// with its configured cap before the request gets here).
+			r.Body = http.MaxBytesReader(w, r.Body, defaultMaxBodyBytes)
+		}
 		var req apiJobRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				if cfg.admission != nil {
+					cfg.admission.RecordRejected(client, admission.ReasonBodyTooLarge)
+				}
+				writeError(w, http.StatusRequestEntityTooLarge, errBodyTooLarge,
+					fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, errBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
@@ -117,18 +163,52 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 		// crash recovery attach them); a client-supplied one is ignored
 		// rather than trusted to skip stages.
 		req.Checkpoint = nil
+		var onDone func()
+		if cfg.admission != nil {
+			if err := checkCaps(cfg.admission.Caps(), req.Request); err != nil {
+				cfg.admission.RecordRejected(client, admission.ReasonLimitExceeded)
+				writeError(w, http.StatusBadRequest, errLimitExceeded, err)
+				return
+			}
+			d, err := cfg.admission.CheckDeadline(req.DeadlineSeconds)
+			if err != nil {
+				cfg.admission.RecordRejected(client, admission.ReasonLimitExceeded)
+				writeError(w, http.StatusBadRequest, errLimitExceeded, err)
+				return
+			}
+			req.DeadlineSeconds = d
+			release, retryAfter := cfg.admission.AcquireJob(client)
+			if release == nil {
+				writeErrorRetry(w, http.StatusTooManyRequests, errInflightLimit,
+					fmt.Errorf("client is at its in-flight job limit; wait for a job to finish"),
+					retryAfter)
+				return
+			}
+			onDone = release
+		}
 		// The job continues the HTTP request's trace: the middleware
 		// (telemetry.Instrument) put the inbound or generated
-		// X-Request-Id on the context, and SubmitTraced carries it
-		// through the job's logs, snapshot and — over a RemoteExecutor
-		// — to the worker.
-		id, err := e.SubmitTraced(req.Request, telemetry.RequestID(r.Context()))
+		// X-Request-Id on the context, and the engine carries it through
+		// the job's logs, snapshot and — over a RemoteExecutor — to the
+		// worker. Owner stamps the snapshot's client field; OnDone frees
+		// the in-flight slot at the job's terminal transition.
+		id, err := e.SubmitWith(req.Request, SubmitOptions{
+			RequestID: telemetry.RequestID(r.Context()),
+			Owner:     client,
+			OnDone:    onDone,
+		})
 		if err != nil {
-			status, code := http.StatusBadRequest, errBadRequest
-			if strings.Contains(err.Error(), "queue full") {
-				status, code = http.StatusServiceUnavailable, errQueueFull
+			if onDone != nil {
+				onDone() // the job never enqueued; free its slot now
 			}
-			writeError(w, status, code, err)
+			if errors.Is(err, ErrQueueFull) {
+				if cfg.admission != nil {
+					cfg.admission.RecordRejected(client, admission.ReasonQueueFull)
+				}
+				writeErrorRetry(w, http.StatusTooManyRequests, errQueueFull, err, time.Second)
+				return
+			}
+			writeError(w, http.StatusBadRequest, errBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{
@@ -138,7 +218,20 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": e.Jobs()})
+		jobs := e.Jobs()
+		// ?client= narrows the listing to one submitter (the value the
+		// admission middleware authenticated, echoed as each snapshot's
+		// client field).
+		if owner := r.URL.Query().Get("client"); owner != "" {
+			filtered := make([]Snapshot, 0, len(jobs))
+			for _, s := range jobs {
+				if s.Client == owner {
+					filtered = append(filtered, s)
+				}
+			}
+			jobs = filtered
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := e.Job(JobID(r.PathValue("id")))
@@ -309,6 +402,32 @@ func stripRulesets(res *Result) *Result {
 	return &out
 }
 
+// checkCaps validates a request against the server's resource ceilings.
+// The effective (defaulted) values are compared, so omitting a field
+// does not bypass its cap.
+func checkCaps(caps admission.Caps, req Request) error {
+	if caps.MaxL > 0 && req.effectiveL() > caps.MaxL {
+		return fmt.Errorf("l %d exceeds the server cap of %d", req.effectiveL(), caps.MaxL)
+	}
+	if caps.MaxN > 0 {
+		if req.Function != "" && req.effectiveN() > caps.MaxN {
+			return fmt.Errorf("n %d exceeds the server cap of %d", req.effectiveN(), caps.MaxN)
+		}
+		if req.Dataset != nil && req.Dataset.N() > caps.MaxN {
+			return fmt.Errorf("inline dataset has %d rows, over the server cap of %d", req.Dataset.N(), caps.MaxN)
+		}
+	}
+	if caps.MaxVariants > 0 {
+		if n := len(buildVariants(req)); n > caps.MaxVariants {
+			return fmt.Errorf("metamodels × sd grid has %d variants, over the server cap of %d", n, caps.MaxVariants)
+		}
+	}
+	if caps.MaxTrainBins > 0 && req.TrainBins > caps.MaxTrainBins {
+		return fmt.Errorf("train_bins %d exceeds the server cap of %d", req.TrainBins, caps.MaxTrainBins)
+	}
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -319,6 +438,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, map[string]any{"error": apiError{Code: code, Message: err.Error()}})
+}
+
+// writeErrorRetry is writeError for throttled requests: it sets the
+// Retry-After header (integral seconds, rounded up, min 1) and mirrors
+// the hint in the envelope's retry_after_seconds field.
+func writeErrorRetry(w http.ResponseWriter, status int, code string, err error, retryAfter time.Duration) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, map[string]any{"error": apiError{
+		Code:              code,
+		Message:           err.Error(),
+		RetryAfterSeconds: retryAfter.Seconds(),
+	}})
 }
 
 // jsonErrors converts the plain-text 404/405 responses of the standard

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"time"
 
 	"github.com/reds-go/reds/internal/dataset"
 )
@@ -49,6 +50,11 @@ type Checkpoint struct {
 	// not fit the budget keep only their keys — a warm worker still
 	// hits its caches, a cold one recomputes.
 	Labeled map[string]*dataset.Dataset `json:"labeled,omitempty"`
+	// ElapsedSeconds accumulates the wall-clock time every execution of
+	// the job has spent so far. A resumed execution subtracts it from
+	// the request's deadline budget, so a job deadline bounds the job —
+	// not each failover attempt separately.
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
 }
 
 // checkpointRecorder accumulates one execution's reusable work and
@@ -73,6 +79,10 @@ type checkpointRecorder struct {
 	// a different key — different seed, sampler, L — the stale dataset
 	// is simply not found and the stage recomputes.
 	inbound map[string]*dataset.Dataset
+	// start anchors this execution's contribution to ElapsedSeconds;
+	// baseElapsed carries what earlier executions already spent.
+	start       time.Time
+	baseElapsed float64
 }
 
 // newCheckpointRecorder seeds a recorder for one execution. cp is the
@@ -87,11 +97,13 @@ func newCheckpointRecorder(cp *Checkpoint, datasetHash string, budget int64, sin
 		labelKeys:   make(map[string]string),
 		labeled:     make(map[string]*dataset.Dataset),
 		inbound:     make(map[string]*dataset.Dataset),
+		start:       time.Now(),
 	}
 	if cp == nil {
 		return r
 	}
 	r.seq = cp.Seq
+	r.baseElapsed = cp.ElapsedSeconds
 	r.variants = append(r.variants, cp.Variants...)
 	for fam, k := range cp.ModelKeys {
 		r.modelKeys[fam] = k
@@ -157,11 +169,12 @@ func (r *checkpointRecorder) variantDone(vr VariantResult) {
 func (r *checkpointRecorder) snapshotLocked() *Checkpoint {
 	r.seq++
 	cp := &Checkpoint{
-		Seq:         r.seq,
-		DatasetHash: r.datasetHash,
-		Variants:    append([]VariantResult(nil), r.variants...),
-		ModelKeys:   make(map[string]string, len(r.modelKeys)),
-		LabelKeys:   make(map[string]string, len(r.labelKeys)),
+		Seq:            r.seq,
+		DatasetHash:    r.datasetHash,
+		Variants:       append([]VariantResult(nil), r.variants...),
+		ModelKeys:      make(map[string]string, len(r.modelKeys)),
+		LabelKeys:      make(map[string]string, len(r.labelKeys)),
+		ElapsedSeconds: r.baseElapsed + time.Since(r.start).Seconds(),
 	}
 	for fam, k := range r.modelKeys {
 		cp.ModelKeys[fam] = k

@@ -158,6 +158,28 @@ type Engine struct {
 // mark as a JSON number.
 const nextIDMetaKey = "next_id"
 
+// ErrQueueFull is the sentinel Submit wraps when the engine's bounded
+// queue rejects a job. The API layer maps it to 429 Too Many Requests
+// with a Retry-After hint.
+var ErrQueueFull = errors.New("queue full")
+
+// SubmitOptions carry submission metadata that is not part of the
+// request payload.
+type SubmitOptions struct {
+	// RequestID continues the caller's trace (see SubmitTraced). Empty
+	// gets a fresh id at execution start.
+	RequestID string
+	// Owner is the authenticated client submitting the job. It is
+	// persisted with the job record and surfaces as Snapshot.Client.
+	Owner string
+	// OnDone fires exactly once when the job reaches a terminal state
+	// (done, failed or canceled) — admission control releases the
+	// owner's in-flight slot here. Not invoked for jobs that never
+	// enqueue (Submit returned an error) and not persisted: after a
+	// restart recovered jobs carry no hook.
+	OnDone func()
+}
+
 // New starts an engine with its worker pool. If the configured store
 // holds jobs from a previous process they are recovered first: terminal
 // jobs become visible again (results load lazily from the store),
@@ -255,6 +277,7 @@ func (e *Engine) recover(recs []store.Record) ([]*job, error) {
 		j := &job{
 			id:          JobID(rec.ID),
 			status:      Status(rec.Status),
+			owner:       rec.Owner,
 			reqJSON:     rec.Request,
 			submittedAt: rec.SubmittedAt,
 			startedAt:   rec.StartedAt,
@@ -527,6 +550,7 @@ func (e *Engine) execute(j *job) {
 	done := j.status == StatusDone
 	status := j.status
 	j.mu.Unlock()
+	j.fireDone()
 	e.running.Add(-1)
 	e.mFinished.With(string(status)).Inc()
 	e.mJobDuration.Observe(duration.Seconds())
@@ -582,6 +606,12 @@ func (e *Engine) Submit(req Request) (JobID, error) {
 // grep correlates a request across gateway and worker processes. An
 // empty id gets a fresh one at execution start.
 func (e *Engine) SubmitTraced(req Request, requestID string) (JobID, error) {
+	return e.SubmitWith(req, SubmitOptions{RequestID: requestID})
+}
+
+// SubmitWith is Submit with full submission metadata: trace id, owning
+// client and a terminal hook. See SubmitOptions.
+func (e *Engine) SubmitWith(req Request, opts SubmitOptions) (JobID, error) {
 	if err := req.Validate(); err != nil {
 		return "", err
 	}
@@ -599,7 +629,7 @@ func (e *Engine) SubmitTraced(req Request, requestID string) (JobID, error) {
 	// conservative (the authoritative one is the enqueue below).
 	if len(e.queue) == cap(e.queue) {
 		e.mu.Unlock()
-		return "", fmt.Errorf("engine: queue full (%d pending jobs)", e.opts.QueueSize)
+		return "", fmt.Errorf("engine: %w (%d pending jobs)", ErrQueueFull, e.opts.QueueSize)
 	}
 	e.nextID++
 	id := JobID(fmt.Sprintf("job-%06d", e.nextID))
@@ -614,7 +644,9 @@ func (e *Engine) SubmitTraced(req Request, requestID string) (JobID, error) {
 		cancel:      cancel,
 		status:      StatusPending,
 		submittedAt: time.Now(),
-		requestID:   requestID,
+		requestID:   opts.RequestID,
+		owner:       opts.Owner,
+		onDone:      opts.OnDone,
 	}
 	// Persist outside e.mu — an fsync (or a snapshot compaction) must
 	// not stall every concurrent status poll — but before enqueueing, so
@@ -639,13 +671,14 @@ func (e *Engine) SubmitTraced(req Request, requestID string) (JobID, error) {
 	select {
 	case e.queue <- j:
 	default:
-		return reject(fmt.Errorf("engine: queue full (%d pending jobs)", e.opts.QueueSize))
+		return reject(fmt.Errorf("engine: %w (%d pending jobs)", ErrQueueFull, e.opts.QueueSize))
 	}
 	e.jobs[id] = j
 	e.order = append(e.order, id)
 	e.mu.Unlock()
 	e.mSubmitted.Inc()
-	e.log.Debug("job submitted", "job_id", string(id), "request_id", requestID)
+	e.log.Debug("job submitted", "job_id", string(id), "request_id", opts.RequestID,
+		"client", opts.Owner)
 	return id, nil
 }
 
@@ -747,7 +780,11 @@ func (e *Engine) Cancel(id JobID) bool {
 	}
 	j.mu.Unlock()
 	if persist {
+		// Canceled while still queued: this is the job's terminal
+		// transition, so the in-flight slot frees here (a running job's
+		// frees when the worker observes the cancellation).
 		e.persist(rec)
+		j.fireDone()
 	}
 	j.cancel()
 	return !terminal

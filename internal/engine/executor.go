@@ -100,6 +100,13 @@ type Executor interface {
 // a verdict about the request and must not be retried elsewhere.
 var ErrUnavailable = errors.New("worker unavailable")
 
+// ErrDeadlineExceeded marks executions that ran out of their request's
+// wall-clock budget (Request.DeadlineSeconds). It is deliberately NOT
+// ErrUnavailable: the job itself timed out, so a dispatcher must fail
+// it rather than re-route it to burn another worker's time. The engine
+// records such jobs as failed (not canceled) with the deadline reason.
+var ErrDeadlineExceeded = errors.New("job deadline exceeded")
+
 // ShardKey returns the consistent-hash routing key of the request: the
 // SHA-256 content hash of the training data the request will run on.
 // Requests over the same data map to the same key — and therefore to

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -29,9 +30,17 @@ import (
 //	GET    /internal/v1/execute/{id}/checkpoint  newest resumable checkpoint
 //	DELETE /internal/v1/execute/{id}             cancel and/or release the execution
 //
-// The API shares redsserver's listener; it is "internal" in the sense
-// that only gateways should call it (like /v1 it has no auth yet — see
-// the ROADMAP's AuthN/Z item).
+// The API shares redsserver's listener. When the worker is started with
+// -internal.secret, the admission middleware in front of the handler
+// requires every internal call to carry the shared secret in the
+// X-Reds-Internal-Secret header (see internal/admission), so only the
+// gateway holding the secret can start executions.
+
+// maxExecBodyBytes bounds /internal/v1/execute payloads. Larger than
+// the public submit cap: a dispatched request carries the inline
+// dataset plus — on failover — a checkpoint inlining up to the
+// executor's labeled-dataset byte budget (32 MiB by default).
+const maxExecBodyBytes = 256 << 20
 
 // execStatusResponse is the wire form of one execution's state, shared
 // by the server (ExecServer) and the client (RemoteExecutor).
@@ -224,10 +233,20 @@ func (s *ExecServer) handleStart(w http.ResponseWriter, r *http.Request) {
 	if faultinject.Once("exec.start.drop") {
 		panic(http.ErrAbortHandler) // drop the connection without a response
 	}
+	// Bound the body like the public submit route, but with headroom for
+	// infrastructure payloads: a forwarded request can carry an inline
+	// dataset plus a checkpoint with inlined labeled datasets.
+	r.Body = http.MaxBytesReader(w, r.Body, maxExecBodyBytes)
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, errBodyTooLarge,
+				fmt.Errorf("execution payload exceeds the %d-byte limit", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, errBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}

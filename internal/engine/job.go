@@ -141,6 +141,13 @@ type Request struct {
 	// variant; below it the family falls back to exact training. 0 keeps
 	// the executor default (0.55).
 	TrainQuality float64 `json:"train_quality,omitempty"`
+	// DeadlineSeconds bounds the job's wall-clock execution time: a job
+	// still running this long after execution starts fails with a
+	// deadline reason. 0 means no deadline (or the server's
+	// -job.max-runtime default when admission control is configured).
+	// The budget is checkpoint-aware: a resumed job inherits what its
+	// earlier executions already spent (Checkpoint.ElapsedSeconds).
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 	// Checkpoint resumes the request from a partially executed state:
 	// the executor reuses the finished variants and skips the stages the
 	// snapshot proves complete. It is set by the infrastructure — the
@@ -222,6 +229,9 @@ func (r *Request) Validate() error {
 	}
 	if r.TrainQuality < 0 || r.TrainQuality > 1 || math.IsNaN(r.TrainQuality) {
 		return fmt.Errorf("engine: train_quality %v out of [0,1]", r.TrainQuality)
+	}
+	if r.DeadlineSeconds < 0 || math.IsNaN(r.DeadlineSeconds) || math.IsInf(r.DeadlineSeconds, 0) {
+		return fmt.Errorf("engine: deadline_seconds %v must be a non-negative finite number", r.DeadlineSeconds)
 	}
 	return nil
 }
@@ -339,6 +349,10 @@ type Snapshot struct {
 	Timings []StageTiming `json:"timings,omitempty"`
 	// Error is the failure reason of a failed job.
 	Error string `json:"error,omitempty"`
+	// Client is the authenticated client that submitted the job (empty
+	// when admission control is disabled). GET /v1/jobs?client= filters
+	// on it.
+	Client string `json:"client,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -357,8 +371,18 @@ type job struct {
 	// Snapshot.RequestID). Not persisted: a recovered job starts a new
 	// trace if it runs again.
 	requestID string
-	ctx       context.Context
-	cancel    context.CancelFunc
+	// owner is the authenticated client that submitted the job, persisted
+	// so listings can be filtered per client across restarts.
+	owner string
+	// onDone fires exactly once when the job reaches a terminal state
+	// (admission control releases the submitter's in-flight slot here).
+	// Not persisted: the accounting is process-local.
+	onDone func()
+	// onDoneOnce guarantees the exactly-once firing across the racy
+	// cancel-while-dequeuing paths.
+	onDoneOnce sync.Once
+	ctx        context.Context
+	cancel     context.CancelFunc
 
 	mu     sync.Mutex
 	status Status
@@ -387,6 +411,7 @@ func (j *job) snapshot() Snapshot {
 		VariantsDone:  j.progress.VariantsDone,
 		VariantsTotal: j.progress.VariantsTotal,
 		RequestID:     j.requestID,
+		Client:        j.owner,
 		SubmittedAt:   j.submittedAt,
 	}
 	// The trace starts with the orchestration layer's own span — how
@@ -427,6 +452,7 @@ func (j *job) recordLocked() store.Record {
 	rec := store.Record{
 		ID:          string(j.id),
 		Status:      string(j.status),
+		Owner:       j.owner,
 		SubmittedAt: j.submittedAt,
 		StartedAt:   j.startedAt,
 		FinishedAt:  j.finishedAt,
@@ -455,4 +481,15 @@ func (j *job) setProgress(p Progress) {
 	j.mu.Lock()
 	j.progress = p
 	j.mu.Unlock()
+}
+
+// fireDone runs the job's terminal hook at most once. Callers invoke it
+// after every transition into a terminal state; the sync.Once absorbs
+// the duplicate paths (cancel-while-pending followed by the worker
+// observing the canceled job).
+func (j *job) fireDone() {
+	if j.onDone == nil {
+		return
+	}
+	j.onDoneOnce.Do(j.onDone)
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+package engine
+
+// raceDetectorSlowdown scales wall-clock assertion windows in tests that
+// pin real-time behavior (e.g. "a deadline'd job settles within 5s"). The
+// race detector multiplies execution cost by roughly 5-10x, so timing
+// acceptance tests keep their tight window in normal builds and widen it
+// only under -race.
+const raceDetectorSlowdown = 1

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// See race_off_test.go: the race detector slows execution ~5-10x, so
+// wall-clock assertion windows widen accordingly.
+const raceDetectorSlowdown = 5

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/reds-go/reds/internal/admission"
 	"github.com/reds-go/reds/internal/telemetry"
 )
 
@@ -55,6 +56,19 @@ type RemoteExecutor struct {
 	// operation name ("start", "poll"). The dispatcher wires it to the
 	// reds_cluster_retry_attempts_total counter.
 	OnRetry func(op string)
+	// InternalSecret is sent on every internal-API request in the
+	// X-Reds-Internal-Secret header. Must match the worker's
+	// -internal.secret; empty sends no header (open single-tenant
+	// deployments).
+	InternalSecret string
+}
+
+// setAuth attaches the shared internal secret to an internal-API
+// request (no-op when none is configured).
+func (r *RemoteExecutor) setAuth(hreq *http.Request) {
+	if r.InternalSecret != "" {
+		hreq.Header.Set(admission.InternalSecretHeader, r.InternalSecret)
+	}
 }
 
 func (r *RemoteExecutor) client() *http.Client {
@@ -221,6 +235,7 @@ func (r *RemoteExecutor) start(ctx context.Context, body []byte) (string, error)
 			return false, fmt.Errorf("engine: building remote request: %w", err)
 		}
 		hreq.Header.Set("Content-Type", "application/json")
+		r.setAuth(hreq)
 		if rid := telemetry.RequestID(ctx); rid != "" {
 			// Continue the caller's trace on the worker: its execution log
 			// lines and span records carry the same id as ours.
@@ -236,6 +251,12 @@ func (r *RemoteExecutor) start(ctx context.Context, body []byte) (string, error)
 			// A verdict about the request: retrying (here or elsewhere)
 			// cannot change it.
 			return false, fmt.Errorf("engine: worker %s rejected the request: %s", r.BaseURL, readAPIError(resp.Body))
+		case resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden:
+			// A secret mismatch is a deployment misconfiguration, not a
+			// worker outage: deliberately NOT ErrUnavailable, so the job
+			// fails loudly instead of burning the failover chain on every
+			// equally misconfigured worker.
+			return false, fmt.Errorf("engine: worker %s refused the internal secret (%s): check -internal.secret on both sides", r.BaseURL, resp.Status)
 		case resp.StatusCode >= 500:
 			return true, fmt.Errorf("engine: worker %s returned %s: %w", r.BaseURL, resp.Status, ErrUnavailable)
 		case resp.StatusCode != http.StatusAccepted:
@@ -263,6 +284,7 @@ func (r *RemoteExecutor) poll(ctx context.Context, id string) (*execStatusRespon
 		if err != nil {
 			return false, fmt.Errorf("engine: building poll request: %w", err)
 		}
+		r.setAuth(hreq)
 		resp, err := r.client().Do(hreq)
 		if err != nil {
 			return true, fmt.Errorf("engine: polling %s on %s: %v: %w", id, r.BaseURL, err, ErrUnavailable)
@@ -299,6 +321,7 @@ func (r *RemoteExecutor) fetchCheckpoint(ctx context.Context, id string) (*Check
 	if err != nil {
 		return nil, err
 	}
+	r.setAuth(hreq)
 	resp, err := r.client().Do(hreq)
 	if err != nil {
 		return nil, err
@@ -325,6 +348,7 @@ func (r *RemoteExecutor) release(id string) {
 	if err != nil {
 		return
 	}
+	r.setAuth(hreq)
 	if resp, err := r.client().Do(hreq); err == nil {
 		drainClose(resp.Body)
 	}

@@ -140,9 +140,41 @@ func buildVariants(req Request) []variantSpec {
 	return out
 }
 
-// Execute implements Executor: resolve the training data, fan the
-// variant grid out as concurrent sub-tasks, rank the outcomes.
+// Execute implements Executor: apply the request's wall-clock deadline
+// (if any), then run the pipeline. The deadline budget is checkpoint-
+// aware — a resumed execution inherits what earlier executions already
+// spent (Checkpoint.ElapsedSeconds) — and a trip is reported as
+// ErrDeadlineExceeded, distinct from both caller cancellation (the
+// parent context ending) and worker unavailability (ErrUnavailable), so
+// the engine fails the job instead of re-routing or "canceling" it.
 func (x *LocalExecutor) Execute(ctx context.Context, req Request, onProgress func(Progress)) (*Result, error) {
+	if req.DeadlineSeconds <= 0 {
+		return x.execute(ctx, req, onProgress)
+	}
+	budget := req.DeadlineSeconds
+	spent := 0.0
+	if cp := req.Checkpoint; cp != nil {
+		spent = cp.ElapsedSeconds
+	}
+	if budget-spent <= 0 {
+		return nil, fmt.Errorf("engine: %w: earlier executions already spent %.1fs of the %gs budget",
+			ErrDeadlineExceeded, spent, budget)
+	}
+	dctx, cancel := context.WithTimeout(ctx, time.Duration((budget-spent)*float64(time.Second)))
+	defer cancel()
+	res, err := x.execute(dctx, req, onProgress)
+	if err != nil && dctx.Err() != nil && ctx.Err() == nil {
+		// The budget ran out (the parent is still alive, so this is not a
+		// cancel or shutdown): surface the deadline as the job's failure.
+		return nil, fmt.Errorf("engine: %w after %gs (deadline_seconds=%g, %.1fs spent before this execution)",
+			ErrDeadlineExceeded, budget-spent, budget, spent)
+	}
+	return res, err
+}
+
+// execute resolves the training data, fans the variant grid out as
+// concurrent sub-tasks, and ranks the outcomes.
+func (x *LocalExecutor) execute(ctx context.Context, req Request, onProgress func(Progress)) (*Result, error) {
 	sink := newProgressSink(onProgress)
 	start := time.Now()
 	seed := req.effectiveSeed()

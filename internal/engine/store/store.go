@@ -32,6 +32,10 @@ import (
 type Record struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
+	// Owner is the authenticated client that submitted the job ("" when
+	// admission control is off), persisted so per-client job listings
+	// survive restarts.
+	Owner string `json:"owner,omitempty"`
 	// Error is the failure reason of a failed job.
 	Error string `json:"error,omitempty"`
 	// SubmittedAt orders List output. StartedAt and FinishedAt are zero

@@ -15,6 +15,12 @@
 //   - the dead worker is deregistered and a replacement re-registered,
 //     after which the fleet runs a full batch of jobs to completion.
 //
+// The whole fleet runs with admission enabled — bearer tokens, per-client
+// quotas and the internal shared secret — so every chaos scenario above
+// also proves the failover/checkpoint machinery works through the
+// authenticated paths (the worker-admin calls authenticate with the
+// token's admin role; dispatches carry the secret).
+//
 // Run it from the repository root:
 //
 //	go run ./scripts/chaos-smoke
@@ -43,6 +49,14 @@ const (
 	worker2Addr = "127.0.0.1:19081"
 	worker3Addr = "127.0.0.1:19082"
 	gatewayAddr = "127.0.0.1:19090"
+
+	// Admission config for the fleet: one token with submit+read+admin
+	// (the script drives the worker-admin API too) and a shared internal
+	// secret. The quota is generous — this smoke stresses fault paths,
+	// not throttling (cluster-smoke owns the 429 assertions).
+	internalSecret = "chaos-hush"
+	chaosToken     = "chaos-token"
+	tokenFileJSON  = `{"tokens":[{"token":"` + chaosToken + `","client":"chaos","roles":["submit","read","admin"]}]}`
 )
 
 var (
@@ -82,8 +96,14 @@ func run() error {
 	}
 	defer os.RemoveAll(stores)
 
+	tokenFile := filepath.Join(stores, "tokens.json")
+	if err := os.WriteFile(tokenFile, []byte(tokenFileJSON), 0o600); err != nil {
+		return fmt.Errorf("writing token file: %w", err)
+	}
+
 	worker := func(addr, storeDir, faults string) *exec.Cmd {
-		args := []string{"-addr", addr, "-workers", "2", "-store.dir", filepath.Join(stores, storeDir)}
+		args := []string{"-addr", addr, "-workers", "2", "-store.dir", filepath.Join(stores, storeDir),
+			"-auth.tokens", tokenFile, "-internal.secret", internalSecret}
 		if faults != "" {
 			args = append(args, "-faults", faults)
 		}
@@ -105,7 +125,9 @@ func run() error {
 	gw := exec.Command(filepath.Join(bin, "redsgateway"), "-addr", gatewayAddr,
 		"-workers", worker1URL+","+worker2URL,
 		"-health.interval", "500ms", "-poll.interval", "50ms",
-		"-store.dir", filepath.Join(stores, "gw"))
+		"-store.dir", filepath.Join(stores, "gw"),
+		"-auth.tokens", tokenFile, "-internal.secret", internalSecret,
+		"-quota.rps", "50", "-quota.burst", "50")
 	gw.Stdout, gw.Stderr = os.Stderr, os.Stderr
 
 	procs := []*exec.Cmd{w1, w2, w3, gw}
@@ -306,7 +328,8 @@ func checkChaosTrace(id string) error {
 	return nil
 }
 
-// adminWorker drives the gateway's worker-admin API.
+// adminWorker drives the gateway's worker-admin API, authenticating
+// with the chaos token's admin role.
 func adminWorker(method, workerURL string) error {
 	body, _ := json.Marshal(map[string]string{"url": workerURL})
 	req, err := http.NewRequest(method, gatewayURL+"/internal/v1/workers", bytes.NewReader(body))
@@ -314,6 +337,7 @@ func adminWorker(method, workerURL string) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+chaosToken)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
@@ -445,6 +469,7 @@ func submit(body, requestID string) (string, error) {
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+chaosToken)
 	if requestID != "" {
 		req.Header.Set("X-Request-Id", requestID)
 	}
@@ -489,8 +514,15 @@ func waitDone(id string, timeout time.Duration) error {
 	}
 }
 
+// getJSON GETs url as the chaos client (open endpoints ignore the
+// token; authenticated ones need its read role).
 func getJSON(url string, v any) error {
-	resp, err := http.Get(url)
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+chaosToken)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}

@@ -8,10 +8,14 @@
 //     counters are non-zero — consistent hashing spread the keys),
 //   - the gateway's aggregated healthz sees both workers alive,
 //   - a caller-supplied X-Request-Id is echoed on the job snapshot and
-//     the job carries a per-stage trace (queue_wait + worker spans), and
+//     the job carries a per-stage trace (queue_wait + worker spans),
 //   - all three processes serve a parseable /metrics exposition whose
 //     every family follows the reds_<subsystem>_<name>_<unit>
-//     convention and whose core series reflect the traffic just sent.
+//     convention and whose core series reflect the traffic just sent, and
+//   - admission control holds: the whole fleet runs with -auth.tokens
+//     and -internal.secret, tokenless and bad-token requests get 401, a
+//     rate-limited client's burst draws a real 429 with Retry-After, and
+//     the reds_admission_* counters reflect those verdicts.
 //
 // Run it from the repository root:
 //
@@ -40,6 +44,18 @@ const (
 	worker2Addr = "127.0.0.1:18081"
 	gatewayAddr = "127.0.0.1:18090"
 	jobCount    = 6
+
+	// The fleet's shared internal secret and the smoke's bearer tokens:
+	// "smoke" is the unthrottled submitter the main flow uses; "burst"
+	// carries a tight per-token quota (rps=1, burst=2) so the overload
+	// check can draw a genuine 429.
+	internalSecret = "smoke-hush"
+	smokeToken     = "smoke-token"
+	burstToken     = "burst-token"
+	tokenFileJSON  = `{"tokens":[
+		{"token":"` + smokeToken + `","client":"smoke","roles":["submit","read"]},
+		{"token":"` + burstToken + `","client":"burst","roles":["submit","read"],"rps":1,"burst":2}
+	]}`
 )
 
 func main() {
@@ -74,15 +90,25 @@ func run() error {
 	}
 	defer os.RemoveAll(stores)
 
+	// The whole fleet runs with admission on: bearer tokens on the public
+	// API, a shared secret on the internal one.
+	tokenFile := filepath.Join(stores, "tokens.json")
+	if err := os.WriteFile(tokenFile, []byte(tokenFileJSON), 0o600); err != nil {
+		return fmt.Errorf("writing token file: %w", err)
+	}
+
 	procs := []*exec.Cmd{
 		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker1Addr, "-workers", "2",
-			"-store.dir", filepath.Join(stores, "w1")),
+			"-store.dir", filepath.Join(stores, "w1"),
+			"-auth.tokens", tokenFile, "-internal.secret", internalSecret),
 		exec.Command(filepath.Join(bin, "redsserver"), "-addr", worker2Addr, "-workers", "2",
-			"-store.dir", filepath.Join(stores, "w2")),
+			"-store.dir", filepath.Join(stores, "w2"),
+			"-auth.tokens", tokenFile, "-internal.secret", internalSecret),
 		exec.Command(filepath.Join(bin, "redsgateway"), "-addr", gatewayAddr,
 			"-workers", fmt.Sprintf("http://%s,http://%s", worker1Addr, worker2Addr),
 			"-health.interval", "500ms", "-poll.interval", "50ms",
-			"-store.dir", filepath.Join(stores, "gw")),
+			"-store.dir", filepath.Join(stores, "gw"),
+			"-auth.tokens", tokenFile, "-internal.secret", internalSecret),
 	}
 	for _, p := range procs {
 		p.Stdout, p.Stderr = os.Stderr, os.Stderr
@@ -121,7 +147,7 @@ func run() error {
 	// run to run).
 	ids := make([]string, 0, jobCount)
 	for seed := 1; seed <= jobCount; seed++ {
-		id, err := submit(fmt.Sprintf(`{"function":"morris","n":120,"l":2000,"seed":%d}`, seed), "")
+		id, err := submit(fmt.Sprintf(`{"function":"morris","n":120,"l":2000,"seed":%d}`, seed), "", smokeToken)
 		if err != nil {
 			return fmt.Errorf("submitting job (seed %d): %w", seed, err)
 		}
@@ -168,7 +194,127 @@ func run() error {
 	if err := checkTrace(); err != nil {
 		return err
 	}
-	return checkMetrics()
+	if err := checkMetrics(); err != nil {
+		return err
+	}
+	// Last: the admission checks submit extra jobs, which would skew
+	// checkMetrics' exact dispatch counts if they ran earlier.
+	return checkAdmission()
+}
+
+// checkAdmission asserts the fleet actually enforces its admission
+// config: tokenless and bad-token requests are refused, an over-quota
+// burst draws real 429s with Retry-After (while at least one submission
+// is admitted at full fidelity), and the verdicts show up in the
+// reds_admission_* counters.
+func checkAdmission() error {
+	for _, token := range []string{"", "not-a-real-token"} {
+		status, body, _, err := request("GET", fmt.Sprintf("http://%s/v1/jobs", gatewayAddr), "", "", token)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusUnauthorized {
+			return fmt.Errorf("GET /v1/jobs with token %q: got %d, want 401", token, status)
+		}
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "unauthorized" {
+			return fmt.Errorf("401 envelope %s, want error code unauthorized", body)
+		}
+	}
+	log.Printf("tokenless and bad-token requests refused with 401")
+
+	// The burst client is capped at rps=1/burst=2 by its token file
+	// entry: firing 6 submissions back to back must admit some and 429
+	// the rest.
+	admitted, rejected := []string{}, 0
+	for i := 0; i < 6; i++ {
+		status, body, hdr, err := request("POST", fmt.Sprintf("http://%s/v1/jobs", gatewayAddr),
+			`{"function":"morris","n":120,"l":2000,"seed":77}`, "", burstToken)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case http.StatusCreated:
+			var out struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil || out.ID == "" {
+				return fmt.Errorf("undecodable submit response: %s", body)
+			}
+			admitted = append(admitted, out.ID)
+		case http.StatusTooManyRequests:
+			rejected++
+			if hdr.Get("Retry-After") == "" {
+				return fmt.Errorf("429 without a Retry-After header")
+			}
+			var env struct {
+				Error struct {
+					Code              string  `json:"code"`
+					RetryAfterSeconds float64 `json:"retry_after_seconds"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "rate_limited" || env.Error.RetryAfterSeconds <= 0 {
+				return fmt.Errorf("429 envelope %s, want rate_limited with retry_after_seconds > 0", body)
+			}
+		default:
+			return fmt.Errorf("burst submit %d: unexpected status %d: %s", i, status, body)
+		}
+	}
+	if len(admitted) == 0 || rejected == 0 {
+		return fmt.Errorf("burst of 6: %d admitted, %d rejected — quota not biting", len(admitted), rejected)
+	}
+	log.Printf("over-quota burst: %d admitted, %d got 429 + Retry-After", len(admitted), rejected)
+
+	// Admitted jobs still run at full fidelity.
+	for _, id := range admitted {
+		if err := waitDone(id, 120*time.Second); err != nil {
+			return err
+		}
+	}
+
+	gw, err := scrapeMetrics("http://" + gatewayAddr)
+	if err != nil {
+		return err
+	}
+	if gw.series["reds_admission_rejected_total"] == 0 {
+		return fmt.Errorf("gateway /metrics: no admission rejections recorded despite the 401s/429s above")
+	}
+	if gw.series["reds_admission_allowed_total"] == 0 {
+		return fmt.Errorf("gateway /metrics: no admitted requests recorded")
+	}
+	log.Printf("reds_admission_{allowed,rejected}_total both live on the gateway")
+	return nil
+}
+
+// request performs one HTTP call with an optional bearer token and
+// returns status, body and headers.
+func request(method, url, body, requestID, token string) (int, []byte, http.Header, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set(telemetry.RequestIDHeader, requestID)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, resp.Header, nil
 }
 
 // checkTrace submits one job with an explicit X-Request-Id and asserts
@@ -176,7 +322,7 @@ func run() error {
 // snapshot, together with a per-stage trace led by queue_wait.
 func checkTrace() error {
 	const rid = "cafef00dcafef00d"
-	id, err := submit(`{"function":"morris","n":120,"l":2000,"seed":99}`, rid)
+	id, err := submit(`{"function":"morris","n":120,"l":2000,"seed":99}`, rid, smokeToken)
 	if err != nil {
 		return fmt.Errorf("submitting traced job: %w", err)
 	}
@@ -387,25 +533,15 @@ func waitHealthy(base string, timeout time.Duration) error {
 	}
 }
 
-// submit POSTs a job to the gateway; a non-empty requestID is sent as
-// the X-Request-Id header.
-func submit(body, requestID string) (string, error) {
-	req, err := http.NewRequest("POST", fmt.Sprintf("http://%s/v1/jobs", gatewayAddr), bytes.NewReader([]byte(body)))
+// submit POSTs a job to the gateway as the given client token; a
+// non-empty requestID is sent as the X-Request-Id header.
+func submit(body, requestID, token string) (string, error) {
+	status, raw, _, err := request("POST", fmt.Sprintf("http://%s/v1/jobs", gatewayAddr), body, requestID, token)
 	if err != nil {
 		return "", err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if requestID != "" {
-		req.Header.Set(telemetry.RequestIDHeader, requestID)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusCreated {
-		return "", fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, raw)
+	if status != http.StatusCreated {
+		return "", fmt.Errorf("POST /v1/jobs: %d: %s", status, raw)
 	}
 	var out struct {
 		ID string `json:"id"`
@@ -439,18 +575,15 @@ func waitDone(id string, timeout time.Duration) error {
 	}
 }
 
+// getJSON GETs url as the smoke client (open endpoints ignore the
+// token; authenticated ones need its read role).
 func getJSON(url string, v any) error {
-	resp, err := http.Get(url)
+	status, raw, _, err := request("GET", url, "", "", smokeToken)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s: %.200s", url, resp.Status, raw)
+	if status != http.StatusOK {
+		return fmt.Errorf("GET %s: %d: %.200s", url, status, raw)
 	}
 	return json.Unmarshal(raw, v)
 }
